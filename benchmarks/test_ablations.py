@@ -1,0 +1,82 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Three ablations isolate individual Redoop mechanisms:
+
+* **pane headers** (Sec. 3.2) — reading one pane out of a shared
+  multi-pane file via the header vs scanning the whole file;
+* **cache levels** (Sec. 4) — reduce-input + reduce-output caching vs
+  input-only vs no caching at all;
+* **cache-aware scheduling** (Sec. 4.3, Eq. 4) — Eq. 4 locality vs a
+  deliberately cache-blind placement that rotates partitions away from
+  their caches every window.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    ablation_cache_levels,
+    ablation_pane_headers,
+    ablation_scheduler,
+    format_response_table,
+)
+
+from .conftest import emit
+
+
+def test_ablation_pane_headers(benchmark, bench_scale):
+    series = benchmark.pedantic(
+        ablation_pane_headers, kwargs=dict(scale=bench_scale), rounds=1,
+        iterations=1,
+    )
+    emit(
+        format_response_table(
+            series, title="Ablation: multi-pane file headers on/off"
+        )
+    )
+    with_h = series["with-headers"].total_response()
+    without = series["without-headers"].total_response()
+    assert series["with-headers"].output_digests == series[
+        "without-headers"
+    ].output_digests
+    # Headers avoid scanning sibling panes in shared files.
+    assert with_h < without
+
+
+def test_ablation_cache_levels(benchmark, bench_scale):
+    series = benchmark.pedantic(
+        ablation_cache_levels, kwargs=dict(scale=bench_scale), rounds=1,
+        iterations=1,
+    )
+    emit(
+        format_response_table(
+            series, title="Ablation: cache levels (both / input-only / none)"
+        )
+    )
+    both = series["both-caches"].avg_response(skip_first=True)
+    input_only = series["input-only"].avg_response(skip_first=True)
+    none = series["no-caching"].avg_response(skip_first=True)
+    assert series["both-caches"].output_digests == series[
+        "no-caching"
+    ].output_digests
+    # Each cache level buys additional time.
+    assert both <= input_only * 1.01
+    assert input_only < none
+    assert both < none
+
+
+def test_ablation_scheduler(benchmark, bench_scale):
+    series = benchmark.pedantic(
+        ablation_scheduler, kwargs=dict(scale=bench_scale), rounds=1,
+        iterations=1,
+    )
+    emit(
+        format_response_table(
+            series, title="Ablation: cache-aware vs cache-blind scheduling"
+        )
+    )
+    aware = series["cache-aware"].avg_response(skip_first=True)
+    blind = series["cache-blind"].avg_response(skip_first=True)
+    # Eq. 4's locality term is worth real time once caches exist.
+    assert aware < blind

@@ -1,0 +1,70 @@
+"""Figure 6: recurring aggregation, Redoop vs plain Hadoop.
+
+Regenerates, per overlap setting (0.9 / 0.5 / 0.1):
+
+* panels (a)(c)(e) — per-window response times for 10 windows;
+* panels (b)(d)(f) — summed shuffle vs reduce time distribution.
+
+Expected shape (paper Sec. 6.2.1): window 1 roughly ties; windows 2-10
+Redoop wins by up to ~8x at overlap 0.9, moderately at 0.5, and only
+marginally at 0.1; both shuffle and reduce shrink under Redoop.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    aggregation_config,
+    build_workload,
+    format_phase_split,
+    format_response_table,
+    format_speedup_summary,
+    run_hadoop_series,
+    run_redoop_series,
+)
+
+from .conftest import emit, speedup_floor
+
+
+@pytest.mark.parametrize("overlap", [0.9, 0.5, 0.1])
+def test_fig6_aggregation(benchmark, overlap, bench_scale, bench_windows):
+    config = aggregation_config(
+        overlap, scale=bench_scale, num_windows=bench_windows
+    )
+    workload = build_workload(config)
+
+    def run():
+        hadoop = run_hadoop_series(config, workload=workload)
+        redoop = run_redoop_series(config, workload=workload)
+        return {"hadoop": hadoop, "redoop": redoop}
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    hadoop, redoop = series["hadoop"], series["redoop"]
+
+    emit(
+        format_response_table(
+            series, title=f"Fig 6 aggregation response times (overlap={overlap})"
+        )
+    )
+    emit(
+        format_phase_split(
+            series, title=f"Fig 6 shuffle/reduce split (overlap={overlap})"
+        )
+    )
+    emit(format_speedup_summary(series))
+
+    # Correctness: both systems computed identical window answers.
+    assert hadoop.output_digests == redoop.output_digests
+    # Window 1 roughly ties.
+    assert redoop.windows[0].response_time == pytest.approx(
+        hadoop.windows[0].response_time, rel=0.3
+    )
+    # Steady-state ordering per the paper.
+    speedup = redoop.speedup_vs(hadoop, skip_first=True)
+    if overlap == 0.9:
+        assert speedup > speedup_floor(bench_scale)
+    elif overlap == 0.5:
+        assert speedup > min(1.2, speedup_floor(bench_scale))
+    else:
+        assert speedup > 0.85  # marginal at low overlap

@@ -1,0 +1,61 @@
+"""Figure 7: recurring join over the FFG sensor streams.
+
+Regenerates, per overlap setting, the per-window response times and
+the shuffle/reduce split. Expected shape (paper Sec. 6.2.2): Redoop
+approaches an order of magnitude at overlap 0.9; the reduce phase
+dominates join time; gains shrink as overlap drops.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    build_workload,
+    format_phase_split,
+    format_response_table,
+    format_speedup_summary,
+    join_config,
+    run_hadoop_series,
+    run_redoop_series,
+)
+
+from .conftest import emit, speedup_floor
+
+
+@pytest.mark.parametrize("overlap", [0.9, 0.5, 0.1])
+def test_fig7_join(benchmark, overlap, bench_scale, bench_windows):
+    config = join_config(overlap, scale=bench_scale, num_windows=bench_windows)
+    workload = build_workload(config)
+
+    def run():
+        hadoop = run_hadoop_series(config, workload=workload)
+        redoop = run_redoop_series(config, workload=workload)
+        return {"hadoop": hadoop, "redoop": redoop}
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    hadoop, redoop = series["hadoop"], series["redoop"]
+
+    emit(
+        format_response_table(
+            series, title=f"Fig 7 join response times (overlap={overlap})"
+        )
+    )
+    emit(
+        format_phase_split(
+            series, title=f"Fig 7 shuffle/reduce split (overlap={overlap})"
+        )
+    )
+    emit(format_speedup_summary(series))
+
+    assert hadoop.output_digests == redoop.output_digests
+    assert redoop.windows[0].response_time == pytest.approx(
+        hadoop.windows[0].response_time, rel=0.3
+    )
+    speedup = redoop.speedup_vs(hadoop, skip_first=True)
+    if overlap == 0.9:
+        assert speedup > speedup_floor(bench_scale)
+    elif overlap == 0.5:
+        assert speedup > min(1.2, speedup_floor(bench_scale))
+    else:
+        assert speedup > 0.85

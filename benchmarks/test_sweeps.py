@@ -1,0 +1,69 @@
+"""Extension sweeps: how Redoop's gain responds to deployment knobs.
+
+Not figures from the paper — these probe the design space around its
+fixed 30-node / 60-reducer setup (see DESIGN.md, "Ablations").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.sweeps import (
+    sweep_cluster_size,
+    sweep_num_reducers,
+    sweep_window_size,
+)
+
+from .conftest import emit
+
+
+def test_sweep_cluster_size(benchmark, bench_scale):
+    results = benchmark.pedantic(
+        sweep_cluster_size,
+        kwargs=dict(scale=min(bench_scale, 0.5)),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "Sweep: steady-state speedup vs cluster size (overlap 0.9)\n"
+        + "\n".join(f"  {n:3d} nodes: {s:5.2f}x" for n, s in sorted(results.items()))
+    )
+    # Redoop wins at every size; data volume is fixed, so bigger
+    # clusters absorb Hadoop's re-reads better and narrow the gap.
+    assert all(s > 1.5 for s in results.values())
+    sizes = sorted(results)
+    assert results[sizes[0]] >= results[sizes[-1]] * 0.8
+
+
+def test_sweep_num_reducers(benchmark, bench_scale):
+    results = benchmark.pedantic(
+        sweep_num_reducers,
+        kwargs=dict(scale=min(bench_scale, 0.5)),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "Sweep: steady-state speedup vs reducer count (overlap 0.9)\n"
+        + "\n".join(
+            f"  {r:4d} reducers: {s:5.2f}x" for r, s in sorted(results.items())
+        )
+    )
+    assert all(s > 1.5 for s in results.values())
+
+
+def test_sweep_window_size(benchmark, bench_scale):
+    results = benchmark.pedantic(
+        sweep_window_size,
+        kwargs=dict(scale=min(bench_scale, 0.5)),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "Sweep: steady-state speedup vs window length (overlap 0.9)\n"
+        + "\n".join(
+            f"  {h:4.1f} h window: {s:5.2f}x" for h, s in sorted(results.items())
+        )
+    )
+    # Bigger windows -> more absolute reuse -> at least as much gain.
+    hours = sorted(results)
+    assert results[hours[-1]] >= results[hours[0]] * 0.9

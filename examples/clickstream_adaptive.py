@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Example 3 from the paper: clickstream analysis under traffic spikes.
+
+Ad brokers rebuild predictive models with recurring queries over
+clickstreams whose volume fluctuates — a flash sale doubles traffic
+for a while, then it subsides. This example reproduces the paper's
+adaptive-execution story (Sec. 3.3 / Fig. 8): when the Execution
+Profiler detects fluctuation, Redoop switches to *proactive* mode and
+maps arriving sub-panes immediately, so the window-close work shrinks
+to the final sub-pane plus the merge.
+
+Run:  python examples/clickstream_adaptive.py
+"""
+
+from dataclasses import replace
+
+from repro.bench import (
+    ExperimentConfig,
+    build_workload,
+    format_response_table,
+    format_speedup_summary,
+    run_hadoop_series,
+    run_redoop_series,
+)
+from repro.hadoop import ClusterConfig
+from repro.workloads import paper_spike_windows
+
+
+def main() -> None:
+    num_windows = 8
+    config = ExperimentConfig(
+        kind="aggregation",
+        win=3600.0,
+        overlap=0.25,  # mostly fresh data each window: spikes hurt most
+        num_windows=num_windows,
+        rate=5_000_000.0,
+        record_size=500_000,
+        num_reducers=24,
+        cluster_config=ClusterConfig(num_nodes=12),
+        seed=17,
+        spiked_recurrences=frozenset(paper_spike_windows(num_windows)),
+    )
+
+    print(
+        "clickstream aggregation, win=1h slide=45min; windows "
+        f"{sorted(config.spiked_recurrences)} carry doubled traffic\n"
+    )
+    workload = build_workload(config)
+
+    print("running plain Hadoop ...")
+    hadoop = run_hadoop_series(config, workload=workload)
+    print("running Redoop without adaptivity ...")
+    plain = run_redoop_series(config, workload=workload)
+    print("running Redoop with adaptive/proactive execution ...\n")
+    adaptive = run_redoop_series(config, label="adaptive", adaptive=True,
+                                 workload=workload)
+
+    series = {"hadoop": hadoop, "redoop": plain, "adaptive": adaptive}
+    print(format_response_table(series, title="per-window response time (s)"))
+    print()
+    print(format_speedup_summary(series, title="speedups (windows 2+)"))
+    print(
+        "\nthe adaptive runtime detects the fluctuation after the first "
+        "spike and pre-processes arriving sub-panes; spiked windows then "
+        "cost barely more than quiet ones."
+    )
+
+    assert plain.output_digests == adaptive.output_digests
+    print("adaptivity changed no answers ✔")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Example 2 from the paper: news-feed updates via a windowed join.
+
+LinkedIn-style feed generation joins member-activity streams to build
+periodic updates ("which company do most of your connections work
+at?"). Here two sensor-style sources play the member streams: the
+recurring query equi-joins them on a shared key over a sliding window,
+re-executing each slide.
+
+The example shows Redoop's pane-pair machinery in action: the first
+window computes every pane combination; later windows reuse cached
+pair outputs and compute only combinations involving new panes.
+
+Run:  python examples/news_feed_join.py
+"""
+
+from repro.core import RecurringQuery, RedoopRuntime, WindowSpec
+from repro.hadoop import BatchFile, Cluster, MapReduceJob, Record, small_test_config
+
+
+def make_records(source: str, t0: float, t1: float, n: int, seed: int):
+    import random
+
+    rng = random.Random((source, seed).__hash__())
+    records = []
+    for i in range(n):
+        member = rng.randrange(8)
+        payload = (
+            {"src": source, "member": member, "company": f"co{rng.randrange(4)}"}
+            if source == "profiles"
+            else {"src": source, "member": member, "action": rng.choice(
+                ["connect", "endorse", "post"]
+            )}
+        )
+        records.append(
+            Record(ts=t0 + i * (t1 - t0) / n, value=payload, size=200)
+        )
+    return records
+
+
+def mapper(record):
+    # Tag each record with its stream so the reducer can split sides.
+    yield record.value["member"], (record.value["src"], record.value)
+
+
+def reducer(member, values):
+    profiles = [v for src, v in values if src == "profiles"]
+    actions = [v for src, v in values if src == "activity"]
+    for profile in profiles:
+        for action in actions:
+            yield member, (profile["company"], action["action"])
+
+
+def main() -> None:
+    job = MapReduceJob(
+        name="feed-join", mapper=mapper, reducer=reducer, num_reducers=4
+    )
+    spec = WindowSpec(win=40.0, slide=10.0)  # 4 panes, 1 new per slide
+    query = RecurringQuery(
+        name="feed-join",
+        job=job,
+        windows={"profiles": spec, "activity": spec},
+        # default finalize: concatenate pane-pair join outputs
+    )
+
+    cluster = Cluster(small_test_config(), seed=9)
+    runtime = RedoopRuntime(cluster)
+    runtime.register_query(query, {"profiles": 400_000.0, "activity": 400_000.0})
+
+    for i in range(7):
+        t0, t1 = i * 10.0, (i + 1) * 10.0
+        for source in ("profiles", "activity"):
+            batch = BatchFile(
+                path=f"/batches/{source}/{i}", source=source, t_start=t0, t_end=t1
+            )
+            runtime.ingest(batch, make_records(source, t0, t1, n=40, seed=i))
+
+    print("recurring feed join: win=40s, slide=10s (overlap 0.75)\n")
+    for recurrence in (1, 2, 3, 4):
+        result = runtime.run_recurrence("feed-join", recurrence)
+        computed = result.counters.get("join.combos_computed")
+        reused = result.counters.get("cache.rout_hits")
+        print(
+            f"window {recurrence}: response {result.response_time:6.2f}s, "
+            f"{len(result.output):4d} joined updates, "
+            f"pane pairs computed={computed:.0f} reused-from-cache={reused:.0f}"
+        )
+
+    print(
+        "\nwindow 1 computes all 16 pane pairs (x4 reduce partitions = 64 "
+        "tasks); each later window only the 7 pairs touching its new "
+        "panes — the other 9 come straight from the reduce-output cache."
+    )
+
+
+if __name__ == "__main__":
+    main()

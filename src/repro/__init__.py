@@ -1,0 +1,64 @@
+"""Redoop: recurring-query processing on Hadoop (EDBT 2014 reproduction).
+
+The package has four layers:
+
+* :mod:`repro.hadoop` — a from-scratch simulated Hadoop/MapReduce
+  cluster (HDFS, slots, FIFO scheduling, cost model, fault injection).
+* :mod:`repro.core` — the paper's contribution: the recurring-query
+  model, window-aware partitioning, caching, adaptive execution, the
+  cache-aware scheduler, and the Redoop runtime.
+* :mod:`repro.workloads` — synthetic stand-ins for the paper's WorldCup
+  click and football-field sensor datasets, plus the evaluated queries.
+* :mod:`repro.bench` — the experiment harness regenerating every figure.
+
+Quickstart::
+
+    from repro import RecurringQuery, RedoopRuntime, Cluster
+    from repro.hadoop import small_test_config
+
+    cluster = Cluster(small_test_config())
+    runtime = RedoopRuntime(cluster)
+    ...
+"""
+
+from .hadoop import (
+    BatchCatalog,
+    BatchFile,
+    Cluster,
+    ClusterConfig,
+    FaultInjector,
+    MapReduceJob,
+    PlainHadoopDriver,
+    Record,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BatchCatalog",
+    "BatchFile",
+    "Cluster",
+    "ClusterConfig",
+    "FaultInjector",
+    "MapReduceJob",
+    "PlainHadoopDriver",
+    "Record",
+    "__version__",
+]
+
+
+def _extend_public_api() -> None:
+    """Re-export the core layer lazily to avoid import cycles at build time."""
+    from . import core as _core
+
+    for name in _core.__all__:
+        globals()[name] = getattr(_core, name)
+        __all__.append(name)
+
+
+try:  # pragma: no cover - exercised implicitly by every import
+    _extend_public_api()
+except ImportError:
+    # During incremental development the core layer may not exist yet;
+    # the hadoop substrate remains usable on its own.
+    pass

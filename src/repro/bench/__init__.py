@@ -1,0 +1,65 @@
+"""Benchmark harness regenerating every table and figure of the paper."""
+
+from .experiments import (
+    PAPER_OVERLAPS,
+    ablation_cache_levels,
+    ablation_pane_headers,
+    ablation_scheduler,
+    aggregation_config,
+    fig6_aggregation,
+    fig7_join,
+    fig8_adaptive,
+    fig9_fault_tolerance,
+    headline_speedups,
+    join_config,
+)
+from .harness import (
+    ExperimentConfig,
+    SeriesResult,
+    WindowMetrics,
+    build_workload,
+    run_hadoop_series,
+    run_redoop_series,
+)
+from .plots import bar_chart, plot_series, plot_speedups
+from .sweeps import sweep_cluster_size, sweep_num_reducers, sweep_window_size
+from .reporting import (
+    format_cumulative_table,
+    format_phase_split,
+    format_response_table,
+    format_speedup_summary,
+    series_rows,
+    write_series_csv,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "PAPER_OVERLAPS",
+    "SeriesResult",
+    "WindowMetrics",
+    "ablation_cache_levels",
+    "ablation_pane_headers",
+    "ablation_scheduler",
+    "aggregation_config",
+    "bar_chart",
+    "build_workload",
+    "fig6_aggregation",
+    "fig7_join",
+    "fig8_adaptive",
+    "fig9_fault_tolerance",
+    "format_cumulative_table",
+    "format_phase_split",
+    "format_response_table",
+    "format_speedup_summary",
+    "series_rows",
+    "write_series_csv",
+    "headline_speedups",
+    "join_config",
+    "plot_series",
+    "plot_speedups",
+    "run_hadoop_series",
+    "run_redoop_series",
+    "sweep_cluster_size",
+    "sweep_num_reducers",
+    "sweep_window_size",
+]

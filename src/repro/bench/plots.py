@@ -1,0 +1,96 @@
+"""ASCII rendering of experiment series for terminal-only environments.
+
+The original figures are line/bar charts; these helpers render the
+same data as unicode bar charts so `python -m repro fig6 --plot` gives
+an at-a-glance picture without matplotlib (which this offline
+reproduction deliberately avoids depending on).
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Sequence
+
+from .harness import SeriesResult
+
+__all__ = ["bar_chart", "plot_series", "plot_speedups"]
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def _bar(value: float, peak: float, width: int) -> str:
+    """A unicode bar of ``value`` relative to ``peak``."""
+    if peak <= 0:
+        return ""
+    cells = value / peak * width
+    full = int(cells)
+    frac = int((cells - full) * (len(_BLOCKS) - 1))
+    bar = "█" * full
+    if frac:
+        bar += _BLOCKS[frac]
+    return bar
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Render labelled horizontal bars, scaled to the largest value."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if not labels:
+        raise ValueError("nothing to plot")
+    if any(v < 0 for v in values):
+        raise ValueError("bar charts need non-negative values")
+    peak = max(values)
+    label_w = max(len(l) for l in labels)
+    lines: List[str] = []
+    for label, value in zip(labels, values):
+        lines.append(
+            f"{label:>{label_w}} │{_bar(value, peak, width):<{width}} "
+            f"{value:8.1f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def plot_series(
+    series: Mapping[str, SeriesResult], *, width: int = 40, title: str = ""
+) -> str:
+    """Per-window response-time bars, one block per system."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    peak = max(
+        w.response_time for result in series.values() for w in result.windows
+    )
+    for label, result in series.items():
+        lines.append(f"[{label}]")
+        for w in result.windows:
+            lines.append(
+                f"  w{w.recurrence:<3d}│"
+                f"{_bar(w.response_time, peak, width):<{width}} "
+                f"{w.response_time:8.1f}s"
+            )
+    return "\n".join(lines)
+
+
+def plot_speedups(
+    series: Mapping[str, SeriesResult],
+    *,
+    baseline: str = "hadoop",
+    skip_first: bool = True,
+    width: int = 30,
+    title: str = "",
+) -> str:
+    """Bar chart of each system's speedup over the baseline."""
+    if baseline not in series:
+        raise ValueError(f"baseline {baseline!r} is not in the series")
+    base = series[baseline]
+    labels = [l for l in series if l != baseline]
+    values = [
+        series[l].speedup_vs(base, skip_first=skip_first) for l in labels
+    ]
+    chart = bar_chart(labels, values, width=width, unit="x")
+    return f"{title}\n{chart}" if title else chart

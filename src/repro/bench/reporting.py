@@ -1,0 +1,138 @@
+"""Paper-style textual reporting of experiment results.
+
+The benchmark harness prints, for every figure, the same rows/series
+the paper plots: per-window response times (Figs. 6-8 left columns,
+Fig. 9 cumulative), summed shuffle/reduce phase splits (Figs. 6-7
+right columns), and speedup summaries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+from .harness import SeriesResult
+
+__all__ = [
+    "format_response_table",
+    "format_phase_split",
+    "format_cumulative_table",
+    "format_speedup_summary",
+    "series_rows",
+    "write_series_csv",
+]
+
+
+def _fmt(value: float) -> str:
+    return f"{value:10.1f}"
+
+
+def format_response_table(
+    series: Mapping[str, SeriesResult], *, title: str = ""
+) -> str:
+    """Per-window response times, one column per system (Fig. 6/7/8 left)."""
+    labels = list(series)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "window" + "".join(f"{label:>12}" for label in labels)
+    lines.append(header)
+    num_windows = len(next(iter(series.values())).windows)
+    for i in range(num_windows):
+        row = f"{i + 1:6d}"
+        for label in labels:
+            row += "  " + _fmt(series[label].windows[i].response_time)
+        lines.append(row)
+    avg = f"{'avg':>6}"
+    for label in labels:
+        avg += "  " + _fmt(series[label].avg_response())
+    lines.append(avg)
+    return "\n".join(lines)
+
+
+def format_phase_split(
+    series: Mapping[str, SeriesResult], *, title: str = ""
+) -> str:
+    """Summed shuffle vs reduce time per system (Fig. 6/7 right columns)."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{'system':>12}{'shuffle':>12}{'reduce':>12}")
+    for label, result in series.items():
+        total = result.total_phases()
+        lines.append(f"{label:>12}  {_fmt(total.shuffle)}  {_fmt(total.reduce)}")
+    return "\n".join(lines)
+
+
+def format_cumulative_table(
+    series: Mapping[str, SeriesResult], *, title: str = ""
+) -> str:
+    """Cumulative running time per window (Fig. 9's presentation)."""
+    labels = list(series)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("window" + "".join(f"{label:>12}" for label in labels))
+    sums = {label: 0.0 for label in labels}
+    num_windows = len(next(iter(series.values())).windows)
+    for i in range(num_windows):
+        row = f"{i + 1:6d}"
+        for label in labels:
+            sums[label] += series[label].windows[i].response_time
+            row += "  " + _fmt(sums[label])
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def series_rows(series: Mapping[str, SeriesResult]) -> List[Dict[str, object]]:
+    """Flatten series into machine-readable rows (one per system+window)."""
+    rows: List[Dict[str, object]] = []
+    for label, result in series.items():
+        for w in result.windows:
+            rows.append(
+                {
+                    "system": label,
+                    "window": w.recurrence,
+                    "due_time": w.due_time,
+                    "finish_time": w.finish_time,
+                    "response_time": w.response_time,
+                    "map_time": w.phases.map,
+                    "shuffle_time": w.phases.shuffle,
+                    "reduce_time": w.phases.reduce,
+                    "output_pairs": w.output_pairs,
+                }
+            )
+    return rows
+
+
+def write_series_csv(path: str, series: Mapping[str, SeriesResult]) -> int:
+    """Write the series as CSV; returns the number of data rows."""
+    import csv
+
+    rows = series_rows(series)
+    if not rows:
+        raise ValueError("no series data to write")
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=list(rows[0]))
+        writer.writeheader()
+        writer.writerows(rows)
+    return len(rows)
+
+
+def format_speedup_summary(
+    series: Mapping[str, SeriesResult],
+    *,
+    baseline: str = "hadoop",
+    skip_first: bool = True,
+    title: str = "",
+) -> str:
+    """Average speedup of each system over the baseline."""
+    base = series[baseline]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, result in series.items():
+        if label == baseline:
+            continue
+        speedup = result.speedup_vs(base, skip_first=skip_first)
+        lines.append(f"{label:>12} vs {baseline}: {speedup:5.2f}x")
+    return "\n".join(lines)

@@ -1,0 +1,112 @@
+"""Extension sweeps beyond the paper's evaluation.
+
+The paper fixes the cluster at 30 nodes and the reducer count per job.
+These sweeps probe how Redoop's advantage responds to deployment knobs
+a practitioner would actually turn:
+
+* **cluster size** — speedup vs plain Hadoop across node counts. More
+  nodes shrink Hadoop's map waves, so the relative gain narrows; the
+  crossover location tells you when caching stops paying;
+* **reducer count** — per-task overheads of Redoop's pane-reduce and
+  merge stages grow with the reducer count, while plain Hadoop
+  amortises them over bigger tasks;
+* **window size** — at fixed overlap, larger windows mean more
+  absolute re-use per recurrence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Iterable, List, Tuple
+
+from ..hadoop.config import ClusterConfig
+from .harness import (
+    ExperimentConfig,
+    SeriesResult,
+    build_workload,
+    run_hadoop_series,
+    run_redoop_series,
+)
+
+__all__ = ["sweep_cluster_size", "sweep_num_reducers", "sweep_window_size"]
+
+
+def _speedup(config: ExperimentConfig) -> Tuple[float, SeriesResult, SeriesResult]:
+    workload = build_workload(config)
+    hadoop = run_hadoop_series(config, workload=workload)
+    redoop = run_redoop_series(config, workload=workload)
+    if hadoop.output_digests != redoop.output_digests:
+        raise AssertionError("systems diverged during a sweep")
+    return redoop.speedup_vs(hadoop, skip_first=True), hadoop, redoop
+
+
+def sweep_cluster_size(
+    *,
+    node_counts: Iterable[int] = (10, 20, 30),
+    scale: float = 0.5,
+    overlap: float = 0.9,
+    num_windows: int = 5,
+) -> Dict[int, float]:
+    """Steady-state speedup per cluster size (aggregation workload)."""
+    results: Dict[int, float] = {}
+    for nodes in node_counts:
+        config = ExperimentConfig(
+            kind="aggregation",
+            win=3600.0,
+            overlap=overlap,
+            num_windows=num_windows,
+            rate=30_000_000.0 * scale,
+            record_size=1_000_000,
+            num_reducers=2 * nodes,
+            cluster_config=ClusterConfig(num_nodes=nodes),
+            seed=7,
+        )
+        results[nodes], _h, _r = _speedup(config)
+    return results
+
+
+def sweep_num_reducers(
+    *,
+    reducer_counts: Iterable[int] = (15, 30, 60, 120),
+    scale: float = 0.5,
+    overlap: float = 0.9,
+    num_windows: int = 5,
+) -> Dict[int, float]:
+    """Steady-state speedup per reducer count on the 30-node cluster."""
+    results: Dict[int, float] = {}
+    for reducers in reducer_counts:
+        config = ExperimentConfig(
+            kind="aggregation",
+            win=3600.0,
+            overlap=overlap,
+            num_windows=num_windows,
+            rate=30_000_000.0 * scale,
+            record_size=1_000_000,
+            num_reducers=reducers,
+            seed=7,
+        )
+        results[reducers], _h, _r = _speedup(config)
+    return results
+
+
+def sweep_window_size(
+    *,
+    window_hours: Iterable[float] = (0.5, 1.0, 2.0),
+    scale: float = 0.5,
+    overlap: float = 0.9,
+    num_windows: int = 4,
+) -> Dict[float, float]:
+    """Steady-state speedup per window length at fixed overlap and rate."""
+    results: Dict[float, float] = {}
+    for hours in window_hours:
+        config = ExperimentConfig(
+            kind="aggregation",
+            win=hours * 3600.0,
+            overlap=overlap,
+            num_windows=num_windows,
+            rate=30_000_000.0 * scale,
+            record_size=1_000_000,
+            seed=7,
+        )
+        results[hours], _h, _r = _speedup(config)
+    return results

@@ -1,0 +1,171 @@
+"""Command-line experiment runner: ``python -m repro <experiment>``.
+
+Regenerates the paper's figures from a shell, printing the same
+rows/series the paper plots and optionally exporting them as CSV::
+
+    python -m repro list
+    python -m repro fig6 --scale 0.5 --windows 10
+    python -m repro fig8 --overlaps 0.1 0.9 --csv fig8.csv
+    python -m repro headline --scale 1.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, Optional, Sequence
+
+from .bench import (
+    ablation_cache_levels,
+    ablation_pane_headers,
+    ablation_scheduler,
+    fig6_aggregation,
+    fig7_join,
+    fig8_adaptive,
+    fig9_fault_tolerance,
+    format_cumulative_table,
+    format_phase_split,
+    format_response_table,
+    format_speedup_summary,
+    headline_speedups,
+)
+from .bench.plots import plot_series, plot_speedups
+from .bench.reporting import write_series_csv
+
+__all__ = ["main", "build_parser"]
+
+_EXPERIMENTS = {
+    "fig6": "aggregation response times + phase split per overlap",
+    "fig7": "join response times + phase split per overlap",
+    "fig8": "adaptive partitioning under 2x load spikes",
+    "fig9": "fault tolerance (cumulative time, cache removals)",
+    "headline": "the 'up to 9x' best-case speedups",
+    "ablations": "pane headers / cache levels / Eq.4 scheduling",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the Redoop paper's evaluation figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+
+    def add_common(p: argparse.ArgumentParser, *, overlaps: bool) -> None:
+        p.add_argument(
+            "--scale",
+            type=float,
+            default=0.5,
+            help="fraction of paper-scale data volume (default 0.5)",
+        )
+        p.add_argument(
+            "--windows",
+            type=int,
+            default=10,
+            help="windows per series (paper: 10)",
+        )
+        p.add_argument("--csv", help="also write the series to this CSV file")
+        p.add_argument(
+            "--plot",
+            action="store_true",
+            help="render ASCII bar charts of the per-window times",
+        )
+        if overlaps:
+            p.add_argument(
+                "--overlaps",
+                type=float,
+                nargs="+",
+                default=[0.9, 0.5, 0.1],
+                help="overlap factors to sweep (default: 0.9 0.5 0.1)",
+            )
+
+    for name in ("fig6", "fig7", "fig8"):
+        add_common(sub.add_parser(name, help=_EXPERIMENTS[name]), overlaps=True)
+    add_common(sub.add_parser("fig9", help=_EXPERIMENTS["fig9"]), overlaps=False)
+    headline = sub.add_parser("headline", help=_EXPERIMENTS["headline"])
+    headline.add_argument("--scale", type=float, default=0.5)
+    ablations = sub.add_parser("ablations", help=_EXPERIMENTS["ablations"])
+    ablations.add_argument("--scale", type=float, default=0.5)
+    return parser
+
+
+def _print_overlap_sweep(
+    results, *, plot: bool = False
+) -> Dict[str, object]:
+    merged: Dict[str, object] = {}
+    for overlap, series in results.items():
+        print(format_response_table(series, title=f"--- overlap = {overlap} ---"))
+        print()
+        if plot:
+            print(plot_series(series))
+            print()
+            print(plot_speedups(series, title="speedups vs hadoop:"))
+            print()
+        if any(w.phases.shuffle or w.phases.reduce for s in series.values()
+               for w in s.windows):
+            print(format_phase_split(series))
+            print()
+        print(format_speedup_summary(series))
+        print()
+        for label, result in series.items():
+            merged[f"{label}@{overlap}"] = result
+    return merged
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        for name, blurb in _EXPERIMENTS.items():
+            print(f"{name:10} {blurb}")
+        return 0
+
+    csv_series: Dict[str, object] = {}
+    if args.command == "fig6":
+        results = fig6_aggregation(
+            scale=args.scale, overlaps=args.overlaps, num_windows=args.windows
+        )
+        csv_series = _print_overlap_sweep(results, plot=args.plot)
+    elif args.command == "fig7":
+        results = fig7_join(
+            scale=args.scale, overlaps=args.overlaps, num_windows=args.windows
+        )
+        csv_series = _print_overlap_sweep(results, plot=args.plot)
+    elif args.command == "fig8":
+        results = fig8_adaptive(
+            scale=args.scale, overlaps=args.overlaps, num_windows=args.windows
+        )
+        csv_series = _print_overlap_sweep(results, plot=args.plot)
+    elif args.command == "fig9":
+        series = fig9_fault_tolerance(scale=args.scale, num_windows=args.windows)
+        print(format_cumulative_table(series, title="Fig 9 cumulative time"))
+        if args.plot:
+            print()
+            print(plot_speedups(series, title="speedups vs hadoop:"))
+        csv_series = dict(series)
+    elif args.command == "headline":
+        speedups = headline_speedups(scale=args.scale)
+        print("steady-state speedups at overlap 0.9 (paper: up to 9x):")
+        for kind, factor in speedups.items():
+            print(f"  {kind:12} {factor:5.2f}x")
+        return 0
+    elif args.command == "ablations":
+        for name, fn in (
+            ("pane headers", ablation_pane_headers),
+            ("cache levels", ablation_cache_levels),
+            ("scheduler", ablation_scheduler),
+        ):
+            series = fn(scale=args.scale)
+            print(format_response_table(series, title=f"--- ablation: {name} ---"))
+            print()
+        return 0
+
+    if getattr(args, "csv", None) and csv_series:
+        rows = write_series_csv(args.csv, csv_series)
+        print(f"wrote {rows} rows to {args.csv}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

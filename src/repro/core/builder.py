@@ -1,0 +1,227 @@
+"""A declarative builder for algebraic recurring queries.
+
+Writing a correct Redoop query by hand requires keeping three functions
+(mapper, reducer, finalizer) algebraically consistent — the classic
+source of silent incremental-processing bugs. This builder generates
+all three from a declarative description, guaranteeing consistency:
+
+    query = (
+        RecurringQueryBuilder("traffic", source="wcc", win=3600, slide=360)
+        .key("region")
+        .count("hits")
+        .sum("bytes", "volume")
+        .avg("bytes", "avg_bytes")
+        .min("bytes", "smallest")
+        .distinct("client", "unique_clients")
+        .build(num_reducers=60)
+    )
+
+Each measure is a commutative monoid (count/sum: +, min/max: lattice
+meet/join, distinct: set union, avg: componentwise (sum, count)), so
+per-pane partial outputs merge exactly and the window answer equals a
+from-scratch computation. Window outputs are ``(key, row_dict)`` pairs
+with one entry per declared measure (``avg`` is finalised to the
+quotient at the very end).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..hadoop.job import MapReduceJob
+from ..hadoop.types import KeyValue, Record
+from .panes import WindowSpec
+from .query import RecurringQuery
+
+__all__ = ["RecurringQueryBuilder"]
+
+
+@dataclass(frozen=True)
+class _Measure:
+    """One aggregate column: how to seed, fold, merge, and present it."""
+
+    name: str
+    #: record payload -> the measure's seed contribution.
+    seed: Callable[[dict], Any]
+    #: fold two partial states into one (commutative, associative).
+    merge: Callable[[Any, Any], Any]
+    #: partial state -> presented value (identity for most measures).
+    present: Callable[[Any], Any]
+
+
+def _fold(measure: _Measure, states: Iterable[Any]) -> Any:
+    it = iter(states)
+    acc = next(it)
+    for state in it:
+        acc = measure.merge(acc, state)
+    return acc
+
+
+class RecurringQueryBuilder:
+    """Fluent construction of algebraic grouped-aggregation queries."""
+
+    def __init__(
+        self, name: str, *, source: str, win: float, slide: float
+    ) -> None:
+        self._name = name
+        self._source = source
+        self._spec = WindowSpec(win=win, slide=slide)
+        self._key_field: Optional[str] = None
+        self._measures: List[_Measure] = []
+        self._filter: Optional[Callable[[dict], bool]] = None
+
+    # ------------------------------------------------------------------
+    # shape
+    # ------------------------------------------------------------------
+
+    def key(self, field: str) -> "RecurringQueryBuilder":
+        """Group records by this payload field."""
+        if self._key_field is not None:
+            raise ValueError("the grouping key is already set")
+        self._key_field = field
+        return self
+
+    def where(
+        self, predicate: Callable[[dict], bool]
+    ) -> "RecurringQueryBuilder":
+        """Keep only records whose payload satisfies ``predicate``."""
+        if self._filter is not None:
+            raise ValueError("a filter is already set")
+        self._filter = predicate
+        return self
+
+    # ------------------------------------------------------------------
+    # measures
+    # ------------------------------------------------------------------
+
+    def _add(self, measure: _Measure) -> "RecurringQueryBuilder":
+        if any(m.name == measure.name for m in self._measures):
+            raise ValueError(f"duplicate measure name {measure.name!r}")
+        self._measures.append(measure)
+        return self
+
+    def count(self, name: str = "count") -> "RecurringQueryBuilder":
+        """Number of records per key."""
+        return self._add(
+            _Measure(name, lambda _v: 1, lambda a, b: a + b, lambda s: s)
+        )
+
+    def sum(self, field: str, name: Optional[str] = None) -> "RecurringQueryBuilder":
+        """Sum of a numeric payload field."""
+        return self._add(
+            _Measure(
+                name or f"sum_{field}",
+                lambda v: v[field],
+                lambda a, b: a + b,
+                lambda s: s,
+            )
+        )
+
+    def min(self, field: str, name: Optional[str] = None) -> "RecurringQueryBuilder":
+        """Minimum of a payload field."""
+        return self._add(
+            _Measure(
+                name or f"min_{field}",
+                lambda v: v[field],
+                lambda a, b: a if a <= b else b,
+                lambda s: s,
+            )
+        )
+
+    def max(self, field: str, name: Optional[str] = None) -> "RecurringQueryBuilder":
+        """Maximum of a payload field."""
+        return self._add(
+            _Measure(
+                name or f"max_{field}",
+                lambda v: v[field],
+                lambda a, b: a if a >= b else b,
+                lambda s: s,
+            )
+        )
+
+    def avg(self, field: str, name: Optional[str] = None) -> "RecurringQueryBuilder":
+        """Arithmetic mean of a payload field.
+
+        Internally carried as a ``(sum, count)`` pair — the standard
+        trick that makes the mean mergeable — and presented as the
+        quotient only in the final output.
+        """
+        return self._add(
+            _Measure(
+                name or f"avg_{field}",
+                lambda v: (v[field], 1),
+                lambda a, b: (a[0] + b[0], a[1] + b[1]),
+                lambda s: s[0] / s[1],
+            )
+        )
+
+    def distinct(
+        self, field: str, name: Optional[str] = None
+    ) -> "RecurringQueryBuilder":
+        """Count of distinct values of a payload field."""
+        return self._add(
+            _Measure(
+                name or f"distinct_{field}",
+                lambda v: frozenset((v[field],)),
+                lambda a, b: a | b,
+                lambda s: len(s),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # build
+    # ------------------------------------------------------------------
+
+    def build(
+        self,
+        *,
+        num_reducers: int = 60,
+        intermediate_pair_size: int = 64,
+        output_pair_size: int = 96,
+    ) -> RecurringQuery:
+        """Materialise the consistent (mapper, reducer, finalizer) triple."""
+        if self._key_field is None:
+            raise ValueError("call .key(<field>) before building")
+        if not self._measures:
+            raise ValueError("declare at least one measure before building")
+        key_field = self._key_field
+        measures = tuple(self._measures)
+        predicate = self._filter
+
+        def mapper(record: Record) -> Iterable[KeyValue]:
+            value = record.value
+            if predicate is not None and not predicate(value):
+                return
+            yield value[key_field], tuple(m.seed(value) for m in measures)
+
+        def reducer(key: Any, states: List[Tuple]) -> Iterable[KeyValue]:
+            yield key, tuple(
+                _fold(m, (s[i] for s in states))
+                for i, m in enumerate(measures)
+            )
+
+        def finalize(key: Any, partials: List[Tuple]) -> Iterable[KeyValue]:
+            folded = tuple(
+                _fold(m, (p[i] for p in partials))
+                for i, m in enumerate(measures)
+            )
+            yield key, {
+                m.name: m.present(folded[i]) for i, m in enumerate(measures)
+            }
+
+        job = MapReduceJob(
+            name=self._name,
+            mapper=mapper,
+            reducer=reducer,
+            combiner=reducer,  # the fold is closed over partial states
+            num_reducers=num_reducers,
+            intermediate_pair_size=intermediate_pair_size,
+            output_pair_size=output_pair_size,
+        )
+        return RecurringQuery(
+            name=self._name,
+            job=job,
+            windows={self._source: self._spec},
+            finalize=finalize,
+        )

@@ -1,0 +1,295 @@
+"""The master-side Window-Aware Cache Controller (paper Sec. 4.2).
+
+Housed on the master node, the controller consolidates the local cache
+registries of every task node into compact *cache signatures* —
+``(pid, nid, type, ready, doneQueryMask)`` rows (Table 2) — and keeps
+one :class:`~repro.core.status_matrix.CacheStatusMatrix` per registered
+query. It drives three things:
+
+* **readiness** — a pane progresses ``NOT_AVAILABLE -> HDFS_AVAILABLE
+  -> CACHE_AVAILABLE``; the first transition makes its map task
+  schedulable, the second makes cache-reusing reduce tasks schedulable
+  (Sec. 4.3);
+* **expiration** — when a query finishes with a pane (status-matrix
+  expiration), the query's bit in the pane's ``doneQueryMask`` flips;
+  once every bit is set, purge notifications go out to the nodes
+  hosting the cache;
+* **failure rollback** — lost caches revert the pane's ready bit to
+  ``HDFS_AVAILABLE`` so the scheduler re-creates them (Sec. 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from .panes import WindowSpec, pane_name, parse_pane_name
+from .status_matrix import CacheStatusMatrix
+
+__all__ = [
+    "NOT_AVAILABLE",
+    "HDFS_AVAILABLE",
+    "CACHE_AVAILABLE",
+    "CacheSignature",
+    "PurgeNotification",
+    "WindowAwareCacheController",
+]
+
+#: Ready-bit domain (Table 2).
+NOT_AVAILABLE = 0
+HDFS_AVAILABLE = 1
+CACHE_AVAILABLE = 2
+
+
+@dataclass(slots=True)
+class CacheSignature:
+    """One consolidated cache row: pid, type, placements, done mask."""
+
+    pid: str
+    cache_type: int
+    #: partition -> node id hosting that partition's cache data.
+    placements: Dict[int, int] = field(default_factory=dict)
+    #: query name -> True once the query no longer needs this cache.
+    done_query_mask: Dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def nodes(self) -> Set[int]:
+        return set(self.placements.values())
+
+    def all_done(self) -> bool:
+        """True when every registered query has finished with this cache."""
+        return bool(self.done_query_mask) and all(self.done_query_mask.values())
+
+
+@dataclass(frozen=True, slots=True)
+class PurgeNotification:
+    """Sent from the master to task nodes: purge this pid's caches."""
+
+    pid: str
+    node_ids: Tuple[int, ...]
+
+
+@dataclass(slots=True)
+class _QueryInfo:
+    name: str
+    specs: Dict[str, WindowSpec]
+    matrix: CacheStatusMatrix
+
+
+class WindowAwareCacheController:
+    """Global cache metadata and per-query status matrices."""
+
+    def __init__(self) -> None:
+        self._queries: Dict[str, _QueryInfo] = {}
+        self._signatures: Dict[Tuple[str, int], CacheSignature] = {}
+        self._pane_ready: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # query registration
+    # ------------------------------------------------------------------
+
+    def register_query(
+        self, name: str, specs: Mapping[str, WindowSpec]
+    ) -> CacheStatusMatrix:
+        """Register a recurring query and initialise its status matrix.
+
+        Existing signatures gain a mask bit for the new query: set for
+        caches of sources the query does not read (the paper sets bits
+        of unused caches to 1 at initialisation time).
+        """
+        if name in self._queries:
+            raise ValueError(f"query {name!r} is already registered")
+        info = _QueryInfo(
+            name=name, specs=dict(specs), matrix=CacheStatusMatrix(specs)
+        )
+        self._queries[name] = info
+        for signature in self._signatures.values():
+            signature.done_query_mask[name] = not self._query_uses_pid(
+                info, signature.pid
+            )
+        return info.matrix
+
+    def unregister_query(self, name: str) -> List[PurgeNotification]:
+        """Remove a query; caches it alone kept alive become purgeable."""
+        if name not in self._queries:
+            raise ValueError(f"query {name!r} is not registered")
+        del self._queries[name]
+        notifications: List[PurgeNotification] = []
+        for signature in self._signatures.values():
+            signature.done_query_mask.pop(name, None)
+            if signature.all_done():
+                notifications.append(
+                    PurgeNotification(signature.pid, tuple(sorted(signature.nodes)))
+                )
+        return self._dedupe(notifications)
+
+    def queries(self) -> List[str]:
+        return sorted(self._queries)
+
+    def matrix(self, query: str) -> CacheStatusMatrix:
+        return self._info(query).matrix
+
+    # ------------------------------------------------------------------
+    # pane readiness
+    # ------------------------------------------------------------------
+
+    def pane_ready(self, pid: str) -> int:
+        """The pane's ready bit (0, 1, or 2)."""
+        return self._pane_ready.get(pid, NOT_AVAILABLE)
+
+    def pane_arrived(self, pid: str) -> None:
+        """A pane file landed in HDFS: ready becomes HDFS_AVAILABLE."""
+        if self._pane_ready.get(pid, NOT_AVAILABLE) < HDFS_AVAILABLE:
+            self._pane_ready[pid] = HDFS_AVAILABLE
+
+    def cache_created(
+        self, pid: str, cache_type: int, partition: int, node_id: int
+    ) -> CacheSignature:
+        """A task node reported a new cache via its heartbeat sync."""
+        key = (pid, cache_type)
+        signature = self._signatures.get(key)
+        if signature is None:
+            signature = CacheSignature(pid=pid, cache_type=cache_type)
+            for name, info in self._queries.items():
+                signature.done_query_mask[name] = not self._query_uses_pid(
+                    info, pid
+                )
+            self._signatures[key] = signature
+        signature.placements[partition] = node_id
+        self._pane_ready[pid] = CACHE_AVAILABLE
+        return signature
+
+    def signature(self, pid: str, cache_type: int) -> Optional[CacheSignature]:
+        return self._signatures.get((pid, cache_type))
+
+    def signatures(self) -> List[CacheSignature]:
+        return [self._signatures[k] for k in sorted(self._signatures)]
+
+    def placement(
+        self, pid: str, cache_type: int, partition: int
+    ) -> Optional[int]:
+        """Node hosting one partition's cache, or None if absent."""
+        signature = self._signatures.get((pid, cache_type))
+        if signature is None:
+            return None
+        return signature.placements.get(partition)
+
+    # ------------------------------------------------------------------
+    # reduce-completion bookkeeping and expiration
+    # ------------------------------------------------------------------
+
+    def record_reduce_done(self, query: str, panes: Mapping[str, int]) -> None:
+        """A reduce task over this pane combination completed (Fig. 4(b))."""
+        self._info(query).matrix.mark_done(panes)
+
+    def advance_window(
+        self, query: str, recurrence: int
+    ) -> List[PurgeNotification]:
+        """Shift the query's matrix and emit any purge notifications.
+
+        Called once per recurrence (the paper's default ``PurgeCycle``
+        is the slide). Panes expired for this query flip their mask
+        bit; caches whose every bit is set are announced for purging.
+        """
+        info = self._info(query)
+        purged = info.matrix.shift(recurrence)
+        notifications: List[PurgeNotification] = []
+        for source, indices in purged.items():
+            for index in indices:
+                pid = pane_name(source, index)
+                notifications.extend(self._mark_query_done(query, pid))
+        # Combination caches (join reduce outputs) expire with their panes.
+        expired_pids = {
+            pane_name(src, idx)
+            for src, indices in purged.items()
+            for idx in indices
+        }
+        for (pid, _type), signature in list(self._signatures.items()):
+            if "x" in pid and any(part in expired_pids for part in pid.split("x")):
+                notifications.extend(self._mark_query_done(query, pid))
+        return self._dedupe(notifications)
+
+    def _mark_query_done(self, query: str, pid: str) -> List[PurgeNotification]:
+        notifications: List[PurgeNotification] = []
+        for (sig_pid, _type), signature in self._signatures.items():
+            if sig_pid != pid:
+                continue
+            signature.done_query_mask[query] = True
+            if signature.all_done():
+                notifications.append(
+                    PurgeNotification(pid, tuple(sorted(signature.nodes)))
+                )
+        return notifications
+
+    # ------------------------------------------------------------------
+    # failure rollback (Sec. 5 "Failure Recovery", item 3)
+    # ------------------------------------------------------------------
+
+    def cache_lost(
+        self, pid: str, cache_type: int, partition: int
+    ) -> None:
+        """Roll back metadata for one lost cache partition.
+
+        The pane's ready bit reverts to HDFS_AVAILABLE so the scheduler
+        re-creates the cache by re-running the producing task.
+        """
+        signature = self._signatures.get((pid, cache_type))
+        if signature is not None:
+            signature.placements.pop(partition, None)
+            if not signature.placements:
+                del self._signatures[(pid, cache_type)]
+        if self.pane_ready(pid) == CACHE_AVAILABLE and not self._has_any_cache(pid):
+            self._pane_ready[pid] = HDFS_AVAILABLE
+
+    def node_lost(self, node_id: int) -> List[Tuple[str, int, int]]:
+        """Roll back every cache hosted on a failed node.
+
+        Returns the ``(pid, cache_type, partition)`` triples lost, so
+        the runtime can schedule their re-construction.
+        """
+        lost: List[Tuple[str, int, int]] = []
+        for (pid, cache_type), signature in list(self._signatures.items()):
+            for partition, nid in list(signature.placements.items()):
+                if nid == node_id:
+                    lost.append((pid, cache_type, partition))
+        for pid, cache_type, partition in lost:
+            self.cache_lost(pid, cache_type, partition)
+        return lost
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def _has_any_cache(self, pid: str) -> bool:
+        return any(sig_pid == pid for (sig_pid, _t) in self._signatures)
+
+    def _info(self, query: str) -> _QueryInfo:
+        try:
+            return self._queries[query]
+        except KeyError:
+            raise ValueError(f"query {query!r} is not registered") from None
+
+    @staticmethod
+    def _query_uses_pid(info: _QueryInfo, pid: str) -> bool:
+        """Does the query read the source(s) this cache belongs to?"""
+        parts = pid.split("x") if "x" in pid else [pid]
+        for part in parts:
+            try:
+                pane = parse_pane_name(part)
+            except ValueError:
+                return False
+            if pane.source not in info.specs:
+                return False
+        return True
+
+    @staticmethod
+    def _dedupe(
+        notifications: List[PurgeNotification],
+    ) -> List[PurgeNotification]:
+        seen: Set[str] = set()
+        unique: List[PurgeNotification] = []
+        for n in notifications:
+            if n.pid not in seen:
+                seen.add(n.pid)
+                unique.append(n)
+        return unique

@@ -1,0 +1,234 @@
+"""The per-node Local Cache Registry (paper Sec. 4.1, Table 1).
+
+Each task node runs a Local Cache Manager that tracks the caches on the
+node's local file system in a registry of ``(pid, type, expiration)``
+entries. Two cache types exist (Sec. 4):
+
+* ``REDUCE_INPUT`` (type 1) — a pane's shuffled-and-sorted reduce input
+  for one partition, reusable by later windows without re-mapping or
+  re-shuffling;
+* ``REDUCE_OUTPUT`` (type 2) — a pane's (or pane combination's)
+  reduce output, reusable by the finalize step of later windows.
+
+Expired entries are removed by one of two purge policies (Sec. 4.1):
+*periodic* purging sweeps the registry every ``PurgeCycle`` seconds;
+*on-demand* purging fires immediately when the local file system is
+about to run out of space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..hadoop.node import TaskNode
+
+__all__ = [
+    "REDUCE_INPUT",
+    "REDUCE_OUTPUT",
+    "CacheEntry",
+    "LocalCacheRegistry",
+]
+
+#: Cache type codes, matching the paper's Table 1 domain.
+REDUCE_INPUT = 1
+REDUCE_OUTPUT = 2
+
+_VALID_TYPES = (REDUCE_INPUT, REDUCE_OUTPUT)
+
+
+@dataclass(slots=True)
+class CacheEntry:
+    """One row of the local cache registry: pid, type, expiration flag."""
+
+    pid: str
+    cache_type: int
+    partition: int
+    size: int
+    expiration: bool = False
+
+    @property
+    def local_name(self) -> str:
+        """The entry's file name on the node's local file system."""
+        return cache_file_name(self.pid, self.cache_type, self.partition)
+
+
+def cache_file_name(pid: str, cache_type: int, partition: int) -> str:
+    """Local-FS naming convention for cache files (Sec. 5 "Caching")."""
+    kind = "rin" if cache_type == REDUCE_INPUT else "rout"
+    return f"cache/{kind}/{pid}/part-{partition:05d}"
+
+
+class LocalCacheRegistry:
+    """Cache manager for one task node.
+
+    Parameters
+    ----------
+    node:
+        The node whose local file system holds the cached data.
+    purge_cycle:
+        Seconds between periodic purge sweeps (paper's ``PurgeCycle``).
+    capacity_bytes:
+        Local-FS budget; exceeding it triggers on-demand purging.
+        ``None`` means unbounded (the default for experiments).
+    """
+
+    def __init__(
+        self,
+        node: TaskNode,
+        *,
+        purge_cycle: float = 3600.0,
+        capacity_bytes: Optional[int] = None,
+    ) -> None:
+        if purge_cycle <= 0:
+            raise ValueError("purge_cycle must be positive")
+        if capacity_bytes is not None and capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive when set")
+        self.node = node
+        self.purge_cycle = purge_cycle
+        self.capacity_bytes = capacity_bytes
+        self._entries: Dict[Tuple[str, int, int], CacheEntry] = {}
+        self._last_periodic_purge = 0.0
+
+    # ------------------------------------------------------------------
+    # adding entries (Sec. 4.1 "Adding New Entry")
+    # ------------------------------------------------------------------
+
+    def add_entry(
+        self,
+        pid: str,
+        cache_type: int,
+        partition: int,
+        size: int,
+        payload: Any,
+        *,
+        now: float = 0.0,
+    ) -> CacheEntry:
+        """Register a new cache and store its data on the local FS.
+
+        New entries start unexpired; existing entries are untouched
+        (the paper: "records for existing caches do not need to be
+        changed"). Re-adding an existing key overwrites its data — this
+        happens during cache re-construction after failures.
+        """
+        if cache_type not in _VALID_TYPES:
+            raise ValueError(f"unknown cache type {cache_type!r}")
+        if partition < 0:
+            raise ValueError("partition indices are non-negative")
+        entry = CacheEntry(
+            pid=pid, cache_type=cache_type, partition=partition, size=size
+        )
+        self.node.store_local(entry.local_name, size, payload, created_at=now)
+        self._entries[(pid, cache_type, partition)] = entry
+        return entry
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+
+    def has(self, pid: str, cache_type: int, partition: int) -> bool:
+        key = (pid, cache_type, partition)
+        entry = self._entries.get(key)
+        if entry is None or entry.expiration:
+            return False
+        return self.node.has_local(entry.local_name)
+
+    def read(self, pid: str, cache_type: int, partition: int) -> Tuple[Any, int]:
+        """Return ``(payload, size)`` of a live cache entry.
+
+        Raises
+        ------
+        KeyError
+            If the entry does not exist or has expired.
+        """
+        if not self.has(pid, cache_type, partition):
+            raise KeyError(
+                f"no live cache for pid={pid!r} type={cache_type} "
+                f"partition={partition} on node {self.node.node_id}"
+            )
+        entry = self._entries[(pid, cache_type, partition)]
+        lf = self.node.read_local(entry.local_name)
+        return lf.payload, lf.size
+
+    def entries(self) -> List[CacheEntry]:
+        """Snapshot of all registry rows (live and expired)."""
+        return [self._entries[k] for k in sorted(self._entries)]
+
+    def live_entries(self) -> List[CacheEntry]:
+        return [e for e in self.entries() if not e.expiration]
+
+    @property
+    def cached_bytes(self) -> int:
+        """Bytes attributable to registered cache entries."""
+        return sum(
+            e.size
+            for e in self._entries.values()
+            if self.node.has_local(e.local_name)
+        )
+
+    # ------------------------------------------------------------------
+    # expiration (Sec. 4.1 "Updating Existing Entry")
+    # ------------------------------------------------------------------
+
+    def mark_expired(self, pids: Iterable[str]) -> int:
+        """Process a purge notification from the cache controller.
+
+        Flips the expiration flag of every entry whose pid is in
+        ``pids``; the data stays on disk until the next purge sweep.
+        Returns the number of entries flagged.
+        """
+        wanted = set(pids)
+        count = 0
+        for entry in self._entries.values():
+            if entry.pid in wanted and not entry.expiration:
+                entry.expiration = True
+                count += 1
+        return count
+
+    def drop_lost(self, pid: str, cache_type: int, partition: int) -> None:
+        """Forget an entry whose backing file was destroyed (cache failure)."""
+        self._entries.pop((pid, cache_type, partition), None)
+
+    def forget_all(self) -> None:
+        """Forget every entry (node failure: the local FS is gone)."""
+        self._entries.clear()
+
+    # ------------------------------------------------------------------
+    # purging (Sec. 4.1 "periodic and on-demand purging")
+    # ------------------------------------------------------------------
+
+    def periodic_purge(self, now: float) -> List[CacheEntry]:
+        """Sweep expired entries if a full purge cycle has elapsed."""
+        if now - self._last_periodic_purge < self.purge_cycle:
+            return []
+        self._last_periodic_purge = now
+        return self._purge_expired()
+
+    def on_demand_purge(self) -> List[CacheEntry]:
+        """Emergency sweep when local space runs short.
+
+        Purges all expired entries immediately, regardless of the
+        periodic schedule.
+        """
+        return self._purge_expired()
+
+    def maybe_purge(self, now: float) -> List[CacheEntry]:
+        """Apply the appropriate policy: on-demand if over budget, else periodic."""
+        if (
+            self.capacity_bytes is not None
+            and self.node.local_bytes > self.capacity_bytes
+        ):
+            return self.on_demand_purge()
+        return self.periodic_purge(now)
+
+    def _purge_expired(self) -> List[CacheEntry]:
+        purged: List[CacheEntry] = []
+        for key in sorted(self._entries):
+            entry = self._entries[key]
+            if not entry.expiration:
+                continue
+            if self.node.has_local(entry.local_name):
+                self.node.delete_local(entry.local_name)
+            purged.append(entry)
+            del self._entries[key]
+        return purged

@@ -1,0 +1,206 @@
+"""The Execution Profiler: runtime statistics and overload forecasting.
+
+After each query recurrence the profiler records the execution time and
+input volume, maintains a double-exponentially-smoothed estimate of the
+execution time (Holt's linear method — the paper's Eqs. 1–3):
+
+    L_i = a * X_i + (1 - a) * (L_{i-1} + T_{i-1})          (1)
+    T_i = b * (L_i - L_{i-1}) + (1 - b) * T_{i-1}          (2)
+    X̂_{i+k} = L_i + k * T_i                                (3)
+
+and reports a *scale factor* — forecast execution time over the slide
+period — that the Semantic Analyzer uses to split panes into sub-panes
+and the runtime uses to switch into proactive mode (Sec. 3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+__all__ = ["Observation", "ExecutionProfiler"]
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One recurrence's statistics as collected by the profiler."""
+
+    recurrence: int
+    execution_time: float
+    input_bytes: float
+
+
+class ExecutionProfiler:
+    """Holt double-exponential smoothing over recurrence execution times.
+
+    Parameters
+    ----------
+    alpha:
+        Level smoothing parameter ``a`` in Eq. 1 (0 < a <= 1).
+    beta:
+        Trend smoothing parameter ``b`` in Eq. 2 (0 <= b <= 1).
+
+    The defaults weight recent recurrences heavily, which suits the
+    spiky workloads of the Fig. 8 experiment; the paper notes the
+    parameters can be fit to historical data (Holt-Winters, [12]).
+    """
+
+    def __init__(self, alpha: float = 0.5, beta: float = 0.3) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if not 0.0 <= beta <= 1.0:
+            raise ValueError("beta must be in [0, 1]")
+        self.alpha = alpha
+        self.beta = beta
+        self._level: Optional[float] = None
+        self._trend: float = 0.0
+        self._observations: List[Observation] = []
+
+    # ------------------------------------------------------------------
+    # statistics intake
+    # ------------------------------------------------------------------
+
+    def observe(self, execution_time: float, input_bytes: float = 0.0) -> None:
+        """Record one finished recurrence and update level and trend."""
+        if execution_time < 0:
+            raise ValueError("execution times are non-negative")
+        self._observations.append(
+            Observation(
+                recurrence=len(self._observations) + 1,
+                execution_time=execution_time,
+                input_bytes=input_bytes,
+            )
+        )
+        if self._level is None:
+            self._level = execution_time
+            self._trend = 0.0
+            return
+        prev_level = self._level
+        self._level = self.alpha * execution_time + (1 - self.alpha) * (
+            prev_level + self._trend
+        )
+        self._trend = (
+            self.beta * (self._level - prev_level) + (1 - self.beta) * self._trend
+        )
+
+    @property
+    def num_observations(self) -> int:
+        return len(self._observations)
+
+    @property
+    def observations(self) -> Tuple[Observation, ...]:
+        return tuple(self._observations)
+
+    @property
+    def level(self) -> Optional[float]:
+        """Current smoothed level ``L_i`` (None before any observation)."""
+        return self._level
+
+    @property
+    def trend(self) -> float:
+        """Current smoothed trend ``T_i``."""
+        return self._trend
+
+    # ------------------------------------------------------------------
+    # forecasting (Eq. 3)
+    # ------------------------------------------------------------------
+
+    def forecast(self, k: int = 1) -> Optional[float]:
+        """Forecast the execution time ``k`` recurrences ahead.
+
+        Returns ``None`` until at least one observation exists; the
+        forecast is floored at zero (a negative trend cannot predict
+        negative execution time).
+        """
+        if self._level is None:
+            return None
+        if k < 1:
+            raise ValueError("forecasts look at least one recurrence ahead")
+        return max(0.0, self._level + k * self._trend)
+
+    def scale_factor(self, slide: float, k: int = 1) -> float:
+        """Forecast execution time relative to the slide period.
+
+        A factor above 1 means the next execution is expected to
+        overrun its slot — the trigger for adaptive re-partitioning and
+        proactive processing (Sec. 3.3). Returns 1.0 when no forecast
+        is available yet.
+        """
+        if slide <= 0:
+            raise ValueError("slide must be positive")
+        fc = self.forecast(k)
+        if fc is None:
+            return 1.0
+        return fc / slide
+
+    def overload_predicted(self, slide: float, *, margin: float = 1.0) -> bool:
+        """True when the forecast exceeds ``margin`` times the slide."""
+        return self.scale_factor(slide) > margin
+
+    def change_factor(self) -> float:
+        """Forecast execution time over the most recent observation.
+
+        This is the paper's *scale factor* (Sec. 3.3): "the ratio
+        between the expected execution time and the previous one". A
+        value well above 1 signals a building load spike. Returns 1.0
+        until two observations exist.
+        """
+        if len(self._observations) < 2:
+            return 1.0
+        last = self._observations[-1].execution_time
+        fc = self.forecast(1)
+        if last <= 0 or fc is None:
+            return 1.0
+        return fc / last
+
+    def volatility(self, k: int = 3) -> float:
+        """Max/min ratio of the last ``k`` execution times.
+
+        A cheap fluctuation detector: ~1.0 for steady workloads, large
+        when recent windows alternate between normal and spiked loads.
+        Returns 1.0 until two observations exist.
+        """
+        if k < 2:
+            raise ValueError("volatility needs at least two observations")
+        recent = [o.execution_time for o in self._observations[-k:]]
+        if len(recent) < 2:
+            return 1.0
+        low = min(recent)
+        if low <= 0:
+            return float("inf") if max(recent) > 0 else 1.0
+        return max(recent) / low
+
+    def input_volatility(self, k: int = 3) -> float:
+        """Max/min ratio of the last ``k`` observations' input volumes.
+
+        Data volume drives execution time (the paper cites SOPA for
+        I/O dominance), and unlike the execution time itself it is not
+        affected by which processing mode produced the observation —
+        so it makes a stable fluctuation signal. Observations without
+        volume information are skipped; returns 1.0 with fewer than two
+        usable points.
+        """
+        if k < 2:
+            raise ValueError("volatility needs at least two observations")
+        recent = [
+            o.input_bytes for o in self._observations[-k:] if o.input_bytes > 0
+        ]
+        if len(recent) < 2:
+            return 1.0
+        return max(recent) / min(recent)
+
+    def fluctuation_detected(
+        self, *, change_threshold: float = 1.2, volatility_threshold: float = 1.3
+    ) -> bool:
+        """The adaptive-mode trigger (Sec. 3.3).
+
+        Fires when the forecast predicts a significant execution-time
+        increase, or when recent executions (or their input volumes)
+        have been fluctuating — the paper's cue to re-partition into
+        sub-panes and switch to proactive best-effort processing.
+        """
+        return (
+            self.change_factor() > change_threshold
+            or self.volatility() > volatility_threshold
+            or self.input_volatility() > volatility_threshold
+        )

@@ -1,0 +1,132 @@
+"""The recurring query model and client API (paper Secs. 2.1 and 5).
+
+A :class:`RecurringQuery` is a plain MapReduce job plus:
+
+* **window constraints** — a :class:`~repro.core.panes.WindowSpec`
+  (``win``, ``slide``) per input source; all sources share the slide,
+  so the query's recurrences fire in lockstep;
+* **a finalization function** — merges the *partial* reduce outputs
+  Redoop caches per pane (or pane combination) into the window's final
+  answer. For the composition to be correct the user's reducer and
+  finalizer must satisfy the algebraic-aggregation property::
+
+      reducer(k, all window values)
+          == finalize(k, [reducer output per pane/pane-pair])
+
+  Sums, counts, min/max, and joins (with the default concatenating
+  finalizer) all satisfy it;
+* **input/output path functions** — the paper's ``GetInputPaths`` /
+  ``GetOutputPaths`` hooks; sensible defaults are provided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..hadoop.job import MapReduceJob
+from ..hadoop.types import KeyValue
+from .panes import WindowSpec
+
+__all__ = ["RecurringQuery", "concat_finalizer", "merging_finalizer"]
+
+FinalizeFn = Callable[[Any, list], Iterable[KeyValue]]
+PathFn = Callable[[int], str]
+
+
+def concat_finalizer(key: Any, partials: list) -> Iterable[KeyValue]:
+    """The default finalizer: emit every partial value unchanged.
+
+    Correct whenever the reducer's output pairs are independent across
+    panes — joins and other per-tuple transformations.
+    """
+    for value in partials:
+        yield key, value
+
+
+def merging_finalizer(merge: Callable[[list], Any]) -> FinalizeFn:
+    """Build a finalizer that folds pane partials with ``merge``.
+
+    Example: ``merging_finalizer(sum)`` turns per-pane counts into a
+    window count.
+    """
+
+    def finalize(key: Any, partials: list) -> Iterable[KeyValue]:
+        yield key, merge(partials)
+
+    return finalize
+
+
+@dataclass(frozen=True)
+class RecurringQuery:
+    """A window-constrained recurring MapReduce query."""
+
+    name: str
+    job: MapReduceJob
+    #: source name -> window constraints; one entry per input source.
+    windows: Mapping[str, WindowSpec]
+    finalize: FinalizeFn = concat_finalizer
+    #: recurrence -> HDFS output path (the paper's GetOutputPaths).
+    output_path_fn: Optional[PathFn] = None
+
+    def __post_init__(self) -> None:
+        if not self.windows:
+            raise ValueError("a recurring query needs at least one source")
+        slides = {round(spec.slide * 1000) for spec in self.windows.values()}
+        if len(slides) > 1:
+            raise ValueError(
+                "all sources of a recurring query must share the same slide"
+            )
+
+    # ------------------------------------------------------------------
+    # derived structure
+    # ------------------------------------------------------------------
+
+    @property
+    def sources(self) -> Tuple[str, ...]:
+        """Input sources in deterministic (sorted) order."""
+        return tuple(sorted(self.windows))
+
+    @property
+    def num_sources(self) -> int:
+        return len(self.windows)
+
+    @property
+    def slide(self) -> float:
+        """The shared slide period of all sources."""
+        return next(iter(self.windows.values())).slide
+
+    def spec(self, source: str) -> WindowSpec:
+        try:
+            return self.windows[source]
+        except KeyError:
+            raise KeyError(
+                f"query {self.name!r} does not read source {source!r}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # schedule
+    # ------------------------------------------------------------------
+
+    def execution_time(self, recurrence: int) -> float:
+        """When recurrence ``recurrence`` may fire: all windows complete."""
+        return max(
+            spec.execution_time(recurrence) for spec in self.windows.values()
+        )
+
+    def window_bounds(self, recurrence: int) -> Dict[str, Tuple[float, float]]:
+        """Per-source data ranges of the recurrence."""
+        return {
+            src: self.windows[src].window_bounds(recurrence)
+            for src in self.sources
+        }
+
+    # ------------------------------------------------------------------
+    # paths (paper Sec. 5 GetInputPaths/GetOutputPaths)
+    # ------------------------------------------------------------------
+
+    def output_path(self, recurrence: int) -> str:
+        """HDFS path for the recurrence's final output."""
+        if self.output_path_fn is not None:
+            return self.output_path_fn(recurrence)
+        return f"/out/{self.name}/w{recurrence:04d}"

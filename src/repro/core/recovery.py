@@ -1,0 +1,171 @@
+"""Failure recovery for Redoop caches and nodes (paper Sec. 5).
+
+Redoop keeps Hadoop's fault-tolerance guarantees while adding one new
+failure domain: the caches, which live on task nodes' *local* file
+systems and are therefore not protected by HDFS replication. Recovery
+is metadata rollback plus re-execution:
+
+* a **lost cache** rolls the pane's ready bit back to HDFS-available,
+  removes any scheduled reduce tasks that relied on it, and lets the
+  next recurrence rebuild it by re-running the producing tasks —
+  "without incurring any additional costs" beyond that re-execution;
+* a **lost node** additionally loses its slots and HDFS replicas; HDFS
+  re-replicates blocks immediately, and every cache the node hosted is
+  rolled back as above.
+
+:class:`RecoveryManager` drives both paths against a
+:class:`~repro.core.runtime.RedoopRuntime`, and doubles as the
+injection point for the paper's Fig. 9 experiment (cache removals at
+the start of each window).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..hadoop.faults import FaultInjector
+from .cache_registry import REDUCE_INPUT, REDUCE_OUTPUT, cache_file_name
+from .runtime import RedoopRuntime
+
+__all__ = ["LostCache", "RecoveryManager"]
+
+
+@dataclass(frozen=True, slots=True)
+class LostCache:
+    """Identifies one destroyed cache partition."""
+
+    node_id: int
+    pid: str
+    cache_type: int
+    partition: int
+
+    @property
+    def key(self) -> str:
+        return f"{self.node_id}:{self.pid}:{self.cache_type}:{self.partition}"
+
+
+class RecoveryManager:
+    """Cache/node failure handling and injection for a Redoop runtime."""
+
+    def __init__(self, runtime: RedoopRuntime) -> None:
+        self.runtime = runtime
+
+    # ------------------------------------------------------------------
+    # inventory
+    # ------------------------------------------------------------------
+
+    def live_caches(self) -> List[LostCache]:
+        """Every live cache partition across the cluster."""
+        found: List[LostCache] = []
+        for node_id, registry in sorted(self.runtime.registries().items()):
+            if not registry.node.alive:
+                continue
+            for entry in registry.live_entries():
+                if registry.node.has_local(entry.local_name):
+                    found.append(
+                        LostCache(
+                            node_id=node_id,
+                            pid=entry.pid,
+                            cache_type=entry.cache_type,
+                            partition=entry.partition,
+                        )
+                    )
+        return found
+
+    # ------------------------------------------------------------------
+    # cache failures
+    # ------------------------------------------------------------------
+
+    def destroy_cache(self, victim: LostCache) -> None:
+        """Destroy one cache partition and roll back its metadata.
+
+        Implements Sec. 5's rollback: the data is deleted, the local
+        registry forgets the entry, the controller reverts the pane's
+        ready bit (if no copies remain), and any scheduled reduce task
+        that depended on the cache leaves the reduce task list.
+        """
+        runtime = self.runtime
+        registries = runtime.registries()
+        registry = registries.get(victim.node_id)
+        if registry is None:
+            raise ValueError(f"node {victim.node_id} holds no caches")
+        name = cache_file_name(victim.pid, victim.cache_type, victim.partition)
+        if registry.node.has_local(name):
+            registry.node.delete_local(name)
+        registry.drop_lost(victim.pid, victim.cache_type, victim.partition)
+        runtime.controller.cache_lost(
+            victim.pid, victim.cache_type, victim.partition
+        )
+        runtime.scheduler.drop_reduce_tasks_using(victim.pid)
+        runtime.counters.increment("faults.caches_destroyed")
+
+    def inject_pane_cache_failures(
+        self, injector: FaultInjector
+    ) -> List[LostCache]:
+        """Destroy all caches of a random fraction of *panes* (Fig. 9).
+
+        The paper's fault-tolerance experiment removes cached
+        intermediate data at pane granularity: a victim pane loses its
+        reduce-input and reduce-output caches on every partition, and
+        the next recurrence reconstructs them by re-mapping the pane.
+        Caches of surviving panes keep being reused — which is why
+        Redoop-with-failures still beats plain Hadoop.
+        """
+        pool = self.live_caches()
+        pids = sorted({c.pid for c in pool})
+        victims = set(injector.pick_cache_victims(pids))
+        destroyed = [c for c in pool if c.pid in victims]
+        for victim in destroyed:
+            self.destroy_cache(victim)
+        return destroyed
+
+    def inject_cache_failures(
+        self, injector: FaultInjector, *, cache_type: Optional[int] = None
+    ) -> List[LostCache]:
+        """Destroy a random fraction of live caches (Fig. 9 experiment).
+
+        Parameters
+        ----------
+        injector:
+            Supplies ``cache_loss_fraction`` and the seeded RNG.
+        cache_type:
+            Restrict victims to one cache type (e.g. only reduce-output
+            caches); ``None`` targets both types.
+        """
+        pool = self.live_caches()
+        if cache_type is not None:
+            pool = [c for c in pool if c.cache_type == cache_type]
+        by_key = {c.key: c for c in pool}
+        victims = injector.pick_cache_victims(sorted(by_key))
+        destroyed = [by_key[k] for k in victims]
+        for victim in destroyed:
+            self.destroy_cache(victim)
+        return destroyed
+
+    # ------------------------------------------------------------------
+    # node failures
+    # ------------------------------------------------------------------
+
+    def fail_node(self, node_id: int) -> List[Tuple[str, int, int]]:
+        """Kill a slave node and roll back everything it hosted.
+
+        Returns the ``(pid, cache_type, partition)`` triples of caches
+        lost with the node. The next recurrence reconstructs them by
+        re-executing the producing tasks on other nodes (the caches
+        land wherever those re-executions run — Sec. 5, item 2).
+        """
+        runtime = self.runtime
+        runtime.cluster.fail_node(node_id)
+        registry = runtime.registries().get(node_id)
+        if registry is not None:
+            registry.forget_all()
+        lost = runtime.controller.node_lost(node_id)
+        for pid, _cache_type, _partition in lost:
+            runtime.scheduler.drop_reduce_tasks_using(pid)
+        runtime.counters.increment("faults.nodes_failed")
+        return lost
+
+    def recover_node(self, node_id: int) -> None:
+        """Bring a failed node back with empty local state."""
+        self.runtime.cluster.recover_node(node_id)

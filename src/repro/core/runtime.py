@@ -1,0 +1,1352 @@
+"""The Redoop runtime: incremental, cache-aware recurring-query execution.
+
+This is the paper's advanced task execution manager (Sec. 2.3) tying
+every component together. For each registered
+:class:`~repro.core.query.RecurringQuery` it:
+
+1. plans pane partitioning (Semantic Analyzer) and packs arriving
+   batches into pane files (Dynamic Data Packer);
+2. on each recurrence, *maps and shuffles only the new panes* — panes
+   already holding reduce-input caches are reused in place;
+3. caches, on the task nodes' local file systems, both the reduce input
+   of every pane and the reduce output of every pane (aggregation) or
+   pane combination (join), and merges cached partial outputs into the
+   window answer with the query's finalize function;
+4. schedules all tasks through the cache-aware scheduler (Eq. 4);
+5. feeds execution statistics to the profiler and — in adaptive mode —
+   switches to *proactive* processing, mapping panes as soon as their
+   data arrives instead of waiting for the window to close (Sec. 3.3);
+6. maintains all cache metadata (registries, controller, status
+   matrices) including expiration, purging, and failure rollback.
+
+Execution stages per recurrence (all on virtual time):
+
+* **map** — one map task per new pane (header-optimised pane reads);
+* **pane-reduce** — per (pane, partition): shuffle transfer, sort, and
+  reduce-input cache write; aggregation queries additionally reduce the
+  pane and write its reduce-output cache;
+* **combine** — per partition: joins compute the outstanding pane
+  combinations from reduce-input caches; the finalize step then merges
+  the window's cached partial outputs into the final answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..hadoop.catalog import BatchFile
+from ..hadoop.cluster import Cluster
+from ..hadoop.counters import Counters, PhaseTimes
+from ..hadoop.faults import FaultInjector
+from ..hadoop.node import MAP_SLOT, REDUCE_SLOT
+from ..hadoop.shuffle import group_sorted, sort_pairs
+from ..hadoop.task import execute_map
+from ..hadoop.types import KeyValue, Record
+from .cache_controller import CACHE_AVAILABLE, WindowAwareCacheController
+from .cache_registry import (
+    REDUCE_INPUT,
+    REDUCE_OUTPUT,
+    LocalCacheRegistry,
+)
+from .data_packer import DynamicDataPacker
+from .panes import WindowSpec, pane_name
+from .profiler import ExecutionProfiler
+from .query import RecurringQuery
+from .scheduler import CacheAwareTaskScheduler, MapTaskRequest, ReduceTaskRequest
+from .semantic_analyzer import PartitionPlan, SemanticAnalyzer, SourceStats
+
+__all__ = ["RecurrenceResult", "RedoopRuntime"]
+
+
+def pair_pid(panes: Mapping[str, int]) -> str:
+    """Cache pid for a pane combination, e.g. ``S1P3xS2P4``.
+
+    Single-source combinations collapse to the plain pane id.
+    """
+    parts = [pane_name(src, panes[src]) for src in sorted(panes)]
+    return "x".join(parts)
+
+
+@dataclass(slots=True)
+class RecurrenceResult:
+    """Everything measured about one executed recurrence."""
+
+    query: str
+    recurrence: int
+    #: per-source half-open data ranges.
+    window_bounds: Dict[str, Tuple[float, float]]
+    #: when the window's data was complete and the execution became due.
+    due_time: float
+    start_time: float
+    finish_time: float
+    phase_times: PhaseTimes
+    output: List[KeyValue]
+    counters: Counters
+
+    @property
+    def response_time(self) -> float:
+        """Virtual seconds from the execution being due to final output.
+
+        This is the paper's per-window processing time: proactive work
+        done before the window closed does not count, queueing behind
+        an overrunning previous recurrence does.
+        """
+        return self.finish_time - self.due_time
+
+
+@dataclass
+class _PaneWork:
+    """Timing/state of one pane's map + pane-reduce pipeline."""
+
+    map_finish: float = 0.0
+    #: partition -> pane-reduce finish time.
+    reduce_finish: Dict[int, float] = field(default_factory=dict)
+
+
+@dataclass
+class _PartialMap:
+    """Accumulated proactive map output for a still-filling pane.
+
+    In proactive mode (Sec. 3.3) the runtime maps each arriving batch's
+    slice of a pane — a *sub-pane* — as soon as it lands, instead of
+    waiting for the window to close. The partial map outputs accumulate
+    here until the pane seals.
+    """
+
+    partitioned: Dict[int, List[KeyValue]] = field(default_factory=dict)
+    records_mapped: int = 0
+    bytes_mapped: int = 0
+    map_finish: float = 0.0
+    chunks: int = 0
+
+    def absorb(self, partitioned: Mapping[int, List[KeyValue]]) -> None:
+        for partition, pairs in partitioned.items():
+            self.partitioned.setdefault(partition, []).extend(pairs)
+
+
+@dataclass
+class _QueryState:
+    query: RecurringQuery
+    plans: Dict[str, PartitionPlan]
+    #: source -> packer; shared across queries reading the same source.
+    packers: Dict[str, DynamicDataPacker]
+    #: source -> window spec re-expressed over the source's shared pane.
+    eff_specs: Dict[str, WindowSpec]
+    profiler: ExecutionProfiler
+    #: sticky partition -> preferred reduce node; shared per job so
+    #: queries sharing a job co-locate their caches.
+    partition_nodes: Dict[int, int] = field(default_factory=dict)
+    #: (source, index) -> in-flight/finished pane work this window.
+    pane_work: Dict[Tuple[str, int], _PaneWork] = field(default_factory=dict)
+    #: (source, index) -> proactive sub-pane map output, pre-seal.
+    partials: Dict[Tuple[str, int], _PartialMap] = field(default_factory=dict)
+    proactive: bool = False
+    next_recurrence: int = 1
+    #: cumulative bytes ingested for this query (all sources).
+    bytes_ingested: float = 0.0
+    #: snapshot of bytes_ingested at the previous recurrence.
+    last_ingest_snapshot: float = 0.0
+
+    def spec(self, source: str) -> WindowSpec:
+        """The source's window constraints over the *shared* pane size."""
+        return self.eff_specs[source]
+
+    def qsource(self, source: str) -> str:
+        """Cache namespace for a source: ``<job-name>:<source>``.
+
+        Caches hold map/reduce *output*, so they are only shareable
+        between queries running the same job. Namespacing pane pids by
+        job name makes that sharing explicit: two queries with the same
+        job object reuse each other's caches; different jobs never
+        collide (Sec. 4.2's doneQueryMask coordinates the purge).
+        """
+        return f"{self.query.job.name}:{source}"
+
+    def qpid(self, source: str, index: int) -> str:
+        """Cache pid of a pane within this query's job namespace."""
+        return pane_name(self.qsource(source), index)
+
+
+class RedoopRuntime:
+    """Executes recurring queries with window-aware optimisations.
+
+    Parameters
+    ----------
+    cluster:
+        The simulated cluster to run on. One runtime owns the cluster's
+        scheduling state; do not mix it with a concurrently used
+        :class:`~repro.hadoop.jobtracker.JobTracker` on the same cluster.
+    enable_caching:
+        Master switch; with ``False`` every recurrence re-maps every
+        pane (for baselines/ablations).
+    enable_output_cache:
+        Keep reduce-output caches (pane partials / join pair results).
+        Disabling falls back to re-reducing from reduce-input caches.
+    adaptive:
+        Enable profiler-driven adaptive/proactive processing (Sec. 3.3).
+    purge_cycle:
+        Local registries' periodic purge period; defaults to each
+        query's slide at registration (the paper's default).
+    fault_injector:
+        Optional deterministic fault source for task retries.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        *,
+        enable_caching: bool = True,
+        enable_output_cache: bool = True,
+        adaptive: bool = False,
+        purge_cycle: Optional[float] = None,
+        fault_injector: Optional[FaultInjector] = None,
+        use_pane_headers: bool = True,
+    ) -> None:
+        self.cluster = cluster
+        self.controller = WindowAwareCacheController()
+        self.scheduler = CacheAwareTaskScheduler(cluster)
+        self.analyzer = SemanticAnalyzer(cluster.config)
+        self.enable_caching = enable_caching
+        self.enable_output_cache = enable_output_cache and enable_caching
+        self.adaptive = adaptive
+        self.faults = fault_injector
+        self.use_pane_headers = use_pane_headers
+        self._purge_cycle = purge_cycle
+        self._states: Dict[str, _QueryState] = {}
+        self._registries: Dict[int, LocalCacheRegistry] = {}
+        #: source -> the one packer shared by every query reading it.
+        self._source_packers: Dict[str, DynamicDataPacker] = {}
+        #: source -> {query name -> original WindowSpec} (for shared GCD).
+        self._source_specs: Dict[str, Dict[str, WindowSpec]] = {}
+        #: source -> best known arrival rate.
+        self._source_rates: Dict[str, float] = {}
+        #: job name -> job object (cache namespaces must be unambiguous).
+        self._jobs_by_name: Dict[str, object] = {}
+        #: job name -> sticky partition placements (shared across queries).
+        self._job_partition_nodes: Dict[str, Dict[int, int]] = {}
+        self.counters = Counters()
+
+    # ==================================================================
+    # registration and ingest
+    # ==================================================================
+
+    def register_query(
+        self, query: RecurringQuery, rates: Mapping[str, float]
+    ) -> None:
+        """Register a recurring query with per-source arrival rates (B/s).
+
+        Multiple queries may read the same source: the Semantic
+        Analyzer re-plans the source's partitioning at the GCD of *all*
+        registered window constraints (Sec. 3.1), so one set of pane
+        files serves every query. Register all queries of a source
+        before its data starts arriving — refining the pane size after
+        ingest would invalidate existing pane files.
+        """
+        if query.name in self._states:
+            raise ValueError(f"query {query.name!r} is already registered")
+        missing = set(query.sources) - set(rates)
+        if missing:
+            raise ValueError(f"missing arrival rates for sources: {sorted(missing)}")
+        known_job = self._jobs_by_name.get(query.job.name)
+        if known_job is not None and known_job is not query.job:
+            raise ValueError(
+                f"a different job named {query.job.name!r} is already "
+                "registered; share the job object to share caches, or "
+                "rename the job"
+            )
+
+        for src in query.sources:
+            self._source_specs.setdefault(src, {})[query.name] = query.spec(src)
+            self._source_rates[src] = max(
+                self._source_rates.get(src, 0.0), rates[src]
+            )
+            self._refresh_source_packer(src)
+
+        self._jobs_by_name[query.job.name] = query.job
+        state = _QueryState(
+            query=query,
+            plans={
+                src: self.analyzer.plan(
+                    self._effective_spec(src, query),
+                    SourceStats(source=src, rate=self._source_rates[src]),
+                )
+                for src in query.sources
+            },
+            packers={src: self._source_packers[src] for src in query.sources},
+            eff_specs={
+                src: self._effective_spec(src, query) for src in query.sources
+            },
+            profiler=ExecutionProfiler(),
+            partition_nodes=self._job_partition_nodes.setdefault(
+                query.job.name, {}
+            ),
+        )
+        self._states[query.name] = state
+        self.controller.register_query(
+            query.name,
+            {state.qsource(src): state.eff_specs[src] for src in query.sources},
+        )
+        # A finer shared pane may have invalidated the effective specs of
+        # earlier queries on the same sources: refresh them.
+        self._refresh_effective_specs(query.sources, except_query=query.name)
+
+    def _shared_pane(self, source: str) -> float:
+        from .semantic_analyzer import shared_pane_seconds
+
+        return shared_pane_seconds(list(self._source_specs[source].values()))
+
+    def _effective_spec(self, source: str, query: RecurringQuery) -> WindowSpec:
+        return query.spec(source).with_pane(self._shared_pane(source))
+
+    def _refresh_source_packer(self, source: str) -> None:
+        """(Re)build the source's shared packer at the current GCD pane."""
+        shared = self._shared_pane(source)
+        packer = self._source_packers.get(source)
+        if packer is not None:
+            if abs(packer.pane_seconds - shared) < 1e-9:
+                return
+            if packer.covered_until > 0:
+                raise ValueError(
+                    f"source {source!r} already ingested data at pane size "
+                    f"{packer.pane_seconds}s; registering a query that needs "
+                    f"{shared}s panes would invalidate its pane files — "
+                    "register all queries before ingest starts"
+                )
+        # Use any registered spec re-expressed over the shared pane: the
+        # packer only needs the pane size.
+        any_spec = next(iter(self._source_specs[source].values()))
+        eff = any_spec.with_pane(shared)
+        plan = self.analyzer.plan(
+            eff, SourceStats(source=source, rate=self._source_rates[source])
+        )
+        self._source_packers[source] = DynamicDataPacker(
+            self.cluster.hdfs,
+            eff,
+            plan,
+            base_path="/panes",
+            use_header=self.use_pane_headers,
+        )
+
+    def _refresh_effective_specs(
+        self, sources: Sequence[str], *, except_query: str
+    ) -> None:
+        """Update earlier queries after a shared pane size changed."""
+        for state in self._states.values():
+            if state.query.name == except_query:
+                continue
+            changed = False
+            for src in state.query.sources:
+                if src not in sources:
+                    continue
+                eff = self._effective_spec(src, state.query)
+                if eff is not state.eff_specs[src]:
+                    state.eff_specs[src] = eff
+                    state.packers[src] = self._source_packers[src]
+                    changed = True
+            if changed:
+                # No data has been ingested (the packer refresh would
+                # have failed otherwise), so the matrix is still empty
+                # and can simply be rebuilt over the new pane size.
+                self.controller.unregister_query(state.query.name)
+                self.controller.register_query(
+                    state.query.name,
+                    {
+                        state.qsource(src): state.eff_specs[src]
+                        for src in state.query.sources
+                    },
+                )
+
+    def queries(self) -> List[str]:
+        return sorted(self._states)
+
+    def profiler(self, query: str) -> ExecutionProfiler:
+        return self._state(query).profiler
+
+    def is_proactive(self, query: str) -> bool:
+        return self._state(query).proactive
+
+    def run_due_recurrences(self, now: float) -> List[RecurrenceResult]:
+        """Run every registered query's recurrences due by time ``now``.
+
+        Executions are interleaved in due-time order across queries
+        (ties by query name), which is how a deployed scheduler would
+        fire them — and what keeps one query's long execution from
+        unfairly inflating another's measured response time. Recurrences
+        whose data has not fully arrived are skipped (they stay due).
+        """
+        results: List[RecurrenceResult] = []
+        while True:
+            candidates = []
+            for name in sorted(self._states):
+                state = self._states[name]
+                due = state.query.execution_time(state.next_recurrence)
+                if due <= now + 1e-9 and self._data_complete(state):
+                    candidates.append((due, name))
+            if not candidates:
+                return results
+            _due, name = min(candidates)
+            results.append(self.run_recurrence(name))
+
+    def _data_complete(self, state: _QueryState) -> bool:
+        for src in state.query.sources:
+            needed = state.query.spec(src).execution_time(state.next_recurrence)
+            if state.packers[src].covered_until + 1e-9 < needed:
+                return False
+        return True
+
+    def input_paths(
+        self, query_name: str, recurrence: int
+    ) -> Dict[str, List[str]]:
+        """The recurrence's per-source pane files (Sec. 5 GetInputPaths).
+
+        Returns the HDFS paths covering each source's window for the
+        given recurrence — both newly arrived panes and panes whose
+        data will actually be served from caches; panes not yet packed
+        (data still arriving) are omitted. Several panes may share one
+        physical file in the undersized case, hence the de-duplication.
+        """
+        state = self._state(query_name)
+        paths: Dict[str, List[str]] = {}
+        for src in state.query.sources:
+            packer = state.packers[src]
+            seen: List[str] = []
+            for idx in state.spec(src).panes_in_window(recurrence):
+                if packer.is_packed(idx):
+                    path = packer.pane(idx).path
+                    if path not in seen:
+                        seen.append(path)
+            paths[src] = seen
+        return paths
+
+    def partition_plan(self, query: str, source: str) -> PartitionPlan:
+        return self._state(query).plans[source]
+
+    def ingest(self, batch: BatchFile, records: Sequence[Record]) -> None:
+        """Load a batch: pack into panes for every query reading the source.
+
+        In proactive mode, each batch's slice of a pane (a *sub-pane*)
+        is mapped the moment it lands, and a pane's reduce-input caches
+        are built the moment it seals — the best-effort early processing
+        of Sec. 3.3. By window close, only the final sub-pane's work
+        remains.
+        """
+        packer = self._source_packers.get(batch.source)
+        readers = [
+            state
+            for state in self._states.values()
+            if batch.source in state.query.windows
+        ]
+        if packer is None or not readers:
+            raise ValueError(
+                f"no registered query reads source {batch.source!r}"
+            )
+        # The source is packed exactly once, no matter how many queries
+        # read it — that is the point of shared pane planning.
+        packed = packer.ingest_batch(batch, records)
+        batch_bytes = sum(r.size for r in records)
+        for pane in packed:
+            self.counters.increment("ingest.panes")
+        for state in readers:
+            state.bytes_ingested += batch_bytes
+            proactive = state.proactive and self.enable_caching
+            if proactive:
+                self._proactive_map_chunks(state, batch, records)
+            for pane in packed:
+                self.controller.pane_arrived(
+                    state.qpid(batch.source, pane.index)
+                )
+                if proactive:
+                    self._proactive_seal_pane(state, batch.source, pane)
+
+    def _proactive_map_chunks(
+        self, state: _QueryState, batch: BatchFile, records: Sequence[Record]
+    ) -> None:
+        """Map a batch's per-pane record slices as they arrive."""
+        spec = state.spec(batch.source)
+        by_pane: Dict[int, List[Record]] = {}
+        for record in records:
+            by_pane.setdefault(spec.pane_of_time(record.ts), []).append(record)
+        for idx in sorted(by_pane):
+            pid = state.qpid(batch.source, idx)
+            if self._pane_caches_intact(state, pid):
+                continue  # pane already processed (recovery re-ingest)
+            self._map_chunk(
+                state,
+                batch.source,
+                idx,
+                by_pane[idx],
+                start=max(self.cluster.clock.now, batch.t_end),
+            )
+
+    def _map_chunk(
+        self,
+        state: _QueryState,
+        source: str,
+        idx: int,
+        records: Sequence[Record],
+        start: float,
+    ) -> None:
+        """Proactive map tasks over a sub-pane's records.
+
+        The chunk is carved into block-sized map tasks (like any other
+        input). The data is read off the arriving batch (not yet a
+        replicated pane file), so reads are charged at remote rate —
+        conservative, since the packer is still writing the pane.
+        """
+        job = state.query.job
+        block = self.cluster.config.block_size
+        partial = state.partials.setdefault((source, idx), _PartialMap())
+        splits: List[List[Record]] = [[]]
+        split_bytes = 0
+        for record in records:
+            if split_bytes >= block:
+                splits.append([])
+                split_bytes = 0
+            splits[-1].append(record)
+            split_bytes += record.size
+        for split in splits:
+            if not split:
+                continue
+            nbytes = sum(r.size for r in split)
+            ex = execute_map(job, split, input_bytes=nbytes)
+            request = MapTaskRequest(
+                query=state.query.name,
+                pid=state.qpid(source, idx),
+                input_bytes=nbytes,
+                locations=(),
+            )
+            node = self.scheduler.select_map_node(request, start)
+            duration = self.cluster.cost_model.map_task_duration(
+                nbytes, ex.input_records, ex.output_bytes, data_local=False
+            )
+            finish = node.occupy_slot(MAP_SLOT, start, duration)
+            partial.absorb(ex.partitioned)
+            partial.records_mapped += ex.input_records
+            partial.bytes_mapped += nbytes
+            partial.map_finish = max(partial.map_finish, finish)
+            partial.chunks += 1
+            self.counters.increment("proactive.chunk_maps")
+            self.counters.increment("map.input_bytes", nbytes)
+
+    def _proactive_seal_pane(self, state: _QueryState, source: str, pane) -> None:
+        """A pane sealed during proactive mode: build its caches now."""
+        partial = state.partials.get((source, pane.index))
+        start = max(self.cluster.clock.now, pane.available_at)
+        if partial is not None and partial.records_mapped >= pane.num_records:
+            # Every record was chunk-mapped; go straight to pane-reduce.
+            state.partials.pop((source, pane.index))
+            self._pane_reduce(
+                state,
+                source,
+                pane.index,
+                partial.partitioned,
+                partial.map_finish,
+                self.counters,
+            )
+        else:
+            # Mode switched on mid-pane: map the whole pane file instead.
+            state.partials.pop((source, pane.index), None)
+            self._process_pane(state, source, pane.index, start, self.counters)
+
+    # ==================================================================
+    # recurrence execution
+    # ==================================================================
+
+    def run_recurrence(
+        self, query_name: str, recurrence: Optional[int] = None
+    ) -> RecurrenceResult:
+        """Execute one recurrence of ``query_name`` and advance the clock."""
+        state = self._state(query_name)
+        query = state.query
+        if recurrence is None:
+            recurrence = state.next_recurrence
+        if recurrence != state.next_recurrence:
+            raise ValueError(
+                f"recurrence {recurrence} out of order; expected "
+                f"{state.next_recurrence}"
+            )
+        counters = Counters()
+        due = query.execution_time(recurrence)
+        self._require_data(state, recurrence)
+        for packer in state.packers.values():
+            packer.flush()
+        start = max(self.cluster.clock.now, due)
+        t0 = start + self.cluster.config.job_overhead
+
+        # ----- map + pane-reduce for panes lacking caches --------------
+        map_finishes: List[float] = []
+        for source in query.sources:
+            for idx in state.spec(source).panes_in_window(recurrence):
+                work = self._ensure_pane_processed(
+                    state, source, idx, t0, counters
+                )
+                if work is not None and work.map_finish > t0:
+                    map_finishes.append(work.map_finish)
+
+        maps_done = max(map_finishes, default=t0)
+        first_map_done = min(map_finishes, default=t0)
+
+        # ----- combine phase (joins + finalize merge) -------------------
+        if query.num_sources == 1:
+            outputs, finish = self._combine_aggregation(
+                state, recurrence, t0, counters
+            )
+        else:
+            outputs, finish = self._combine_join(state, recurrence, t0, counters)
+
+        finish = max(finish, maps_done, t0)
+        self.cluster.clock.advance_to(finish)
+
+        # pane-reduce finish spans double as the shuffle boundary.
+        shuffle_done = max(
+            (
+                f
+                for work in state.pane_work.values()
+                for f in work.reduce_finish.values()
+                if f > t0
+            ),
+            default=maps_done,
+        )
+        shuffle_done = min(max(shuffle_done, maps_done), finish)
+        phases = PhaseTimes(
+            map=max(0.0, maps_done - t0),
+            shuffle=max(0.0, shuffle_done - max(first_map_done, t0)),
+            reduce=max(0.0, finish - shuffle_done),
+        )
+
+        output_pairs = [pair for _p, pairs in sorted(outputs.items()) for pair in pairs]
+        self._write_output(query, recurrence, output_pairs, finish)
+
+        # ----- post-execution bookkeeping -------------------------------
+        result = RecurrenceResult(
+            query=query.name,
+            recurrence=recurrence,
+            window_bounds=query.window_bounds(recurrence),
+            due_time=due,
+            start_time=start,
+            finish_time=finish,
+            phase_times=phases,
+            output=output_pairs,
+            counters=counters,
+        )
+        self._after_recurrence(state, result)
+        state.next_recurrence = recurrence + 1
+        return result
+
+    # ------------------------------------------------------------------
+    # pane processing: map + shuffle + reduce-input cache (+ agg rout)
+    # ------------------------------------------------------------------
+
+    def _ensure_pane_processed(
+        self,
+        state: _QueryState,
+        source: str,
+        idx: int,
+        start: float,
+        counters: Counters,
+    ) -> Optional[_PaneWork]:
+        """Process a pane unless valid caches already exist.
+
+        Returns the pane's work record when (re)processed during this
+        call window, or ``None`` when fully served from cache. Complete
+        proactive partials (all sub-panes chunk-mapped before the
+        window closed) skip the map and go straight to pane-reduce.
+        """
+        pid = state.qpid(source, idx)
+        if self.enable_caching and self._pane_caches_intact(state, pid):
+            counters.increment("cache.pane_hits")
+            return None
+        partial = state.partials.pop((source, idx), None)
+        if partial is not None:
+            packer = state.packers[source]
+            if (
+                packer.is_packed(idx)
+                and partial.records_mapped >= packer.pane(idx).num_records
+            ):
+                counters.increment("proactive.panes_prebuilt")
+                return self._pane_reduce(
+                    state,
+                    source,
+                    idx,
+                    partial.partitioned,
+                    max(partial.map_finish, start),
+                    counters,
+                )
+            # Incomplete partial (mode flapped mid-pane): discard and
+            # reprocess the whole pane file below.
+        return self._process_pane(state, source, idx, start, counters)
+
+    def _pane_caches_intact(self, state: _QueryState, pid: str) -> bool:
+        """Are the pane's reduce-input caches live on every partition?"""
+        if self.controller.pane_ready(pid) != CACHE_AVAILABLE:
+            return False
+        for partition in range(state.query.job.num_reducers):
+            node_id = self.controller.placement(pid, REDUCE_INPUT, partition)
+            if node_id is None:
+                return False
+            registry = self._registries.get(node_id)
+            if registry is None or not registry.has(pid, REDUCE_INPUT, partition):
+                return False
+        return True
+
+    def _process_pane(
+        self,
+        state: _QueryState,
+        source: str,
+        idx: int,
+        start: float,
+        counters: Counters,
+    ) -> _PaneWork:
+        """Map one pane and build its per-partition reduce-input caches.
+
+        Oversize panes (one pane per file, possibly many HDFS blocks)
+        split into one map task per block, exactly like a plain Hadoop
+        job. Undersized panes (several panes per shared file) are read
+        through the pane header as a single map task.
+        """
+        query = state.query
+        job = query.job
+        packer = state.packers[source]
+        pid = state.qpid(source, idx)
+        path = packer.pane(idx).path
+
+        # Build the pane's map sub-tasks: (records, bytes, locations).
+        if packer.is_shared(idx):
+            records, charged_bytes = packer.read_pane(idx)
+            locations = tuple(sorted(self.cluster.hdfs.nodes_for(path)))
+            subtasks = [(records, charged_bytes, locations)]
+        else:
+            subtasks = [
+                (split.records, split.size, split.locations)
+                for split in self.cluster.hdfs.splits(path)
+            ]
+
+        map_finish = start
+        partitioned: Dict[int, List[KeyValue]] = {}
+        for task_no, (records, charged_bytes, locations) in enumerate(subtasks):
+            request = MapTaskRequest(
+                query=query.name,
+                pid=pid,
+                input_bytes=charged_bytes,
+                locations=tuple(locations),
+            )
+            self.scheduler.enqueue_map(request)
+            self.scheduler.next_map()  # FIFO pop (Algorithm 2 lines 6-11)
+            node = self.scheduler.select_map_node(request, start)
+            ex = execute_map(job, records, input_bytes=charged_bytes)
+            duration = self.cluster.cost_model.map_task_duration(
+                charged_bytes,
+                ex.input_records,
+                ex.output_bytes,
+                data_local=node.node_id in locations,
+            )
+            duration = self._with_faults(
+                f"{query.name}/map/{pid}#{task_no}", duration, counters
+            )
+            map_finish = max(
+                map_finish, node.occupy_slot(MAP_SLOT, start, duration)
+            )
+            for partition, pairs in ex.partitioned.items():
+                partitioned.setdefault(partition, []).extend(pairs)
+            counters.increment("map.tasks")
+            counters.increment("map.input_bytes", charged_bytes)
+            counters.increment("map.output_bytes", ex.output_bytes)
+
+        counters.increment("panes.processed")
+        return self._pane_reduce(
+            state, source, idx, partitioned, map_finish, counters
+        )
+
+    def _pane_reduce(
+        self,
+        state: _QueryState,
+        source: str,
+        idx: int,
+        partitioned: Mapping[int, List[KeyValue]],
+        map_finish: float,
+        counters: Counters,
+    ) -> _PaneWork:
+        """Shuffle, sort, and cache one pane's reduce input per partition.
+
+        For aggregation queries this additionally reduces the pane and
+        writes its reduce-output cache (the pane partial the combine
+        phase merges).
+        """
+        query = state.query
+        job = query.job
+        pid = state.qpid(source, idx)
+        work = _PaneWork(map_finish=map_finish)
+        state.pane_work[(source, idx)] = work
+
+        aggregation = query.num_sources == 1
+        for partition in range(job.num_reducers):
+            pairs = partitioned.get(partition, [])
+            fetch_bytes = len(pairs) * job.intermediate_pair_size
+            target = self._partition_node(state, partition, map_finish)
+            transfer = self.cluster.cost_model.shuffle_fetch_duration(fetch_bytes)
+            sorted_pairs = sort_pairs(pairs)
+            rin_bytes = fetch_bytes
+            duration = (
+                self.cluster.config.task_overhead
+                + self.cluster.cost_model.sort_time(len(sorted_pairs))
+            )
+            if self.enable_caching:
+                duration += self.cluster.cost_model.cache_write_time(rin_bytes)
+            rout_pairs: Optional[List[KeyValue]] = None
+            if aggregation:
+                rout_pairs = self._reduce_group(job, sorted_pairs)
+                rout_bytes = len(rout_pairs) * job.output_pair_size
+                duration += self.cluster.cost_model.reduce_compute_time(
+                    len(sorted_pairs)
+                )
+                if self.enable_output_cache:
+                    duration += self.cluster.cost_model.cache_write_time(rout_bytes)
+            duration = self._with_faults(
+                f"{query.name}/pane-reduce/{pid}/{partition}", duration, counters
+            )
+            finish = target.occupy_slot(
+                REDUCE_SLOT, map_finish + transfer, duration
+            )
+            work.reduce_finish[partition] = finish
+            counters.increment("shuffle.bytes", fetch_bytes)
+            if self.enable_caching:
+                self._store_cache(
+                    state, target.node_id, pid, REDUCE_INPUT, partition,
+                    sorted_pairs, rin_bytes, finish,
+                )
+            else:
+                # Without caching the shuffled run lives only for this
+                # recurrence; stash it unregistered so the combine phase
+                # can read it, then drop it afterwards.
+                target.store_local(
+                    f"tmp/{query.name}/{pid}/p{partition}",
+                    rin_bytes,
+                    sorted_pairs,
+                    created_at=finish,
+                )
+            if aggregation and rout_pairs is not None and self.enable_output_cache:
+                self._store_cache(
+                    state, target.node_id, pid, REDUCE_OUTPUT, partition,
+                    rout_pairs,
+                    len(rout_pairs) * job.output_pair_size,
+                    finish,
+                )
+        return work
+
+    @staticmethod
+    def _reduce_group(job, sorted_pairs: Sequence[KeyValue]) -> List[KeyValue]:
+        out: List[KeyValue] = []
+        for key, values in group_sorted(sorted_pairs):
+            out.extend(job.reducer(key, values))
+        return out
+
+    def _partition_node(self, state: _QueryState, partition: int, now: float):
+        """Sticky reduce-node choice for a partition (Eq. 4 on first use)."""
+        node_id = state.partition_nodes.get(partition)
+        if node_id is not None:
+            node = self.cluster.node(node_id)
+            if node.alive:
+                return node
+        request = ReduceTaskRequest(
+            query=state.query.name,
+            panes=(),
+            partition=partition,
+            input_bytes=0,
+        )
+        node = self.scheduler.select_reduce_node(request, now)
+        state.partition_nodes[partition] = node.node_id
+        return node
+
+    # ------------------------------------------------------------------
+    # combine phase: aggregation
+    # ------------------------------------------------------------------
+
+    def _combine_aggregation(
+        self,
+        state: _QueryState,
+        recurrence: int,
+        t0: float,
+        counters: Counters,
+    ) -> Tuple[Dict[int, List[KeyValue]], float]:
+        query = state.query
+        job = query.job
+        source = query.sources[0]
+        spec = state.spec(source)
+        window_panes = spec.panes_in_window(recurrence)
+        matrix = self.controller.matrix(query.name)
+        finish_all = t0
+
+        outputs: Dict[int, List[KeyValue]] = {}
+        for partition in range(job.num_reducers):
+            partials: List[Tuple[int, List[KeyValue]]] = []
+            cached_by_node: Dict[int, int] = {}
+            ready_at = t0
+            total_bytes = 0
+            for idx in window_panes:
+                pairs, nbytes, node_id = self._pane_partial_output(
+                    state, source, idx, partition, counters
+                )
+                partials.append((idx, pairs))
+                total_bytes += nbytes
+                if node_id is not None:
+                    cached_by_node[node_id] = cached_by_node.get(node_id, 0) + nbytes
+                work = state.pane_work.get((source, idx))
+                if work is not None and partition in work.reduce_finish:
+                    ready_at = max(ready_at, work.reduce_finish[partition])
+            request = ReduceTaskRequest(
+                query=query.name,
+                panes=tuple((state.qsource(source), i) for i in window_panes),
+                partition=partition,
+                input_bytes=total_bytes,
+                cached_bytes_by_node=tuple(sorted(cached_by_node.items())),
+            )
+            self.scheduler.enqueue_reduce(request)
+            self.scheduler.next_reduce()
+            node = self.scheduler.select_reduce_node(request, ready_at)
+            local_bytes = min(cached_by_node.get(node.node_id, 0), total_bytes)
+            merged = self._finalize_merge(query, [p for _i, p in partials])
+            out_bytes = len(merged) * job.output_pair_size
+            total_partial_records = sum(len(p) for _i, p in partials)
+            duration = (
+                self.cluster.config.task_overhead
+                + self.cluster.cost_model.task_io_cost(
+                    total_bytes, bytes_local=local_bytes
+                )
+                + self.cluster.cost_model.reduce_compute_time(total_partial_records)
+                + self.cluster.cost_model.hdfs_write_time(out_bytes)
+            )
+            duration = self._with_faults(
+                f"{query.name}/merge/w{recurrence}/{partition}", duration, counters
+            )
+            finish = node.occupy_slot(REDUCE_SLOT, ready_at, duration)
+            finish_all = max(finish_all, finish)
+            outputs[partition] = merged
+            counters.increment("merge.tasks")
+            counters.increment("merge.cached_bytes_read", total_bytes)
+            counters.increment("reduce.output_bytes", out_bytes)
+        for idx in window_panes:
+            matrix.mark_done({state.qsource(source): idx})
+        return outputs, finish_all
+
+    def _pane_partial_output(
+        self,
+        state: _QueryState,
+        source: str,
+        idx: int,
+        partition: int,
+        counters: Counters,
+    ) -> Tuple[List[KeyValue], int, Optional[int]]:
+        """Fetch (or rebuild) one pane's partial reduce output.
+
+        Returns ``(pairs, bytes, hosting_node_or_None)``. Falls back to
+        re-reducing from the reduce-input cache when the output cache is
+        missing (cache-failure recovery) and to the unregistered
+        temporary run when caching is disabled.
+        """
+        query = state.query
+        job = query.job
+        pid = state.qpid(source, idx)
+        if self.enable_output_cache:
+            node_id = self.controller.placement(pid, REDUCE_OUTPUT, partition)
+            if node_id is not None:
+                registry = self._registries.get(node_id)
+                if registry is not None and registry.has(
+                    pid, REDUCE_OUTPUT, partition
+                ):
+                    payload, nbytes = registry.read(pid, REDUCE_OUTPUT, partition)
+                    counters.increment("cache.rout_hits")
+                    return payload, nbytes, node_id
+        # Rebuild from the reduce-input cache.
+        node_id = self.controller.placement(pid, REDUCE_INPUT, partition)
+        if node_id is not None:
+            registry = self._registries.get(node_id)
+            if registry is not None and registry.has(pid, REDUCE_INPUT, partition):
+                payload, nbytes = registry.read(pid, REDUCE_INPUT, partition)
+                counters.increment("cache.rin_rebuilds")
+                pairs = self._reduce_group(job, payload)
+                if self.enable_output_cache:
+                    self._store_cache(
+                        state, node_id, pid, REDUCE_OUTPUT, partition, pairs,
+                        len(pairs) * job.output_pair_size,
+                        self.cluster.clock.now,
+                    )
+                return pairs, nbytes, node_id
+        # Caching disabled: read the temporary shuffled run.
+        for node in self.cluster.live_nodes():
+            name = f"tmp/{query.name}/{pid}/p{partition}"
+            if node.has_local(name):
+                lf = node.read_local(name)
+                pairs = self._reduce_group(job, lf.payload)
+                return pairs, lf.size, node.node_id
+        raise RuntimeError(
+            f"pane {pid} partition {partition} has neither cache nor fresh "
+            "data; was the pane processed?"
+        )
+
+    def _finalize_merge(
+        self, query: RecurringQuery, partials: Sequence[List[KeyValue]]
+    ) -> List[KeyValue]:
+        """Pane-based merge: group partial outputs by key, finalize."""
+        flat: List[KeyValue] = [pair for pane in partials for pair in pane]
+        merged: List[KeyValue] = []
+        for key, values in group_sorted(sort_pairs(flat)):
+            merged.extend(query.finalize(key, values))
+        return merged
+
+    # ------------------------------------------------------------------
+    # combine phase: multi-source join
+    # ------------------------------------------------------------------
+
+    def _combine_join(
+        self,
+        state: _QueryState,
+        recurrence: int,
+        t0: float,
+        counters: Counters,
+    ) -> Tuple[Dict[int, List[KeyValue]], float]:
+        query = state.query
+        job = query.job
+        matrix = self.controller.matrix(query.name)
+        sources = query.sources
+        window_panes = {
+            src: state.spec(src).panes_in_window(recurrence) for src in sources
+        }
+        combos = self._window_combinations(window_panes)
+        finish_all = t0
+
+        outputs: Dict[int, List[KeyValue]] = {}
+        for partition in range(job.num_reducers):
+            partition_output: List[KeyValue] = []
+            cached_read = 0
+            fresh_bytes = 0
+            node = None
+            ready_at = t0
+            for src in sources:
+                for idx in window_panes[src]:
+                    work = state.pane_work.get((src, idx))
+                    if work is not None and partition in work.reduce_finish:
+                        ready_at = max(ready_at, work.reduce_finish[partition])
+            # Choose the partition's node once per window via Eq. 4,
+            # weighting by the reduce-input bytes it would have to read.
+            rin_by_node: Dict[int, int] = {}
+            total_rin = 0
+            for src in sources:
+                for idx in window_panes[src]:
+                    pid = state.qpid(src, idx)
+                    nbytes, node_id = self._cache_size(pid, REDUCE_INPUT, partition)
+                    total_rin += nbytes
+                    if node_id is not None:
+                        rin_by_node[node_id] = rin_by_node.get(node_id, 0) + nbytes
+            request = ReduceTaskRequest(
+                query=query.name,
+                panes=tuple(
+                    (state.qsource(src), idx)
+                    for src in sources
+                    for idx in window_panes[src]
+                ),
+                partition=partition,
+                input_bytes=total_rin,
+                cached_bytes_by_node=tuple(sorted(rin_by_node.items())),
+            )
+            self.scheduler.enqueue_reduce(request)
+            self.scheduler.next_reduce()
+            node = self.scheduler.select_reduce_node(request, ready_at)
+
+            duration = self.cluster.config.task_overhead
+            for combo in combos:
+                pairs, nbytes, src_node = self._combo_output(
+                    state, combo, partition, node.node_id, counters
+                )
+                partition_output.extend(pairs)
+                if src_node == "fresh":
+                    fresh_bytes += nbytes
+                else:
+                    cached_read += nbytes
+                duration += self._combo_cost(
+                    state, combo, partition, node.node_id, nbytes, src_node
+                )
+            out_bytes = len(partition_output) * job.output_pair_size
+            duration += self.cluster.cost_model.hdfs_write_time(out_bytes)
+            duration = self._with_faults(
+                f"{query.name}/join/w{recurrence}/{partition}", duration, counters
+            )
+            finish = node.occupy_slot(REDUCE_SLOT, ready_at, duration)
+            finish_all = max(finish_all, finish)
+            outputs[partition] = partition_output
+            counters.increment("join.tasks")
+            counters.increment("join.cached_bytes_read", cached_read)
+            counters.increment("reduce.output_bytes", out_bytes)
+        for combo in combos:
+            matrix.mark_done(
+                {state.qsource(src): idx for src, idx in combo.items()}
+            )
+        return outputs, finish_all
+
+    def _window_combinations(
+        self, window_panes: Mapping[str, List[int]]
+    ) -> List[Dict[str, int]]:
+        from itertools import product
+
+        sources = sorted(window_panes)
+        combos = []
+        for coords in product(*(window_panes[src] for src in sources)):
+            combos.append(dict(zip(sources, coords)))
+        return combos
+
+    def _combo_output(
+        self,
+        state: _QueryState,
+        combo: Mapping[str, int],
+        partition: int,
+        target_node: int,
+        counters: Counters,
+    ) -> Tuple[List[KeyValue], int, Any]:
+        """One pane combination's join output for a partition.
+
+        Returns ``(pairs, bytes_read, origin)`` where origin is the
+        hosting node id of the output cache, or ``"fresh"`` when the
+        combination had to be computed from reduce-input data.
+        """
+        query = state.query
+        job = query.job
+        pid = pair_pid(
+            {state.qsource(src): idx for src, idx in combo.items()}
+        )
+        if self.enable_output_cache:
+            node_id = self.controller.placement(pid, REDUCE_OUTPUT, partition)
+            if node_id is not None:
+                registry = self._registries.get(node_id)
+                if registry is not None and registry.has(
+                    pid, REDUCE_OUTPUT, partition
+                ):
+                    payload, nbytes = registry.read(pid, REDUCE_OUTPUT, partition)
+                    counters.increment("cache.rout_hits")
+                    return payload, nbytes, node_id
+        # Compute the combination from the panes' reduce-input runs.
+        merged: List[KeyValue] = []
+        read_bytes = 0
+        for src in sorted(combo):
+            pane_id = state.qpid(src, combo[src])
+            payload, nbytes = self._read_rin(state, pane_id, partition)
+            merged.extend(payload)
+            read_bytes += nbytes
+        joined = self._reduce_group(job, sort_pairs(merged))
+        if self.enable_output_cache:
+            self._store_cache(
+                state, target_node, pid, REDUCE_OUTPUT, partition, joined,
+                len(joined) * job.output_pair_size,
+                self.cluster.clock.now,
+            )
+        counters.increment("join.combos_computed")
+        return joined, read_bytes, "fresh"
+
+    def _combo_cost(
+        self,
+        state: _QueryState,
+        combo: Mapping[str, int],
+        partition: int,
+        node_id: int,
+        nbytes: int,
+        origin: Any,
+    ) -> float:
+        cost = self.cluster.cost_model
+        if origin == "fresh":
+            # rin reads (locality per pane), merge + reduce CPU, cache write.
+            local = 0
+            for src in sorted(combo):
+                pane_id = state.qpid(src, combo[src])
+                size, host = self._cache_size(pane_id, REDUCE_INPUT, partition)
+                if host == node_id:
+                    local += size
+            records = max(1, nbytes // state.query.job.intermediate_pair_size)
+            seconds = cost.task_io_cost(nbytes, bytes_local=min(local, nbytes))
+            seconds += cost.reduce_compute_time(records)
+            if self.enable_output_cache:
+                seconds += cost.cache_write_time(nbytes)
+            return seconds
+        # Cached combination output: local or remote read.
+        if origin == node_id:
+            return cost.local_read_time(nbytes)
+        return cost.remote_read_time(nbytes)
+
+    def _read_rin(
+        self, state: _QueryState, pid: str, partition: int
+    ) -> Tuple[List[KeyValue], int]:
+        node_id = self.controller.placement(pid, REDUCE_INPUT, partition)
+        if node_id is not None:
+            registry = self._registries.get(node_id)
+            if registry is not None and registry.has(pid, REDUCE_INPUT, partition):
+                return registry.read(pid, REDUCE_INPUT, partition)
+        name = f"tmp/{state.query.name}/{pid}/p{partition}"
+        for node in self.cluster.live_nodes():
+            if node.has_local(name):
+                lf = node.read_local(name)
+                return lf.payload, lf.size
+        raise RuntimeError(
+            f"reduce input for {pid} partition {partition} is unavailable"
+        )
+
+    def _cache_size(
+        self, pid: str, cache_type: int, partition: int
+    ) -> Tuple[int, Optional[int]]:
+        node_id = self.controller.placement(pid, cache_type, partition)
+        if node_id is None:
+            return 0, None
+        registry = self._registries.get(node_id)
+        if registry is None or not registry.has(pid, cache_type, partition):
+            return 0, None
+        _payload, nbytes = registry.read(pid, cache_type, partition)
+        return nbytes, node_id
+
+    # ------------------------------------------------------------------
+    # cache plumbing
+    # ------------------------------------------------------------------
+
+    def _registry(self, node_id: int) -> LocalCacheRegistry:
+        registry = self._registries.get(node_id)
+        if registry is None:
+            registry = LocalCacheRegistry(
+                self.cluster.node(node_id),
+                purge_cycle=self._purge_cycle or self._default_purge_cycle(),
+            )
+            self._registries[node_id] = registry
+        return registry
+
+    def _default_purge_cycle(self) -> float:
+        slides = [s.query.slide for s in self._states.values()]
+        return min(slides) if slides else 3600.0
+
+    def _store_cache(
+        self,
+        state: _QueryState,
+        node_id: int,
+        pid: str,
+        cache_type: int,
+        partition: int,
+        payload: Any,
+        nbytes: int,
+        now: float,
+    ) -> None:
+        self._registry(node_id).add_entry(
+            pid, cache_type, partition, nbytes, payload, now=now
+        )
+        self.controller.cache_created(pid, cache_type, partition, node_id)
+        self.counters.increment("cache.bytes_written", nbytes)
+
+    def registries(self) -> Dict[int, LocalCacheRegistry]:
+        """Per-node cache registries created so far (testing/monitoring)."""
+        return dict(self._registries)
+
+    # ------------------------------------------------------------------
+    # post-execution: profiler, purging, adaptivity
+    # ------------------------------------------------------------------
+
+    def _after_recurrence(
+        self, state: _QueryState, result: RecurrenceResult
+    ) -> None:
+        query = state.query
+        # Volume observed since the previous recurrence: a processing-
+        # mode-independent signal for the fluctuation detector.
+        ingested = state.bytes_ingested - state.last_ingest_snapshot
+        state.last_ingest_snapshot = state.bytes_ingested
+        state.profiler.observe(result.response_time, ingested)
+
+        # Drop pane-work timing for panes that have left the window so
+        # long-lived queries do not accumulate state without bound.
+        current = {
+            (src, idx)
+            for src in query.sources
+            for idx in state.spec(src).panes_in_window(result.recurrence)
+        }
+        state.pane_work = {
+            key: work for key, work in state.pane_work.items() if key in current
+        }
+
+        # Expiration + purge notifications (PurgeCycle = slide).
+        notifications = self.controller.advance_window(
+            query.name, result.recurrence
+        )
+        for notification in notifications:
+            for node_id in notification.node_ids:
+                registry = self._registries.get(node_id)
+                if registry is not None:
+                    registry.mark_expired([notification.pid])
+        now = self.cluster.clock.now
+        for registry in self._registries.values():
+            purged = registry.maybe_purge(now)
+            if purged:
+                self.counters.increment("cache.entries_purged", len(purged))
+
+        # Drop unregistered temporary runs (no-cache mode).
+        if not self.enable_caching:
+            prefix = f"tmp/{query.name}/"
+            for node in self.cluster.live_nodes():
+                for name in node.local_files():
+                    if name.startswith(prefix):
+                        node.delete_local(name)
+
+        # Adaptive mode switch (Sec. 3.3): triggered by a forecast
+        # execution-time change or by recent fluctuation, per the paper's
+        # scale-factor mechanism.
+        if self.adaptive:
+            was = state.proactive
+            state.proactive = state.profiler.fluctuation_detected()
+            if state.proactive != was:
+                self.counters.increment("adaptive.mode_switches")
+                if state.proactive:
+                    factor = max(
+                        state.profiler.change_factor(),
+                        state.profiler.volatility(),
+                    )
+                    for src, plan in state.plans.items():
+                        state.plans[src] = self.analyzer.replan_adaptive(
+                            plan, factor
+                        )
+
+    def _write_output(
+        self,
+        query: RecurringQuery,
+        recurrence: int,
+        pairs: List[KeyValue],
+        finish: float,
+    ) -> None:
+        records = [
+            Record(ts=finish, value=pair, size=query.job.output_pair_size)
+            for pair in pairs
+        ]
+        path = query.output_path(recurrence)
+        if self.cluster.hdfs.exists(path):
+            self.cluster.hdfs.delete(path)
+        self.cluster.hdfs.create(path, records, created_at=finish)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def _require_data(self, state: _QueryState, recurrence: int) -> None:
+        for src in state.query.sources:
+            needed = state.query.spec(src).execution_time(recurrence)
+            covered = state.packers[src].covered_until
+            if covered + 1e-9 < needed:
+                raise RuntimeError(
+                    f"source {src!r} has data only until {covered}, but "
+                    f"recurrence {recurrence} needs it through {needed}; "
+                    "ingest the missing batches first"
+                )
+
+    def _with_faults(
+        self, task_key: str, duration: float, counters: Counters
+    ) -> float:
+        if self.faults is None:
+            return duration
+        effective, retries = self.faults.attempt_duration(task_key, duration)
+        if retries:
+            counters.increment("task.retries", retries)
+        return effective
+
+    def _state(self, query_name: str) -> _QueryState:
+        try:
+            return self._states[query_name]
+        except KeyError:
+            raise ValueError(f"query {query_name!r} is not registered") from None

@@ -1,0 +1,171 @@
+"""The Cache-Aware Task Scheduler (paper Sec. 4.3, Algorithm 2, Eq. 4).
+
+Redoop extends Hadoop's TaskScheduler with two ideas:
+
+* **task lists** — separate ``mapTaskList`` and ``reduceTaskList``
+  queues fed by ready-bit transitions in the window-aware cache
+  controller: a pane becoming HDFS-available enqueues its map task; a
+  pane's cache becoming available pairs it with its lifespan partners
+  and enqueues reduce tasks;
+* **Eq. 4 node choice** — ``node = argmin_i (Load_i + C_task,i)``,
+  where ``Load_i`` is the node's pending work and ``C_task,i`` the
+  SOPA-style I/O cost of running the task on node ``i`` (cheap where
+  the task's cached input lives, expensive elsewhere). This trades off
+  cache locality against load balance: a fully loaded node loses the
+  task even if it holds the cache.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Mapping, Optional, Tuple
+
+from ..hadoop.cluster import Cluster
+from ..hadoop.node import MAP_SLOT, REDUCE_SLOT, TaskNode
+
+__all__ = ["MapTaskRequest", "ReduceTaskRequest", "CacheAwareTaskScheduler"]
+
+
+@dataclass(frozen=True, slots=True)
+class MapTaskRequest:
+    """A schedulable map task: process one newly arrived pane."""
+
+    query: str
+    pid: str
+    input_bytes: int
+    #: HDFS nodes holding replicas of the pane's blocks.
+    locations: Tuple[int, ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
+class ReduceTaskRequest:
+    """A schedulable reduce task: one pane combination, one partition."""
+
+    query: str
+    #: source -> pane index of the combination to reduce.
+    panes: Tuple[Tuple[str, int], ...]
+    partition: int
+    #: total bytes the task must read.
+    input_bytes: int
+    #: node id -> bytes of the task's input cached on that node.
+    cached_bytes_by_node: Tuple[Tuple[int, int], ...] = ()
+
+
+class CacheAwareTaskScheduler:
+    """Eq. 4 node selection plus the Algorithm 2 task lists."""
+
+    def __init__(self, cluster: Cluster) -> None:
+        self.cluster = cluster
+        self.map_task_list: Deque[MapTaskRequest] = deque()
+        self.reduce_task_list: Deque[ReduceTaskRequest] = deque()
+
+    # ------------------------------------------------------------------
+    # task lists (Algorithm 2 bookkeeping)
+    # ------------------------------------------------------------------
+
+    def enqueue_map(self, request: MapTaskRequest) -> None:
+        """A pane became HDFS-available: its map task is schedulable."""
+        self.map_task_list.append(request)
+
+    def enqueue_reduce(self, request: ReduceTaskRequest) -> None:
+        """A cache pairing became complete: its reduce task is schedulable."""
+        self.reduce_task_list.append(request)
+
+    def next_map(self) -> Optional[MapTaskRequest]:
+        """FIFO pop from the map task list (Algorithm 2 lines 6-12)."""
+        return self.map_task_list.popleft() if self.map_task_list else None
+
+    def next_reduce(self) -> Optional[ReduceTaskRequest]:
+        """Pop the most cache-covered reduce task (Algorithm 2 lines 13-18).
+
+        The scheduler prefers tasks whose every input partition is
+        cached, then tasks with at least one cached partition, then the
+        rest — in FIFO order within each class.
+        """
+        if not self.reduce_task_list:
+            return None
+        best_idx = 0
+        best_rank = self._cache_rank(self.reduce_task_list[0])
+        for idx, request in enumerate(self.reduce_task_list):
+            rank = self._cache_rank(request)
+            if rank < best_rank:
+                best_idx, best_rank = idx, rank
+                if rank == 0:
+                    break
+        self.reduce_task_list.rotate(-best_idx)
+        request = self.reduce_task_list.popleft()
+        self.reduce_task_list.rotate(best_idx)
+        return request
+
+    @staticmethod
+    def _cache_rank(request: ReduceTaskRequest) -> int:
+        cached = sum(b for _n, b in request.cached_bytes_by_node)
+        if request.input_bytes <= 0 or cached >= request.input_bytes:
+            return 0  # fully cached
+        if cached > 0:
+            return 1  # partially cached
+        return 2  # nothing cached
+
+    def drop_reduce_tasks_using(self, pid: str) -> List[ReduceTaskRequest]:
+        """Remove scheduled reduce tasks that relied on a lost cache.
+
+        Sec. 5 failure recovery: "the scheduled tasks, using this cache,
+        must be removed from the ReduceTaskList immediately." Returns
+        the removed tasks so map tasks re-creating the cache can be
+        enqueued.
+        """
+        from .panes import pane_name
+
+        removed = [
+            r
+            for r in self.reduce_task_list
+            if any(pane_name(src, idx) == pid for src, idx in r.panes)
+        ]
+        if removed:
+            kept = [r for r in self.reduce_task_list if r not in removed]
+            self.reduce_task_list = deque(kept)
+        return removed
+
+    # ------------------------------------------------------------------
+    # Eq. 4 node selection
+    # ------------------------------------------------------------------
+
+    def select_map_node(
+        self, request: MapTaskRequest, now: float
+    ) -> TaskNode:
+        """Place a map task: Eq. 4 with HDFS replica locality as C_task."""
+        locations = set(request.locations)
+
+        def io_cost(node: TaskNode) -> float:
+            local = request.input_bytes if node.node_id in locations else 0
+            return self.cluster.cost_model.task_io_cost(
+                request.input_bytes, bytes_local=local
+            )
+
+        return self._argmin_eq4(MAP_SLOT, now, io_cost)
+
+    def select_reduce_node(
+        self, request: ReduceTaskRequest, now: float
+    ) -> TaskNode:
+        """Place a reduce task: Eq. 4 with cache residency as C_task."""
+        cached = dict(request.cached_bytes_by_node)
+
+        def io_cost(node: TaskNode) -> float:
+            local = min(cached.get(node.node_id, 0), request.input_bytes)
+            return self.cluster.cost_model.task_io_cost(
+                request.input_bytes, bytes_local=local
+            )
+
+        return self._argmin_eq4(REDUCE_SLOT, now, io_cost)
+
+    def _argmin_eq4(self, kind: str, now: float, io_cost) -> TaskNode:
+        live = self.cluster.live_nodes()
+        if not live:
+            raise RuntimeError("no live nodes to schedule on")
+
+        def objective(node: TaskNode) -> Tuple[float, int]:
+            load = node.load_at(now)
+            return (load + io_cost(node), node.node_id)
+
+        return min(live, key=objective)

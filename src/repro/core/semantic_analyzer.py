@@ -1,0 +1,172 @@
+"""The Semantic Analyzer: window-aware partition planning (paper Sec. 3.1).
+
+Given a recurring query's window constraints, per-source arrival-rate
+statistics, and the HDFS block size, the analyzer emits a
+:class:`PartitionPlan` per data source following Algorithm 1:
+
+1. ``pane = GCD(win, slide)`` — the logical data unit.
+2. ``filesize = rate * pane`` — expected physical size of one pane.
+3. *Oversize* case (``filesize >= blocksize``): one pane per physical
+   file (the file may span several HDFS blocks).
+4. *Undersized* case: ``floor(blocksize / filesize)`` panes are packed
+   into one physical file, avoiding Hadoop's many-small-files problem.
+
+The adaptive path (Sec. 3.3) re-plans with a scaled pane size when the
+Execution Profiler forecasts that executions will overrun the slide.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from ..hadoop.config import ClusterConfig
+from .panes import WindowSpec
+
+__all__ = ["SourceStats", "PartitionPlan", "SemanticAnalyzer", "shared_pane_seconds"]
+
+
+@dataclass(frozen=True)
+class SourceStats:
+    """Arrival statistics for one data source.
+
+    ``rate`` is bytes per second of incoming data, as measured by the
+    ingest layer or estimated from recent batches.
+    """
+
+    source: str
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError(f"source {self.source!r} needs a positive rate")
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """Output of Algorithm 1 for one source: ``PP = (pane, 1, panenum)``.
+
+    Attributes
+    ----------
+    source:
+        The data source this plan partitions.
+    pane_seconds:
+        Logical pane length (seconds).
+    panes_per_file:
+        How many logical panes share one physical HDFS file: 1 in the
+        oversize case, ``floor(blocksize / filesize)`` when undersized.
+    expected_pane_bytes:
+        The ``filesize`` estimate the decision was based on.
+    sub_panes:
+        Adaptive refinement factor (Sec. 3.3): each pane is split into
+        this many sub-panes for proactive early processing. 1 = no
+        refinement.
+    """
+
+    source: str
+    pane_seconds: float
+    panes_per_file: int
+    expected_pane_bytes: float
+    sub_panes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.pane_seconds <= 0:
+            raise ValueError("pane_seconds must be positive")
+        if self.panes_per_file < 1:
+            raise ValueError("a file holds at least one pane")
+        if self.sub_panes < 1:
+            raise ValueError("sub_panes must be at least 1")
+
+    @property
+    def oversize(self) -> bool:
+        """True when one pane maps to exactly one (possibly multi-block) file."""
+        return self.panes_per_file == 1
+
+    @property
+    def sub_pane_seconds(self) -> float:
+        """Length of the adaptive processing unit."""
+        return self.pane_seconds / self.sub_panes
+
+    def file_group_of_pane(self, pane_index: int) -> int:
+        """Index of the physical file that stores ``pane_index``."""
+        if pane_index < 0:
+            raise ValueError("pane indices are non-negative")
+        return pane_index // self.panes_per_file
+
+
+def shared_pane_seconds(specs: "list[WindowSpec]") -> float:
+    """Pane size serving *all* queries on one source (Sec. 3.1).
+
+    The analyzer "takes as input a sequence of recurring queries with
+    different window constraints"; the logical data unit must divide
+    every query's win and slide, so the shared pane is the GCD over all
+    of them. Every individual query's windows remain exact unions of
+    the shared panes.
+    """
+    if not specs:
+        raise ValueError("need at least one window spec")
+    ms = 0
+    for spec in specs:
+        ms = math.gcd(ms, round(spec.win * 1000))
+        ms = math.gcd(ms, round(spec.slide * 1000))
+    return ms / 1000.0
+
+
+class SemanticAnalyzer:
+    """Produces and adaptively revises partition plans (Algorithm 1)."""
+
+    def __init__(self, config: ClusterConfig) -> None:
+        self._config = config
+
+    def plan(self, spec: WindowSpec, stats: SourceStats) -> PartitionPlan:
+        """Algorithm 1: choose pane size and pane-to-file mapping."""
+        pane = spec.pane_seconds  # line 1: GCD(win, slide)
+        filesize = stats.rate * pane  # line 2
+        blocksize = self._config.block_size
+        if filesize >= blocksize:  # line 3: oversize case
+            panes_per_file = 1  # line 4: one file for one pane
+        else:  # lines 5-7: undersized case
+            panes_per_file = max(1, math.floor(blocksize / filesize))
+        return PartitionPlan(
+            source=stats.source,
+            pane_seconds=pane,
+            panes_per_file=panes_per_file,
+            expected_pane_bytes=filesize,
+        )
+
+    def plan_all(
+        self,
+        specs: Mapping[str, WindowSpec],
+        stats: Mapping[str, SourceStats],
+    ) -> Dict[str, PartitionPlan]:
+        """Plans for every source of a (possibly multi-source) query."""
+        missing = set(specs) - set(stats)
+        if missing:
+            raise ValueError(f"no arrival statistics for sources: {sorted(missing)}")
+        return {src: self.plan(specs[src], stats[src]) for src in sorted(specs)}
+
+    def replan_adaptive(
+        self, plan: PartitionPlan, scale_factor: float
+    ) -> PartitionPlan:
+        """Refine a plan when executions are forecast to overrun (Sec. 3.3).
+
+        ``scale_factor`` is the ratio between the forecast execution
+        time and the slide (>= 1 means the execution will not finish
+        before the next one is due). The pane is split into
+        ``ceil(scale_factor)`` sub-panes so that partial processing can
+        start as soon as each sub-pane's data is available. A factor
+        at or below 1 reverts to whole-pane processing.
+        """
+        if scale_factor <= 0:
+            raise ValueError("scale_factor must be positive")
+        sub = max(1, math.ceil(scale_factor))
+        if sub == plan.sub_panes:
+            return plan
+        return PartitionPlan(
+            source=plan.source,
+            pane_seconds=plan.pane_seconds,
+            panes_per_file=plan.panes_per_file,
+            expected_pane_bytes=plan.expected_pane_bytes,
+            sub_panes=sub,
+        )

@@ -1,0 +1,197 @@
+"""The per-query Cache Status Matrix (paper Sec. 4.2, Table 3, Fig. 4).
+
+For each registered recurring query the window-aware cache controller
+keeps one status matrix with a dimension per data source. Each cell
+marks whether the query's reduce operation has processed the
+corresponding combination of panes (for a binary join: the pane pair).
+The matrix answers three questions:
+
+* *update* — a reduce task finished for panes ``(i, j, ...)``;
+* *expiration* — may pane ``i`` of source ``A`` be purged? Only when it
+  has left the current window **and** every cell it co-occurs with
+  (its lifespan partners) is done;
+* *shift/purge* — leading expired panes are removed so the matrix does
+  not grow without bound (Fig. 4(c)).
+
+The implementation stores done cells in a set and tracks a per-source
+``base`` index (the lowest pane still represented). Cells below the
+base are implicitly done: the base advances only past expired panes,
+and a pane can only expire after every one of its required cells is
+done — so discarding them loses no information.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Sequence, Set, Tuple
+
+from .panes import WindowSpec
+
+__all__ = ["CacheStatusMatrix"]
+
+Coords = Tuple[int, ...]
+
+
+class CacheStatusMatrix:
+    """Tracks which pane combinations a query has finished reducing."""
+
+    def __init__(self, specs: Mapping[str, WindowSpec]) -> None:
+        if not specs:
+            raise ValueError("a status matrix needs at least one source")
+        slides = {round(spec.slide * 1000) for spec in specs.values()}
+        if len(slides) > 1:
+            raise ValueError(
+                "all sources of one query must share the same slide"
+            )
+        self._sources: Tuple[str, ...] = tuple(sorted(specs))
+        self._specs: Dict[str, WindowSpec] = dict(specs)
+        self._done: Set[Coords] = set()
+        self._base: Dict[str, int] = {src: 0 for src in self._sources}
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def sources(self) -> Tuple[str, ...]:
+        """Dimension order of coordinate tuples."""
+        return self._sources
+
+    def base(self, source: str) -> int:
+        """Lowest pane index of ``source`` still tracked by the matrix."""
+        self._check_source(source)
+        return self._base[source]
+
+    def num_tracked_cells(self) -> int:
+        """Explicitly stored done cells (monitoring/testing aid)."""
+        return len(self._done)
+
+    # ------------------------------------------------------------------
+    # update (Fig. 4(b))
+    # ------------------------------------------------------------------
+
+    def _coords(self, panes: Mapping[str, int]) -> Coords:
+        if set(panes) != set(self._sources):
+            raise ValueError(
+                f"expected panes for sources {self._sources}, got {sorted(panes)}"
+            )
+        for src, idx in panes.items():
+            if idx < 0:
+                raise ValueError(f"negative pane index for {src!r}")
+        return tuple(panes[src] for src in self._sources)
+
+    def mark_done(self, panes: Mapping[str, int]) -> None:
+        """Record that the reduce over this pane combination completed."""
+        coords = self._coords(panes)
+        if self._below_base(coords):
+            return  # already purged, hence already done
+        self._done.add(coords)
+
+    def is_done(self, panes: Mapping[str, int]) -> bool:
+        """Has this pane combination been reduced already?"""
+        coords = self._coords(panes)
+        return self._below_base(coords) or coords in self._done
+
+    def _below_base(self, coords: Coords) -> bool:
+        return any(
+            coords[d] < self._base[src] for d, src in enumerate(self._sources)
+        )
+
+    # ------------------------------------------------------------------
+    # expiration (Sec. 4.2 "Expiration")
+    # ------------------------------------------------------------------
+
+    def required_cells(self, source: str, index: int) -> Set[Coords]:
+        """Every cell pane ``index`` of ``source`` co-occurs with.
+
+        The union, over windows containing the pane, of the cross
+        product of the *other* sources' panes in that window — exactly
+        the pairings the query will eventually reduce. (The pane's
+        lifespan of Sec. 4.2 is the projection of this set onto each
+        partner dimension.)
+        """
+        self._check_source(source)
+        spec = self._specs[source]
+        k_min, k_max = spec.recurrences_containing_pane(index)
+        dim = self._sources.index(source)
+        cells: Set[Coords] = set()
+        for k in range(k_min, k_max + 1):
+            per_dim: List[Sequence[int]] = []
+            for d, src in enumerate(self._sources):
+                if d == dim:
+                    per_dim.append((index,))
+                else:
+                    per_dim.append(self._specs[src].panes_in_window(k))
+            cells.update(product(*per_dim))
+        return cells
+
+    def pane_expired(
+        self, source: str, index: int, current_recurrence: int
+    ) -> bool:
+        """May pane ``index`` of ``source`` be purged (paper's two tests)?
+
+        1. The pane is no longer part of the source's current window.
+        2. All cells within its lifespan are done.
+        """
+        self._check_source(source)
+        spec = self._specs[source]
+        current = spec.panes_in_window(current_recurrence)
+        if index >= min(current):
+            # Still in (or ahead of) the current window.
+            return False
+        return all(
+            self._below_base(c) or c in self._done
+            for c in self.required_cells(source, index)
+        )
+
+    def expired_panes(self, current_recurrence: int) -> Dict[str, List[int]]:
+        """All currently purgeable panes, per source."""
+        expired: Dict[str, List[int]] = {}
+        for src in self._sources:
+            spec = self._specs[src]
+            upper = min(spec.panes_in_window(current_recurrence))
+            hits = [
+                idx
+                for idx in range(self._base[src], upper)
+                if self.pane_expired(src, idx, current_recurrence)
+            ]
+            if hits:
+                expired[src] = hits
+        return expired
+
+    # ------------------------------------------------------------------
+    # shift / purge (Fig. 4(c))
+    # ------------------------------------------------------------------
+
+    def shift(self, current_recurrence: int) -> Dict[str, List[int]]:
+        """Purge leading expired panes in every dimension.
+
+        Scans each dimension from the low-index side and removes the
+        run of consecutive expired panes (the paper's shift); stops at
+        the first pane that is still live, even if later panes happen
+        to be done (Fig. 4's (S1P5, S2P5) example). Returns the purged
+        pane indices per source.
+        """
+        purged: Dict[str, List[int]] = {}
+        for src in self._sources:
+            removed: List[int] = []
+            while self.pane_expired(src, self._base[src], current_recurrence):
+                removed.append(self._base[src])
+                self._base[src] += 1
+            if removed:
+                purged[src] = removed
+        if purged:
+            self._done = {c for c in self._done if not self._below_base(c)}
+        return purged
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def _check_source(self, source: str) -> None:
+        if source not in self._specs:
+            raise ValueError(f"unknown source {source!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        bases = ", ".join(f"{s}>={self._base[s]}" for s in self._sources)
+        return f"CacheStatusMatrix({bases}, done={len(self._done)})"

@@ -1,0 +1,89 @@
+"""The batch-file catalog: which HDFS files cover which time ranges.
+
+The paper's data model (Sec. 2.1): between two query recurrences the
+system receives multiple batch files ``f1..fn`` whose *time ranges do
+not overlap and arrive in order*; records inside a file carry their own
+timestamps but are not necessarily sorted. The catalog tracks the
+``[t_start, t_end)`` range of every batch per data source so that both
+the plain-Hadoop driver and Redoop's data packer can find the files
+relevant to a window without scanning record contents.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["BatchFile", "BatchCatalog"]
+
+
+@dataclass(frozen=True, slots=True)
+class BatchFile:
+    """One uploaded batch: an HDFS path plus its covered time range."""
+
+    path: str
+    source: str
+    t_start: float
+    t_end: float
+
+    def __post_init__(self) -> None:
+        if self.t_end <= self.t_start:
+            raise ValueError(
+                f"batch {self.path!r} has an empty or inverted range "
+                f"[{self.t_start}, {self.t_end})"
+            )
+
+    def overlaps(self, start: float, end: float) -> bool:
+        """Does this batch intersect the half-open window ``[start, end)``?"""
+        return self.t_start < end and start < self.t_end
+
+
+class BatchCatalog:
+    """Per-source, time-ordered registry of batch files."""
+
+    def __init__(self) -> None:
+        self._by_source: Dict[str, List[BatchFile]] = {}
+
+    def add(self, batch: BatchFile) -> None:
+        """Register a batch; ranges within a source must not overlap.
+
+        Raises
+        ------
+        ValueError
+            If the batch overlaps an existing batch of the same source
+            or arrives out of order (the paper's model forbids both).
+        """
+        batches = self._by_source.setdefault(batch.source, [])
+        if batches and batch.t_start < batches[-1].t_end:
+            raise ValueError(
+                f"batch {batch.path!r} starts at {batch.t_start} but source "
+                f"{batch.source!r} already covers up to {batches[-1].t_end}"
+            )
+        batches.append(batch)
+
+    def sources(self) -> List[str]:
+        return sorted(self._by_source)
+
+    def batches(self, source: str) -> List[BatchFile]:
+        """All batches of ``source`` in time order."""
+        return list(self._by_source.get(source, []))
+
+    def files_overlapping(
+        self, start: float, end: float, *, source: Optional[str] = None
+    ) -> List[BatchFile]:
+        """Batches intersecting ``[start, end)``, optionally per source."""
+        if end <= start:
+            raise ValueError(f"empty window [{start}, {end})")
+        sources = [source] if source is not None else self.sources()
+        hits: List[BatchFile] = []
+        for src in sources:
+            for batch in self._by_source.get(src, []):
+                if batch.overlaps(start, end):
+                    hits.append(batch)
+        return hits
+
+    def covered_until(self, source: str) -> float:
+        """Latest time up to which ``source`` has delivered data (0 if none)."""
+        batches = self._by_source.get(source, [])
+        return batches[-1].t_end if batches else 0.0

@@ -1,0 +1,136 @@
+"""The simulated cluster: one master plus N slave task nodes and HDFS.
+
+This object owns everything with cross-module lifetime: the virtual
+clock, the distributed file system, the per-node slot/cache state, and
+the shared cost model. Both the plain-Hadoop baseline driver and the
+Redoop runtime execute against the same :class:`Cluster` so comparisons
+are apples-to-apples.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterator, List, Optional, Set
+
+from .config import ClusterConfig, DEFAULT_CONFIG
+from .costmodel import CostModel
+from .counters import Counters
+from .hdfs import SimulatedHDFS
+from .node import TaskNode
+from .simclock import SimClock
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """A shared-nothing cluster of task nodes with simulated HDFS.
+
+    Parameters
+    ----------
+    config:
+        Static cluster description; defaults to the paper's 30-node setup.
+    seed:
+        Seed for all stochastic choices (block placement, tie-breaking).
+    """
+
+    def __init__(
+        self,
+        config: ClusterConfig = DEFAULT_CONFIG,
+        *,
+        seed: int = 0,
+        node_speeds: Optional[Dict[int, float]] = None,
+    ) -> None:
+        """Build the cluster.
+
+        ``node_speeds`` optionally maps node ids to relative execution
+        speeds (default 1.0) to model heterogeneous hardware: tasks on
+        a 0.5x node take twice as long, which Eq. 4's load term sees
+        and routes around.
+        """
+        self.config = config
+        self.rng = random.Random(seed)
+        self.clock = SimClock()
+        self.hdfs = SimulatedHDFS(config, seed=seed + 1)
+        self.cost_model = CostModel(config)
+        self.counters = Counters()
+        speeds = node_speeds or {}
+        unknown = set(speeds) - set(range(config.num_nodes))
+        if unknown:
+            raise ValueError(f"speeds given for unknown nodes: {sorted(unknown)}")
+        self._nodes: Dict[int, TaskNode] = {
+            node_id: TaskNode(
+                node_id,
+                map_slots=config.map_slots_per_node,
+                reduce_slots=config.reduce_slots_per_node,
+                speed=speeds.get(node_id, 1.0),
+            )
+            for node_id in range(config.num_nodes)
+        }
+
+    # ------------------------------------------------------------------
+    # node access
+    # ------------------------------------------------------------------
+
+    def node(self, node_id: int) -> TaskNode:
+        """The node with id ``node_id`` (alive or dead)."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise KeyError(f"no node {node_id} in this cluster") from None
+
+    def nodes(self) -> Iterator[TaskNode]:
+        """All nodes in id order, including dead ones."""
+        for node_id in sorted(self._nodes):
+            yield self._nodes[node_id]
+
+    def live_nodes(self) -> List[TaskNode]:
+        """Alive nodes in id order."""
+        return [n for n in self.nodes() if n.alive]
+
+    def live_node_ids(self) -> List[int]:
+        return [n.node_id for n in self.live_nodes()]
+
+    @property
+    def num_live_nodes(self) -> int:
+        return len(self.live_nodes())
+
+    # ------------------------------------------------------------------
+    # failure control (exercised by repro.hadoop.faults)
+    # ------------------------------------------------------------------
+
+    def fail_node(self, node_id: int) -> List[str]:
+        """Kill a slave node: its slots, local caches, and HDFS replicas.
+
+        Returns the local-file names lost with the node so cache recovery
+        can react. HDFS re-replicates affected blocks immediately.
+        """
+        node = self.node(node_id)
+        lost = node.fail()
+        self.hdfs.fail_node(node_id)
+        self.counters.increment("cluster.node_failures")
+        return lost
+
+    def recover_node(self, node_id: int) -> None:
+        """Bring a dead node back with empty local state."""
+        node = self.node(node_id)
+        node.recover(self.clock.now)
+        self.hdfs.recover_node(node_id)
+
+    # ------------------------------------------------------------------
+    # housekeeping
+    # ------------------------------------------------------------------
+
+    def reset_slots(self) -> None:
+        """Free every slot on every live node at the current clock time."""
+        for node in self.live_nodes():
+            node.reset_slots(self.clock.now)
+
+    def total_cache_bytes(self) -> int:
+        """Bytes of local-file-system data across live nodes."""
+        return sum(n.local_bytes for n in self.live_nodes())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Cluster(nodes={self.config.num_nodes}, "
+            f"live={self.num_live_nodes}, t={self.clock.now:.1f}s)"
+        )

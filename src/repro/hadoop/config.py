@@ -1,0 +1,144 @@
+"""Cluster and cost-model configuration for the simulated Hadoop substrate.
+
+Defaults mirror the paper's experimental setup (Sec. 6.1): 30 slave nodes
+plus one master, each worker running up to 6 map and 2 reduce tasks
+concurrently, 64 MB HDFS blocks, replication factor 3, and 1 Gbit
+Ethernet. Disk and CPU rates are chosen to make I/O the dominant cost,
+matching the SOPA observation the paper relies on for Eq. 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from .types import MEGABYTE
+
+__all__ = ["ClusterConfig", "DEFAULT_CONFIG", "small_test_config"]
+
+
+@dataclass(frozen=True, slots=True)
+class ClusterConfig:
+    """Static description of a simulated cluster.
+
+    All bandwidths are bytes per (virtual) second; all per-record costs
+    are virtual seconds per record. The defaults are deliberately on the
+    scale of 2013-era commodity hardware so that simulated job times land
+    in the same minutes-per-window regime the paper reports.
+    """
+
+    #: Number of slave (task) nodes; the master is separate and runs no tasks.
+    num_nodes: int = 30
+
+    #: Concurrent map tasks per node (paper: 6).
+    map_slots_per_node: int = 6
+
+    #: Concurrent reduce tasks per node (paper: 2).
+    reduce_slots_per_node: int = 2
+
+    #: HDFS block size in bytes (paper/default Hadoop: 64 MB).
+    block_size: int = 64 * MEGABYTE
+
+    #: HDFS replication factor (paper: 3).
+    replication: int = 3
+
+    #: Effective *per-task-stream* local-disk bandwidth, bytes/s. A
+    #: 2013-era spinning disk streams ~100 MB/s, shared by the node's
+    #: 6 concurrent map tasks — hence ~16 MB/s per stream.
+    disk_bandwidth: float = 16.0 * MEGABYTE
+
+    #: Effective *per-task-stream* network bandwidth, bytes/s. 1 Gbit
+    #: Ethernet (~117 MiB/s) shared across a node's concurrent
+    #: transfers gives ~12 MB/s per stream.
+    network_bandwidth: float = 12.0 * MEGABYTE
+
+    #: CPU cost of running the map function on one record, seconds.
+    map_cpu_per_record: float = 2.0e-6
+
+    #: CPU cost of running the reduce function on one record, seconds.
+    reduce_cpu_per_record: float = 4.0e-6
+
+    #: Per-comparison coefficient for the merge-sort in the reduce phase.
+    #: Sort cost for n records is ``sort_cpu_coeff * n * log2(n)``.
+    sort_cpu_coeff: float = 1.5e-7
+
+    #: Fixed startup/teardown overhead charged per task (JVM spin-up etc.).
+    task_overhead: float = 0.1
+
+    #: Fixed per-job overhead (job setup, split computation).
+    job_overhead: float = 1.0
+
+    #: Fraction of map output written to and re-read from local disk
+    #: during the map-side spill/merge (1.0 = every byte spilled once).
+    spill_factor: float = 1.0
+
+    #: Number of reduce tasks a job uses by default. The paper keeps the
+    #: reducer count fixed across recurrences to preserve cache validity.
+    default_num_reducers: int = 60
+
+    #: Hadoop's speculative execution: launch backup copies of straggler
+    #: map tasks on other nodes and take whichever finishes first. The
+    #: paper turns it off "so to boost performance" (Sec. 6.1) — that is
+    #: the default here too.
+    speculative_execution: bool = False
+
+    #: A map task is a straggler when its projected finish exceeds this
+    #: multiple of the phase's median finish time.
+    speculative_slowness: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError("a cluster needs at least one task node")
+        if self.map_slots_per_node < 1 or self.reduce_slots_per_node < 1:
+            raise ValueError("each node needs at least one map and one reduce slot")
+        if self.block_size <= 0:
+            raise ValueError("block_size must be positive")
+        if self.replication < 1:
+            raise ValueError("replication factor must be at least 1")
+        if min(self.disk_bandwidth, self.network_bandwidth) <= 0:
+            raise ValueError("bandwidths must be positive")
+        if self.default_num_reducers < 1:
+            raise ValueError("jobs need at least one reducer")
+
+    @property
+    def total_map_slots(self) -> int:
+        """Cluster-wide map-slot capacity."""
+        return self.num_nodes * self.map_slots_per_node
+
+    @property
+    def total_reduce_slots(self) -> int:
+        """Cluster-wide reduce-slot capacity."""
+        return self.num_nodes * self.reduce_slots_per_node
+
+    def with_overrides(self, **changes: object) -> "ClusterConfig":
+        """Return a copy of this config with ``changes`` applied."""
+        return replace(self, **changes)
+
+
+#: The paper's 30-node cluster.
+DEFAULT_CONFIG = ClusterConfig()
+
+
+def small_test_config(
+    num_nodes: int = 4,
+    *,
+    block_size: int = 4 * MEGABYTE,
+    num_reducers: Optional[int] = None,
+) -> ClusterConfig:
+    """A small, fast configuration suitable for unit tests.
+
+    Parameters
+    ----------
+    num_nodes:
+        Slave-node count (default 4).
+    block_size:
+        HDFS block size; small so that modest files still split.
+    num_reducers:
+        Default reducer count; defaults to ``2 * num_nodes`` so reduce
+        slots are contended but not starved.
+    """
+    return ClusterConfig(
+        num_nodes=num_nodes,
+        block_size=block_size,
+        default_num_reducers=num_reducers or 2 * num_nodes,
+    )

@@ -1,0 +1,96 @@
+"""Job counters and per-phase timing, mirroring Hadoop's counter system.
+
+The paper's Figures 6(b,d,f) and 7(b,d,f) report the *time distribution*
+of jobs across the shuffle and reduce phases; :class:`PhaseTimes`
+accumulates exactly those quantities, while :class:`Counters` tracks the
+byte- and record-level work the cost model charges for.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping, Tuple
+
+__all__ = ["Counters", "PhaseTimes"]
+
+
+class Counters:
+    """A named bag of monotonically increasing numeric counters.
+
+    Counter names follow Hadoop's dotted convention, e.g.
+    ``hdfs.bytes_read`` or ``shuffle.bytes``. Unknown counters read as
+    zero, so callers never need to pre-register names.
+    """
+
+    def __init__(self) -> None:
+        self._values: Dict[str, float] = defaultdict(float)
+
+    def increment(self, name: str, amount: float = 1.0) -> None:
+        """Add ``amount`` (which must be non-negative) to counter ``name``."""
+        if amount < 0:
+            raise ValueError(f"counter {name!r} cannot be decremented")
+        self._values[name] += amount
+
+    def get(self, name: str) -> float:
+        """Current value of ``name`` (zero if never incremented)."""
+        return self._values.get(name, 0.0)
+
+    def merge(self, other: "Counters") -> None:
+        """Fold every counter from ``other`` into this bag."""
+        for name, value in other._values.items():
+            self._values[name] += value
+
+    def as_dict(self) -> Dict[str, float]:
+        """A plain-dict snapshot, suitable for reporting."""
+        return dict(self._values)
+
+    def __iter__(self) -> Iterator[Tuple[str, float]]:
+        return iter(sorted(self._values.items()))
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v:g}" for k, v in self)
+        return f"Counters({inner})"
+
+
+@dataclass(slots=True)
+class PhaseTimes:
+    """Wall-clock (virtual) seconds attributed to each phase of a job.
+
+    ``map`` is the busy time of the map phase (maps overlap, so this is
+    the phase's *span*, not the sum of task durations). ``shuffle`` is
+    measured the way the paper does: from the first mapper finishing
+    (reducers begin copying immediately) until reducers start sorting.
+    ``reduce`` covers sort + group + the accumulated reduce calls.
+    """
+
+    map: float = 0.0
+    shuffle: float = 0.0
+    reduce: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """Sum over all phases; equals job span when phases don't overlap."""
+        return self.map + self.shuffle + self.reduce
+
+    def add(self, other: "PhaseTimes") -> None:
+        """Accumulate ``other`` into this instance (used across windows)."""
+        self.map += other.map
+        self.shuffle += other.shuffle
+        self.reduce += other.reduce
+
+    def scaled(self, factor: float) -> "PhaseTimes":
+        """Return a copy with every phase multiplied by ``factor``."""
+        if factor < 0:
+            raise ValueError("phase times cannot be scaled negatively")
+        return PhaseTimes(
+            map=self.map * factor,
+            shuffle=self.shuffle * factor,
+            reduce=self.reduce * factor,
+        )
+
+    def as_dict(self) -> Mapping[str, float]:
+        return {"map": self.map, "shuffle": self.shuffle, "reduce": self.reduce}

@@ -1,0 +1,105 @@
+"""Deterministic fault injection for tasks, nodes, and caches.
+
+The paper evaluates fault tolerance (Sec. 6.4) by injecting *cache
+removals* at the start of each window and relies on Hadoop's standard
+task-retry machinery for task failures. This module provides both,
+driven by a seeded RNG so experiments are exactly repeatable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = ["FaultInjector"]
+
+
+@dataclass
+class FaultInjector:
+    """Injects failures with reproducible randomness.
+
+    Parameters
+    ----------
+    task_failure_prob:
+        Probability that any given task *attempt* fails. A failed
+        attempt wastes ``failed_attempt_fraction`` of the task's
+        duration before the retry starts (Hadoop restarts failed tasks,
+        paper Sec. 5, item 1).
+    max_attempts:
+        Attempts before the job would be declared failed (Hadoop's
+        ``mapred.map.max.attempts``, default 4).
+    failed_attempt_fraction:
+        Fraction of the task duration elapsed when the failure strikes.
+    cache_loss_fraction:
+        Fraction of cache entries destroyed by :meth:`pick_cache_victims`
+        (the Fig. 9 experiment removes caches at each window start).
+    seed:
+        RNG seed.
+    """
+
+    task_failure_prob: float = 0.0
+    max_attempts: int = 4
+    failed_attempt_fraction: float = 0.5
+    cache_loss_fraction: float = 0.0
+    seed: int = 0
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.task_failure_prob < 1.0:
+            raise ValueError("task_failure_prob must be in [0, 1)")
+        if not 0.0 <= self.cache_loss_fraction <= 1.0:
+            raise ValueError("cache_loss_fraction must be in [0, 1]")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if not 0.0 < self.failed_attempt_fraction <= 1.0:
+            raise ValueError("failed_attempt_fraction must be in (0, 1]")
+        self._rng = random.Random(self.seed)
+
+    # ------------------------------------------------------------------
+    # task failures
+    # ------------------------------------------------------------------
+
+    def attempt_duration(
+        self, task_key: str, duration: float
+    ) -> Tuple[float, int]:
+        """Total time spent on ``task_key`` including failed attempts.
+
+        Returns ``(effective_duration, retries)``. Raises
+        ``RuntimeError`` if the task exhausts ``max_attempts`` — in real
+        Hadoop that fails the whole job, which no experiment here should
+        hit with sane probabilities.
+        """
+        if self.task_failure_prob == 0.0:
+            return duration, 0
+        total = 0.0
+        for attempt in range(self.max_attempts):
+            if self._rng.random() >= self.task_failure_prob:
+                return total + duration, attempt
+            total += duration * self.failed_attempt_fraction
+        raise RuntimeError(
+            f"task {task_key!r} failed {self.max_attempts} attempts"
+        )
+
+    # ------------------------------------------------------------------
+    # cache failures
+    # ------------------------------------------------------------------
+
+    def pick_cache_victims(self, cache_ids: Sequence[str]) -> List[str]:
+        """Choose which cache entries to destroy this round.
+
+        Selects ``cache_loss_fraction`` of ``cache_ids`` (at least one
+        when the fraction is non-zero and any caches exist), sampling
+        without replacement.
+        """
+        if self.cache_loss_fraction == 0.0 or not cache_ids:
+            return []
+        k = max(1, round(len(cache_ids) * self.cache_loss_fraction))
+        k = min(k, len(cache_ids))
+        return sorted(self._rng.sample(list(cache_ids), k))
+
+    def pick_node_victim(self, node_ids: Sequence[int]) -> int:
+        """Choose a node to kill (for slave-failure experiments)."""
+        if not node_ids:
+            raise ValueError("no nodes to choose a victim from")
+        return self._rng.choice(list(node_ids))

@@ -1,0 +1,105 @@
+"""MapReduce job specifications.
+
+A :class:`MapReduceJob` bundles the user's map, combine, and reduce
+functions with the knobs the runtime needs: reducer count, partitioner,
+and byte-size estimators for intermediate and output records (the cost
+model charges I/O in bytes, so the simulator must know how big the
+logical pairs would be on disk).
+
+Functions follow Hadoop's contracts:
+
+* ``mapper(record) -> iterable of (key, value)`` — one input record in,
+  zero or more pairs out.
+* ``combiner(key, values) -> iterable of (key, value)`` — optional
+  map-side pre-aggregation; must be algebraically safe to apply any
+  number of times.
+* ``reducer(key, values) -> iterable of (key, value)`` — one key group
+  in, zero or more output pairs out.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional
+
+from .types import KeyValue, Record
+
+__all__ = [
+    "MapReduceJob",
+    "MapFn",
+    "ReduceFn",
+    "stable_hash",
+    "default_partitioner",
+]
+
+MapFn = Callable[[Record], Iterable[KeyValue]]
+ReduceFn = Callable[[Any, list], Iterable[KeyValue]]
+Partitioner = Callable[[Any, int], int]
+
+
+def stable_hash(key: Any) -> int:
+    """A deterministic 32-bit hash of ``key``.
+
+    Python's built-in ``hash`` for strings is salted per process, which
+    would make partition assignment — and therefore cache placement —
+    unstable across runs. CRC32 over the repr is stable, fast, and well
+    mixed enough for partitioning.
+    """
+    return zlib.crc32(repr(key).encode("utf-8"))
+
+
+def default_partitioner(key: Any, num_partitions: int) -> int:
+    """Hadoop's HashPartitioner, on the stable hash."""
+    if num_partitions < 1:
+        raise ValueError("num_partitions must be at least 1")
+    return stable_hash(key) % num_partitions
+
+
+@dataclass(frozen=True)
+class MapReduceJob:
+    """A complete, runnable job description.
+
+    Attributes
+    ----------
+    name:
+        Human-readable job name, used in counters and logs.
+    mapper / reducer / combiner:
+        The user functions (see module docstring for contracts).
+    num_reducers:
+        Number of reduce partitions. Redoop requires this to stay fixed
+        across recurrences of the same query so cached reduce inputs
+        remain valid (paper Sec. 4.3).
+    partitioner:
+        Maps a key to a reduce partition; must also stay fixed across
+        recurrences.
+    intermediate_pair_size:
+        Bytes charged per map-output pair.
+    output_pair_size:
+        Bytes charged per reduce-output pair.
+    """
+
+    name: str
+    mapper: MapFn
+    reducer: ReduceFn
+    num_reducers: int
+    combiner: Optional[ReduceFn] = None
+    partitioner: Partitioner = default_partitioner
+    intermediate_pair_size: int = 64
+    output_pair_size: int = 64
+
+    def __post_init__(self) -> None:
+        if self.num_reducers < 1:
+            raise ValueError("a job needs at least one reducer")
+        if self.intermediate_pair_size <= 0 or self.output_pair_size <= 0:
+            raise ValueError("pair sizes must be positive byte counts")
+
+    def partition_of(self, key: Any) -> int:
+        """Reduce partition responsible for ``key``."""
+        return self.partitioner(key, self.num_reducers)
+
+    def with_name(self, name: str) -> "MapReduceJob":
+        """A copy of this job under a different name (per-window jobs)."""
+        from dataclasses import replace
+
+        return replace(self, name=name)

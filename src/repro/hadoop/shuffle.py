@@ -1,0 +1,77 @@
+"""Shuffle mechanics: partitioning, sorting, and grouping of map output.
+
+These are the *logical* counterparts of Hadoop's shuffle — they move
+real key/value pairs so reduce functions see correct groups. The
+*temporal* cost of shuffling (network transfer, merge-sort CPU) is
+charged separately by the cost model inside the job tracker.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from itertools import groupby
+from typing import Any, Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from .job import MapReduceJob, ReduceFn
+from .types import KeyValue
+
+__all__ = [
+    "partition_pairs",
+    "sort_pairs",
+    "group_sorted",
+    "apply_combiner",
+    "run_reduce_partition",
+]
+
+
+def _sort_token(key: Any) -> Tuple[str, str]:
+    """A total-order token for heterogeneous keys.
+
+    Hadoop sorts serialised bytes; we emulate that with the type name
+    plus ``repr``, which is deterministic and totally ordered for any
+    mix of key types.
+    """
+    return (type(key).__name__, repr(key))
+
+
+def partition_pairs(
+    pairs: Iterable[KeyValue], job: MapReduceJob
+) -> Dict[int, List[KeyValue]]:
+    """Split map output ``pairs`` across the job's reduce partitions."""
+    buckets: Dict[int, List[KeyValue]] = defaultdict(list)
+    for key, value in pairs:
+        buckets[job.partition_of(key)].append((key, value))
+    return dict(buckets)
+
+
+def sort_pairs(pairs: Iterable[KeyValue]) -> List[KeyValue]:
+    """Sort pairs by key the way Hadoop's merge-sort would."""
+    return sorted(pairs, key=lambda kv: _sort_token(kv[0]))
+
+
+def group_sorted(
+    sorted_pairs: Sequence[KeyValue],
+) -> Iterator[Tuple[Any, List[Any]]]:
+    """Yield ``(key, values)`` groups from key-sorted pairs."""
+    for key, group in groupby(sorted_pairs, key=lambda kv: kv[0]):
+        yield key, [v for _, v in group]
+
+
+def apply_combiner(
+    pairs: Iterable[KeyValue], combiner: ReduceFn
+) -> List[KeyValue]:
+    """Run the map-side combiner over ``pairs`` and return the survivors."""
+    combined: List[KeyValue] = []
+    for key, values in group_sorted(sort_pairs(list(pairs))):
+        combined.extend(combiner(key, values))
+    return combined
+
+
+def run_reduce_partition(
+    pairs: Iterable[KeyValue], reducer: ReduceFn
+) -> List[KeyValue]:
+    """Sort, group, and reduce one partition's worth of pairs."""
+    output: List[KeyValue] = []
+    for key, values in group_sorted(sort_pairs(list(pairs))):
+        output.extend(reducer(key, values))
+    return output

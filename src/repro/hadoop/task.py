@@ -1,0 +1,98 @@
+"""Logical execution of map and reduce tasks.
+
+A task execution produces two things: the *real* output pairs (so
+downstream logic and tests can check correctness) and the byte/record
+accounting the cost model needs to charge virtual time. Scheduling —
+which node runs the task and when — is decided elsewhere; these
+functions are pure data transformations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Sequence
+
+from .job import MapReduceJob
+from .shuffle import apply_combiner, partition_pairs, run_reduce_partition
+from .types import KeyValue, Record, records_size
+
+__all__ = ["MapExecution", "ReduceExecution", "execute_map", "execute_reduce"]
+
+
+@dataclass(slots=True)
+class MapExecution:
+    """Outcome of one map task over one input split."""
+
+    #: Map output pairs, already split by reduce partition.
+    partitioned: Dict[int, List[KeyValue]]
+    input_records: int
+    input_bytes: int
+    output_pairs: int
+    output_bytes: int
+
+    def bytes_for_partition(self, partition: int, job: MapReduceJob) -> int:
+        """Bytes of this task's output destined for ``partition``."""
+        pairs = self.partitioned.get(partition, [])
+        return len(pairs) * job.intermediate_pair_size
+
+
+@dataclass(slots=True)
+class ReduceExecution:
+    """Outcome of one reduce task over one partition."""
+
+    partition: int
+    output: List[KeyValue]
+    input_pairs: int
+    input_bytes: int
+    output_bytes: int
+
+
+def execute_map(
+    job: MapReduceJob,
+    records: Sequence[Record],
+    *,
+    input_bytes: int | None = None,
+) -> MapExecution:
+    """Run the job's mapper (and combiner, if any) over ``records``.
+
+    Parameters
+    ----------
+    job:
+        The job whose mapper/combiner/partitioner to apply.
+    records:
+        The split's input records.
+    input_bytes:
+        Split size to charge; computed from the records when omitted
+        (callers pass the block size when splits are block-aligned).
+    """
+    pairs: List[KeyValue] = []
+    for record in records:
+        pairs.extend(job.mapper(record))
+    if job.combiner is not None:
+        pairs = apply_combiner(pairs, job.combiner)
+    partitioned = partition_pairs(pairs, job)
+    n_bytes = records_size(records) if input_bytes is None else input_bytes
+    return MapExecution(
+        partitioned=partitioned,
+        input_records=len(records),
+        input_bytes=n_bytes,
+        output_pairs=len(pairs),
+        output_bytes=len(pairs) * job.intermediate_pair_size,
+    )
+
+
+def execute_reduce(
+    job: MapReduceJob,
+    partition: int,
+    pairs: Iterable[KeyValue],
+) -> ReduceExecution:
+    """Sort, group, and reduce one partition's pairs."""
+    pair_list = list(pairs)
+    output = run_reduce_partition(pair_list, job.reducer)
+    return ReduceExecution(
+        partition=partition,
+        output=output,
+        input_pairs=len(pair_list),
+        input_bytes=len(pair_list) * job.intermediate_pair_size,
+        output_bytes=len(output) * job.output_pair_size,
+    )

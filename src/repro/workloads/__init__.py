@@ -1,0 +1,44 @@
+"""Synthetic workloads standing in for the paper's datasets.
+
+The WorldCup Click trace (236 GB) and RedFIR football sensor data
+(26 GB) are not redistributable; these generators produce streams with
+the same schemas, rates, and skew characteristics, plus the batch
+arrival machinery and the exact recurring queries the paper evaluates.
+"""
+
+from .batches import (
+    RateSchedule,
+    constant_rate,
+    generate_batches,
+    paper_spike_windows,
+    spiky_rate,
+)
+from .ffg import FFGConfig, generate_event_records, generate_position_records
+from .queries import (
+    AGG_SOURCE,
+    JOIN_SOURCES,
+    aggregation_query,
+    distinct_count_query,
+    extrema_query,
+    join_query,
+)
+from .wcc import WCCConfig, generate_wcc_records
+
+__all__ = [
+    "AGG_SOURCE",
+    "FFGConfig",
+    "JOIN_SOURCES",
+    "RateSchedule",
+    "WCCConfig",
+    "aggregation_query",
+    "constant_rate",
+    "distinct_count_query",
+    "extrema_query",
+    "generate_batches",
+    "generate_event_records",
+    "generate_position_records",
+    "generate_wcc_records",
+    "join_query",
+    "paper_spike_windows",
+    "spiky_rate",
+]

@@ -1,0 +1,117 @@
+"""Batch arrival generation: turning record generators into HDFS uploads.
+
+The paper's data model (Sec. 2.1): sources deliver data as ordered,
+non-overlapping batch files that land in HDFS as they are collected.
+This module slices a time horizon into batches, invokes a per-interval
+record generator, and yields ``(BatchFile, records)`` pairs ready to be
+ingested by either the Redoop runtime or the plain-Hadoop catalog.
+
+It also provides the rate schedules the experiments need — constant
+rates and the Fig. 8 spike pattern (selected windows carry a doubled
+workload).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Sequence, Set, Tuple
+
+from ..hadoop.catalog import BatchFile
+from ..hadoop.types import Record
+from ..core.panes import WindowSpec
+
+__all__ = [
+    "RateSchedule",
+    "constant_rate",
+    "spiky_rate",
+    "generate_batches",
+    "paper_spike_windows",
+]
+
+#: Maps a time interval to the byte rate in effect over it.
+RateSchedule = Callable[[float, float], float]
+
+#: Generates records for one interval at one rate:
+#: ``(t_start, t_end, rate, seed) -> records``.
+RecordGenerator = Callable[[float, float, float, int], List[Record]]
+
+
+def constant_rate(rate: float) -> RateSchedule:
+    """A schedule delivering ``rate`` bytes/s at all times."""
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    return lambda _t0, _t1: rate
+
+
+def spiky_rate(
+    base_rate: float,
+    spec: WindowSpec,
+    *,
+    spiked_recurrences: Set[int],
+    factor: float = 2.0,
+) -> RateSchedule:
+    """The Fig. 8 schedule: selected recurrences carry ``factor``× data.
+
+    A recurrence ``k`` is "spiked" by inflating the rate over the slide
+    interval of *new* data it introduces, i.e. ``[exec(k) - slide,
+    exec(k))`` (for ``k = 1``, the whole first window). Intervals must
+    not straddle slide boundaries — :func:`generate_batches` guarantees
+    this when ``batch_seconds`` divides the slide.
+    """
+    if factor <= 0:
+        raise ValueError("factor must be positive")
+
+    def schedule(t0: float, t1: float) -> float:
+        mid = (t0 + t1) / 2.0
+        # Which recurrence first introduces data at time `mid`?
+        # exec(k) - slide <= mid < exec(k)  =>  k = floor((mid - win)/slide) + 2
+        if mid < spec.win:
+            recurrence = 1
+        else:
+            recurrence = int((mid - spec.win) // spec.slide) + 2
+        return base_rate * factor if recurrence in spiked_recurrences else base_rate
+
+    return schedule
+
+
+def paper_spike_windows(num_windows: int = 10) -> Set[int]:
+    """Fig. 8's pattern: windows 1, 4, 7, 10 normal, the rest doubled."""
+    normal = {1, 4, 7, 10}
+    return {k for k in range(1, num_windows + 1) if k not in normal}
+
+
+def generate_batches(
+    source: str,
+    horizon: float,
+    batch_seconds: float,
+    rate_schedule: RateSchedule,
+    record_generator: RecordGenerator,
+    *,
+    path_prefix: str = "/batches",
+    seed: int = 0,
+) -> Iterator[Tuple[BatchFile, List[Record]]]:
+    """Yield consecutive batches covering ``[0, horizon)``.
+
+    Each batch covers ``batch_seconds`` (the final one may be shorter)
+    and is generated at the schedule's rate for its interval. Batches
+    appear in time order, matching the catalog/packer contracts.
+    """
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    if batch_seconds <= 0:
+        raise ValueError("batch_seconds must be positive")
+    index = 0
+    t0 = 0.0
+    while t0 < horizon - 1e-9:
+        t1 = min(horizon, t0 + batch_seconds)
+        rate = rate_schedule(t0, t1)
+        records = record_generator(t0, t1, rate, seed + index)
+        batch = BatchFile(
+            path=f"{path_prefix}/{source}/b{index:05d}",
+            source=source,
+            t_start=t0,
+            t_end=t1,
+        )
+        yield batch, records
+        index += 1
+        t0 = t1

@@ -1,0 +1,267 @@
+"""The paper's evaluated recurring queries as reusable builders.
+
+Two query families drive the entire evaluation (Sec. 6.1):
+
+* **aggregation** over the WCC click stream — group clicks by a
+  dimension (object, region, ...) and aggregate counts and bytes; the
+  reducer's per-pane partials merge algebraically in the finalizer;
+* **equi-join** of the two FFG sensor streams on player id — the
+  mapper tags each record with its source, the reducer cross-products
+  the two sides per key, and the default concatenating finalizer
+  assembles the window output from per-pane-pair results.
+
+Both builders return :class:`~repro.core.query.RecurringQuery` objects
+that run identically on the Redoop runtime and (via their inner job)
+on the plain-Hadoop baseline — which is exactly how the harness
+compares the systems.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Tuple
+
+from ..core.panes import WindowSpec
+from ..core.query import RecurringQuery, merging_finalizer
+from ..hadoop.job import MapReduceJob
+from ..hadoop.types import KeyValue, Record
+
+__all__ = [
+    "AGG_SOURCE",
+    "JOIN_SOURCES",
+    "aggregation_query",
+    "distinct_count_query",
+    "extrema_query",
+    "join_query",
+]
+
+#: Default source names used by the experiment harness.
+AGG_SOURCE = "wcc"
+JOIN_SOURCES = ("events", "positions")
+
+
+# ----------------------------------------------------------------------
+# aggregation (WCC)
+# ----------------------------------------------------------------------
+
+
+def _agg_mapper_for(key_field: str):
+    def mapper(record: Record) -> Iterable[KeyValue]:
+        value = record.value
+        yield value[key_field], (1, value.get("bytes", 0))
+
+    return mapper
+
+
+def _agg_reducer(key: Any, values: List[Tuple[int, int]]) -> Iterable[KeyValue]:
+    clicks = sum(v[0] for v in values)
+    volume = sum(v[1] for v in values)
+    yield key, (clicks, volume)
+
+
+def _agg_merge(partials: List[Tuple[int, int]]) -> Tuple[int, int]:
+    return (
+        sum(p[0] for p in partials),
+        sum(p[1] for p in partials),
+    )
+
+
+def aggregation_query(
+    win: float,
+    slide: float,
+    *,
+    name: str = "wcc-agg",
+    source: str = AGG_SOURCE,
+    key_field: str = "object",
+    num_reducers: int = 60,
+) -> RecurringQuery:
+    """The paper's recurring aggregation: click count + bytes per key.
+
+    The reducer is algebraic (sums), so per-pane partial outputs merge
+    exactly in the finalizer — Redoop's window answer equals plain
+    Hadoop's tuple-level aggregation.
+    """
+    job = MapReduceJob(
+        name=name,
+        mapper=_agg_mapper_for(key_field),
+        reducer=_agg_reducer,
+        combiner=_agg_reducer,
+        num_reducers=num_reducers,
+        intermediate_pair_size=48,
+        output_pair_size=48,
+    )
+    return RecurringQuery(
+        name=name,
+        job=job,
+        windows={source: WindowSpec(win=win, slide=slide)},
+        finalize=merging_finalizer(_agg_merge),
+    )
+
+
+# ----------------------------------------------------------------------
+# join (FFG)
+# ----------------------------------------------------------------------
+
+
+def _join_mapper(record: Record) -> Iterable[KeyValue]:
+    value = record.value
+    yield value["player"], (value["src"], value)
+
+
+def _join_reducer(key: Any, values: List[Tuple[str, dict]]) -> Iterable[KeyValue]:
+    """Cross-product the two tagged sides for one key group."""
+    left = [v for tag, v in values if tag == JOIN_SOURCES[0]]
+    right = [v for tag, v in values if tag == JOIN_SOURCES[1]]
+    for a in left:
+        for b in right:
+            yield key, (a["event"], a["intensity"], b["x"], b["y"], b["speed"])
+
+
+def join_query(
+    win: float,
+    slide: float,
+    *,
+    name: str = "ffg-join",
+    sources: Tuple[str, str] = JOIN_SOURCES,
+    num_reducers: int = 60,
+) -> RecurringQuery:
+    """The paper's recurring binary equi-join on player id.
+
+    Pane pairs are joined independently; because panes partition each
+    source, the union of per-pair cross products equals the window-wide
+    join, so the default concatenating finalizer is exact.
+    """
+    job = MapReduceJob(
+        name=name,
+        mapper=_join_mapper,
+        reducer=_join_reducer,
+        combiner=None,  # joins cannot pre-combine
+        num_reducers=num_reducers,
+        intermediate_pair_size=96,
+        output_pair_size=64,
+    )
+    return RecurringQuery(
+        name=name,
+        job=job,
+        windows={
+            sources[0]: WindowSpec(win=win, slide=slide),
+            sources[1]: WindowSpec(win=win, slide=slide),
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# additional algebraic recurring queries (library extensions)
+# ----------------------------------------------------------------------
+
+
+def _distinct_mapper_for(key_field: str, value_field: str):
+    def mapper(record: Record) -> Iterable[KeyValue]:
+        value = record.value
+        yield value[key_field], value[value_field]
+
+    return mapper
+
+
+def _distinct_reducer(key: Any, values: List[Any]) -> Iterable[KeyValue]:
+    """Union raw values and pre-combined sets into one frozenset.
+
+    The combiner's output (a frozenset) re-enters this reducer, so the
+    fold must flatten: raw scalars are added, sets are unioned. (This
+    means frozensets cannot themselves be the *measured* values.)
+    """
+    out: set = set()
+    for v in values:
+        if isinstance(v, frozenset):
+            out.update(v)
+        else:
+            out.add(v)
+    yield key, frozenset(out)
+
+
+def _distinct_merge(partials: List[frozenset]) -> frozenset:
+    merged: set = set()
+    for p in partials:
+        merged.update(p)
+    return frozenset(merged)
+
+
+def distinct_count_query(
+    win: float,
+    slide: float,
+    *,
+    name: str = "wcc-distinct",
+    source: str = AGG_SOURCE,
+    key_field: str = "object",
+    value_field: str = "client",
+    num_reducers: int = 60,
+) -> RecurringQuery:
+    """Distinct values per key (e.g. unique clients per object).
+
+    Pane partials are *sets*, whose union is associative and
+    commutative — the algebraic property Redoop's pane-based merge
+    requires. The window answer per key is the merged set; take its
+    ``len`` downstream for the count.
+    """
+    job = MapReduceJob(
+        name=name,
+        mapper=_distinct_mapper_for(key_field, value_field),
+        reducer=_distinct_reducer,
+        combiner=_distinct_reducer,
+        num_reducers=num_reducers,
+        intermediate_pair_size=48,
+        output_pair_size=160,  # sets are fatter than scalars
+    )
+    return RecurringQuery(
+        name=name,
+        job=job,
+        windows={source: WindowSpec(win=win, slide=slide)},
+        finalize=merging_finalizer(_distinct_merge),
+    )
+
+
+def _extrema_reducer(key: Any, values: List[float]) -> Iterable[KeyValue]:
+    yield key, (min(values), max(values))
+
+
+def _extrema_merge(partials: List[Tuple[float, float]]) -> Tuple[float, float]:
+    return (
+        min(p[0] for p in partials),
+        max(p[1] for p in partials),
+    )
+
+
+def extrema_query(
+    win: float,
+    slide: float,
+    *,
+    name: str = "ffg-extrema",
+    source: str = "positions",
+    key_field: str = "player",
+    value_field: str = "speed",
+    num_reducers: int = 60,
+) -> RecurringQuery:
+    """Per-key (min, max) of a measure — e.g. players' speed envelopes.
+
+    Min and max are idempotent semilattice operations, so pane partials
+    merge exactly.
+    """
+
+    def mapper(record: Record) -> Iterable[KeyValue]:
+        value = record.value
+        yield value[key_field], float(value[value_field])
+
+    job = MapReduceJob(
+        name=name,
+        mapper=mapper,
+        reducer=_extrema_reducer,
+        combiner=None,  # reducer output type differs from its input type
+        num_reducers=num_reducers,
+        intermediate_pair_size=48,
+        output_pair_size=64,
+    )
+    return RecurringQuery(
+        name=name,
+        job=job,
+        windows={source: WindowSpec(win=win, slide=slide)},
+        finalize=merging_finalizer(_extrema_merge),
+    )

@@ -1,0 +1,78 @@
+"""Tests for multi-run averaging (the paper's 10-run methodology)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import (
+    ExperimentConfig,
+    SeriesResult,
+    WindowMetrics,
+    average_series,
+    run_averaged,
+)
+from repro.hadoop.config import small_test_config
+from repro.hadoop.counters import PhaseTimes
+
+
+def _series(times, label="s"):
+    return SeriesResult(
+        label=label,
+        windows=[
+            WindowMetrics(
+                recurrence=i + 1,
+                due_time=float(i),
+                finish_time=float(i) + t,
+                response_time=t,
+                phases=PhaseTimes(map=t, shuffle=t / 2, reduce=t / 4),
+                output_pairs=10,
+            )
+            for i, t in enumerate(times)
+        ],
+    )
+
+
+class TestAverageSeries:
+    def test_means_per_window(self):
+        avg = average_series([_series([10.0, 20.0]), _series([30.0, 40.0])])
+        assert avg.response_times() == [20.0, 30.0]
+        assert avg.windows[0].phases.shuffle == pytest.approx(10.0)
+
+    def test_single_run_identity(self):
+        run = _series([5.0, 6.0])
+        avg = average_series([run])
+        assert avg.response_times() == run.response_times()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            average_series([])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            average_series([_series([1.0]), _series([1.0, 2.0])])
+
+
+class TestRunAveraged:
+    def test_runs_and_averages(self):
+        config = ExperimentConfig(
+            kind="aggregation",
+            win=40.0,
+            overlap=0.75,
+            num_windows=2,
+            rate=2_000.0,
+            record_size=100,
+            num_reducers=4,
+            cluster_config=small_test_config(),
+            seed=31,
+        )
+        averaged = run_averaged(config, num_runs=2)
+        assert set(averaged) == {"hadoop", "redoop"}
+        assert len(averaged["redoop"].windows) == 2
+        assert all(w.response_time > 0 for w in averaged["redoop"].windows)
+
+    def test_zero_runs_rejected(self):
+        config = ExperimentConfig(
+            kind="aggregation", cluster_config=small_test_config()
+        )
+        with pytest.raises(ValueError):
+            run_averaged(config, num_runs=0)

@@ -1,0 +1,70 @@
+"""Tests for the command-line experiment runner."""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_experiments_have_subcommands(self):
+        parser = build_parser()
+        for command in ("list", "fig6", "fig7", "fig8", "fig9", "headline",
+                        "ablations"):
+            args = parser.parse_args(
+                [command] if command == "list" else [command]
+            )
+            assert args.command == command
+
+    def test_scale_and_windows_parsed(self):
+        args = build_parser().parse_args(["fig6", "--scale", "0.2",
+                                          "--windows", "4"])
+        assert args.scale == 0.2
+        assert args.windows == 4
+
+    def test_overlaps_parsed(self):
+        args = build_parser().parse_args(["fig8", "--overlaps", "0.1", "0.9"])
+        assert args.overlaps == [0.1, 0.9]
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig6", "fig7", "fig8", "fig9", "headline", "ablations"):
+            assert name in out
+
+    def test_fig6_tiny_run(self, capsys):
+        rc = main(["fig6", "--scale", "0.05", "--windows", "2",
+                   "--overlaps", "0.5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "overlap = 0.5" in out
+        assert "redoop vs hadoop" in out
+
+    def test_fig9_csv_export(self, tmp_path, capsys):
+        csv_path = tmp_path / "fig9.csv"
+        rc = main(["fig9", "--scale", "0.05", "--windows", "2",
+                   "--csv", str(csv_path)])
+        assert rc == 0
+        with open(csv_path) as fh:
+            rows = list(csv.DictReader(fh))
+        # 4 systems x 2 windows.
+        assert len(rows) == 8
+        assert {r["system"] for r in rows} == {
+            "hadoop", "redoop", "redoop(f)", "hadoop(f)"
+        }
+        assert all(float(r["response_time"]) > 0 for r in rows)
+
+    def test_headline_tiny_run(self, capsys):
+        rc = main(["headline", "--scale", "0.05"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "aggregation" in out and "join" in out

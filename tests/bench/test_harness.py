@@ -1,0 +1,158 @@
+"""Unit tests for the experiment harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import (
+    ExperimentConfig,
+    SeriesResult,
+    WindowMetrics,
+    build_workload,
+    run_hadoop_series,
+    run_redoop_series,
+)
+from repro.hadoop.config import small_test_config
+from repro.hadoop.counters import PhaseTimes
+
+
+def tiny_config(kind="aggregation", **kwargs):
+    defaults = dict(
+        kind=kind,
+        win=40.0,
+        overlap=0.75,  # slide = 10
+        num_windows=3,
+        rate=2_000.0,
+        record_size=100,
+        num_reducers=4,
+        cluster_config=small_test_config(),
+        seed=11,
+        batches_per_pane=2,
+    )
+    defaults.update(kwargs)
+    return ExperimentConfig(**defaults)
+
+
+class TestExperimentConfig:
+    def test_slide_from_overlap(self):
+        assert tiny_config(overlap=0.75).slide == 10.0
+        assert tiny_config(overlap=0.0).slide == 40.0
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError):
+            tiny_config(kind="nonsense")
+
+    def test_invalid_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            tiny_config(overlap=1.0)
+        with pytest.raises(ValueError):
+            tiny_config(overlap=-0.1)
+
+    def test_horizon_covers_all_windows(self):
+        config = tiny_config(num_windows=3)
+        assert config.horizon == config.spec.execution_time(3)
+
+    def test_sources_per_kind(self):
+        assert tiny_config("aggregation").sources == ("wcc",)
+        assert tiny_config("join").sources == ("events", "positions")
+        assert tiny_config("ffg-aggregation").sources == ("positions",)
+
+    def test_build_query_kinds(self):
+        assert tiny_config("aggregation").build_query().num_sources == 1
+        assert tiny_config("join").build_query().num_sources == 2
+
+
+class TestBuildWorkload:
+    def test_batches_cover_horizon(self):
+        config = tiny_config()
+        workload = build_workload(config)
+        batches = workload["wcc"]
+        assert batches[0][0].t_start == 0.0
+        assert batches[-1][0].t_end == pytest.approx(config.horizon)
+
+    def test_batch_granularity(self):
+        config = tiny_config(batches_per_pane=2)
+        workload = build_workload(config)
+        batch = workload["wcc"][0][0]
+        assert batch.t_end - batch.t_start == pytest.approx(
+            config.spec.pane_seconds / 2
+        )
+
+    def test_join_workload_has_two_sources(self):
+        workload = build_workload(tiny_config("join"))
+        assert set(workload) == {"events", "positions"}
+
+    def test_spiked_batches_larger(self):
+        config = tiny_config(spiked_recurrences=frozenset({2}))
+        workload = build_workload(config)
+        spec = config.spec
+        normal = spiked = 0
+        for batch, records in workload["wcc"]:
+            size = sum(r.size for r in records)
+            if spec.execution_time(1) <= batch.t_start < spec.execution_time(2):
+                spiked += size
+            elif batch.t_end <= spec.execution_time(1):
+                normal += size
+        # Window 2's new slide of data is doubled; compare per-second.
+        assert spiked / config.slide == pytest.approx(
+            2 * normal / config.win, rel=0.2
+        )
+
+
+class TestSeriesRunners:
+    def test_hadoop_and_redoop_outputs_match(self):
+        config = tiny_config()
+        workload = build_workload(config)
+        hadoop = run_hadoop_series(config, workload=workload)
+        redoop = run_redoop_series(config, workload=workload)
+        assert hadoop.output_digests == redoop.output_digests
+        assert len(hadoop.windows) == config.num_windows
+
+    def test_metrics_populated(self):
+        config = tiny_config()
+        series = run_redoop_series(config)
+        for i, w in enumerate(series.windows, start=1):
+            assert w.recurrence == i
+            assert w.response_time > 0
+            assert w.finish_time > w.due_time
+
+    def test_labels(self):
+        config = tiny_config()
+        assert run_redoop_series(config, label="x").label == "x"
+        assert run_hadoop_series(config, label="y").label == "y"
+
+
+class TestSeriesResult:
+    def _series(self, times):
+        return SeriesResult(
+            label="s",
+            windows=[
+                WindowMetrics(
+                    recurrence=i + 1,
+                    due_time=0.0,
+                    finish_time=t,
+                    response_time=t,
+                    phases=PhaseTimes(map=1.0, shuffle=2.0, reduce=3.0),
+                    output_pairs=0,
+                )
+                for i, t in enumerate(times)
+            ],
+        )
+
+    def test_avg_response(self):
+        s = self._series([10.0, 2.0, 4.0])
+        assert s.avg_response() == pytest.approx(16.0 / 3)
+        assert s.avg_response(skip_first=True) == pytest.approx(3.0)
+
+    def test_total_response(self):
+        assert self._series([1.0, 2.0]).total_response() == 3.0
+
+    def test_total_phases(self):
+        total = self._series([1.0, 2.0]).total_phases()
+        assert total.shuffle == 4.0
+        assert total.reduce == 6.0
+
+    def test_speedup_vs(self):
+        fast = self._series([1.0, 1.0])
+        slow = self._series([3.0, 5.0])
+        assert fast.speedup_vs(slow) == pytest.approx(4.0)

@@ -1,0 +1,66 @@
+"""Tests for ASCII plotting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.plots import bar_chart, plot_series, plot_speedups
+
+from .test_reporting import series
+
+
+class TestBarChart:
+    def test_scales_to_peak(self):
+        chart = bar_chart(["a", "b"], [10.0, 5.0], width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_values_printed(self):
+        chart = bar_chart(["x"], [3.5], unit="s")
+        assert "3.5s" in chart
+
+    def test_labels_aligned(self):
+        chart = bar_chart(["short", "a much longer label"], [1.0, 2.0])
+        lines = chart.splitlines()
+        assert lines[0].index("│") == lines[1].index("│")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            bar_chart([], [])
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [-1.0])
+
+    def test_all_zero_values(self):
+        chart = bar_chart(["a", "b"], [0.0, 0.0])
+        assert "█" not in chart
+
+
+class TestPlotSeries:
+    def test_contains_all_systems_and_windows(self):
+        s = {
+            "hadoop": series("hadoop", [10.0, 10.0]),
+            "redoop": series("redoop", [10.0, 2.0]),
+        }
+        text = plot_series(s, title="T")
+        assert text.startswith("T")
+        assert "[hadoop]" in text and "[redoop]" in text
+        assert text.count("w1") == 2 and text.count("w2") == 2
+
+
+class TestPlotSpeedups:
+    def test_excludes_baseline(self):
+        s = {
+            "hadoop": series("hadoop", [10.0, 10.0]),
+            "redoop": series("redoop", [10.0, 2.0]),
+        }
+        text = plot_speedups(s)
+        assert "redoop" in text
+        assert "5.0x" in text
+        assert "hadoop │" not in text
+
+    def test_unknown_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            plot_speedups({"redoop": series("redoop", [1.0])}, baseline="nope")

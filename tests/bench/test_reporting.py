@@ -1,0 +1,82 @@
+"""Unit tests for paper-style reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import SeriesResult, WindowMetrics
+from repro.bench.reporting import (
+    format_cumulative_table,
+    format_phase_split,
+    format_response_table,
+    format_speedup_summary,
+)
+from repro.hadoop.counters import PhaseTimes
+
+
+def series(label, times):
+    return SeriesResult(
+        label=label,
+        windows=[
+            WindowMetrics(
+                recurrence=i + 1,
+                due_time=0.0,
+                finish_time=t,
+                response_time=t,
+                phases=PhaseTimes(map=0.0, shuffle=t / 2, reduce=t / 4),
+                output_pairs=1,
+            )
+            for i, t in enumerate(times)
+        ],
+    )
+
+
+@pytest.fixture
+def two_systems():
+    return {
+        "hadoop": series("hadoop", [10.0, 10.0]),
+        "redoop": series("redoop", [10.0, 2.0]),
+    }
+
+
+class TestResponseTable:
+    def test_contains_all_windows_and_labels(self, two_systems):
+        text = format_response_table(two_systems, title="T")
+        assert text.startswith("T")
+        assert "hadoop" in text and "redoop" in text
+        lines = text.splitlines()
+        assert len([l for l in lines if l.strip().startswith(("1", "2"))]) == 2
+
+    def test_average_row(self, two_systems):
+        text = format_response_table(two_systems)
+        avg_line = [l for l in text.splitlines() if "avg" in l][0]
+        assert "10.0" in avg_line  # hadoop avg
+        assert "6.0" in avg_line  # redoop avg
+
+
+class TestPhaseSplit:
+    def test_totals(self, two_systems):
+        text = format_phase_split(two_systems)
+        assert "shuffle" in text and "reduce" in text
+        redoop_line = [l for l in text.splitlines() if "redoop" in l][0]
+        assert "6.0" in redoop_line  # shuffle sum = 5 + 1
+        assert "3.0" in redoop_line  # reduce sum = 2.5 + 0.5
+
+
+class TestCumulativeTable:
+    def test_running_sums(self, two_systems):
+        text = format_cumulative_table(two_systems)
+        last = text.splitlines()[-1]
+        assert "20.0" in last  # hadoop cumulative
+        assert "12.0" in last  # redoop cumulative
+
+
+class TestSpeedupSummary:
+    def test_speedup_computed(self, two_systems):
+        text = format_speedup_summary(two_systems, skip_first=True)
+        assert "redoop vs hadoop" in text
+        assert "5.00x" in text  # 10 / 2 on window 2
+
+    def test_baseline_excluded(self, two_systems):
+        text = format_speedup_summary(two_systems)
+        assert "hadoop vs hadoop" not in text

@@ -1,0 +1,38 @@
+"""Unit smoke tests for the deployment sweeps (tiny scales)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.sweeps import (
+    sweep_cluster_size,
+    sweep_num_reducers,
+    sweep_window_size,
+)
+
+
+class TestSweepClusterSize:
+    def test_returns_speedup_per_size(self):
+        results = sweep_cluster_size(
+            node_counts=(4, 8), scale=0.03, num_windows=2
+        )
+        assert set(results) == {4, 8}
+        assert all(s > 0 for s in results.values())
+
+
+class TestSweepNumReducers:
+    def test_returns_speedup_per_count(self):
+        results = sweep_num_reducers(
+            reducer_counts=(15, 60), scale=0.03, num_windows=2
+        )
+        assert set(results) == {15, 60}
+        assert all(s > 0 for s in results.values())
+
+
+class TestSweepWindowSize:
+    def test_returns_speedup_per_window(self):
+        results = sweep_window_size(
+            window_hours=(0.5, 1.0), scale=0.03, num_windows=2
+        )
+        assert set(results) == {0.5, 1.0}
+        assert all(s > 0 for s in results.values())

@@ -1,0 +1,66 @@
+"""Shared fixtures and factories for the test suite."""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Sequence
+
+import pytest
+
+from repro.hadoop import (
+    Cluster,
+    MapReduceJob,
+    Record,
+    small_test_config,
+)
+
+
+def make_records(
+    n: int,
+    *,
+    t0: float = 0.0,
+    dt: float = 1.0,
+    size: int = 100,
+    key_space: int = 10,
+    seed: int = 0,
+) -> List[Record]:
+    """``n`` records with evenly spaced timestamps and pseudo-random words."""
+    rng = random.Random(seed)
+    return [
+        Record(
+            ts=t0 + i * dt,
+            value=f"word{rng.randrange(key_space)}",
+            size=size,
+        )
+        for i in range(n)
+    ]
+
+
+def wordcount_job(num_reducers: int = 4, name: str = "wordcount") -> MapReduceJob:
+    """The canonical word-count job used across tests."""
+
+    def mapper(record: Record):
+        yield record.value, 1
+
+    def reducer(key, values):
+        yield key, sum(values)
+
+    return MapReduceJob(
+        name=name,
+        mapper=mapper,
+        reducer=reducer,
+        combiner=reducer,
+        num_reducers=num_reducers,
+    )
+
+
+@pytest.fixture
+def small_cluster() -> Cluster:
+    """A fresh 4-node cluster with small blocks, deterministic seed."""
+    return Cluster(small_test_config(), seed=7)
+
+
+@pytest.fixture
+def cluster8() -> Cluster:
+    """An 8-node cluster for scheduling-heavy tests."""
+    return Cluster(small_test_config(num_nodes=8), seed=11)

@@ -1,0 +1,167 @@
+"""Unit tests for the Local Cache Registry (paper Sec. 4.1, Table 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cache_registry import (
+    REDUCE_INPUT,
+    REDUCE_OUTPUT,
+    CacheEntry,
+    LocalCacheRegistry,
+    cache_file_name,
+)
+from repro.hadoop.node import TaskNode
+
+
+@pytest.fixture
+def node() -> TaskNode:
+    return TaskNode(0, map_slots=2, reduce_slots=1)
+
+
+@pytest.fixture
+def registry(node) -> LocalCacheRegistry:
+    return LocalCacheRegistry(node, purge_cycle=100.0)
+
+
+class TestValidation:
+    def test_purge_cycle_positive(self, node):
+        with pytest.raises(ValueError):
+            LocalCacheRegistry(node, purge_cycle=0.0)
+
+    def test_capacity_positive_when_set(self, node):
+        with pytest.raises(ValueError):
+            LocalCacheRegistry(node, capacity_bytes=0)
+
+    def test_unknown_cache_type_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.add_entry("S1P1", 9, 0, 10, None)
+
+    def test_negative_partition_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.add_entry("S1P1", REDUCE_INPUT, -1, 10, None)
+
+
+class TestPaperTable1Example:
+    def test_registry_rows(self, registry):
+        """Table 1: S1P3 expired reduce-output; S2P4 live reduce-input."""
+        registry.add_entry("S1P3", REDUCE_OUTPUT, 0, 10, ["x"])
+        registry.add_entry("S2P4", REDUCE_INPUT, 0, 10, ["y"])
+        registry.mark_expired(["S1P3"])
+        rows = {(e.pid, e.cache_type, e.expiration) for e in registry.entries()}
+        assert rows == {
+            ("S1P3", REDUCE_OUTPUT, True),
+            ("S2P4", REDUCE_INPUT, False),
+        }
+
+
+class TestAddAndRead:
+    def test_roundtrip(self, registry):
+        registry.add_entry("S1P1", REDUCE_INPUT, 3, 128, [("k", 1)])
+        payload, size = registry.read("S1P1", REDUCE_INPUT, 3)
+        assert payload == [("k", 1)]
+        assert size == 128
+
+    def test_has_distinguishes_type_and_partition(self, registry):
+        registry.add_entry("S1P1", REDUCE_INPUT, 0, 10, None)
+        assert registry.has("S1P1", REDUCE_INPUT, 0)
+        assert not registry.has("S1P1", REDUCE_OUTPUT, 0)
+        assert not registry.has("S1P1", REDUCE_INPUT, 1)
+
+    def test_read_missing_raises(self, registry):
+        with pytest.raises(KeyError):
+            registry.read("nope", REDUCE_INPUT, 0)
+
+    def test_overwrite_for_reconstruction(self, registry):
+        registry.add_entry("S1P1", REDUCE_INPUT, 0, 10, "old")
+        registry.add_entry("S1P1", REDUCE_INPUT, 0, 20, "new")
+        payload, size = registry.read("S1P1", REDUCE_INPUT, 0)
+        assert (payload, size) == ("new", 20)
+
+    def test_cached_bytes(self, registry):
+        registry.add_entry("a", REDUCE_INPUT, 0, 10, None)
+        registry.add_entry("b", REDUCE_OUTPUT, 0, 32, None)
+        assert registry.cached_bytes == 42
+
+    def test_file_naming_convention(self):
+        assert cache_file_name("S1P3", REDUCE_INPUT, 5) == "cache/rin/S1P3/part-00005"
+        assert cache_file_name("S1P3", REDUCE_OUTPUT, 5) == "cache/rout/S1P3/part-00005"
+
+
+class TestExpiration:
+    def test_mark_expired_flags_matching_pids(self, registry):
+        registry.add_entry("S1P1", REDUCE_INPUT, 0, 10, None)
+        registry.add_entry("S1P1", REDUCE_OUTPUT, 0, 10, None)
+        registry.add_entry("S1P2", REDUCE_INPUT, 0, 10, None)
+        assert registry.mark_expired(["S1P1"]) == 2
+        assert not registry.has("S1P1", REDUCE_INPUT, 0)
+        assert registry.has("S1P2", REDUCE_INPUT, 0)
+
+    def test_mark_expired_idempotent(self, registry):
+        registry.add_entry("S1P1", REDUCE_INPUT, 0, 10, None)
+        registry.mark_expired(["S1P1"])
+        assert registry.mark_expired(["S1P1"]) == 0
+
+    def test_expired_data_stays_until_purge(self, registry, node):
+        entry = registry.add_entry("S1P1", REDUCE_INPUT, 0, 10, None)
+        registry.mark_expired(["S1P1"])
+        assert node.has_local(entry.local_name)  # data not yet deleted
+
+
+class TestPurging:
+    def test_periodic_purge_respects_cycle(self, registry, node):
+        entry = registry.add_entry("S1P1", REDUCE_INPUT, 0, 10, None)
+        registry.mark_expired(["S1P1"])
+        assert registry.periodic_purge(now=50.0) == []  # cycle not elapsed
+        purged = registry.periodic_purge(now=150.0)
+        assert [e.pid for e in purged] == ["S1P1"]
+        assert not node.has_local(entry.local_name)
+
+    def test_periodic_purge_only_removes_expired(self, registry):
+        registry.add_entry("live", REDUCE_INPUT, 0, 10, None)
+        registry.add_entry("dead", REDUCE_INPUT, 0, 10, None)
+        registry.mark_expired(["dead"])
+        purged = registry.periodic_purge(now=200.0)
+        assert [e.pid for e in purged] == ["dead"]
+        assert registry.has("live", REDUCE_INPUT, 0)
+
+    def test_on_demand_purge_ignores_cycle(self, registry):
+        registry.add_entry("x", REDUCE_INPUT, 0, 10, None)
+        registry.mark_expired(["x"])
+        assert [e.pid for e in registry.on_demand_purge()] == ["x"]
+
+    def test_maybe_purge_on_demand_when_over_capacity(self, node):
+        registry = LocalCacheRegistry(node, purge_cycle=1e9, capacity_bytes=15)
+        registry.add_entry("a", REDUCE_INPUT, 0, 10, None)
+        registry.add_entry("b", REDUCE_INPUT, 0, 10, None)
+        registry.mark_expired(["a"])
+        # Over capacity (20 > 15): purge immediately despite the cycle.
+        purged = registry.maybe_purge(now=1.0)
+        assert [e.pid for e in purged] == ["a"]
+
+    def test_maybe_purge_periodic_under_capacity(self, node):
+        registry = LocalCacheRegistry(node, purge_cycle=100.0, capacity_bytes=1000)
+        registry.add_entry("a", REDUCE_INPUT, 0, 10, None)
+        registry.mark_expired(["a"])
+        assert registry.maybe_purge(now=1.0) == []  # too early, under budget
+        assert len(registry.maybe_purge(now=150.0)) == 1
+
+
+class TestFailureBookkeeping:
+    def test_drop_lost_forgets_entry(self, registry):
+        registry.add_entry("S1P1", REDUCE_INPUT, 0, 10, None)
+        registry.drop_lost("S1P1", REDUCE_INPUT, 0)
+        assert not registry.has("S1P1", REDUCE_INPUT, 0)
+        # dropping again is harmless
+        registry.drop_lost("S1P1", REDUCE_INPUT, 0)
+
+    def test_forget_all(self, registry):
+        registry.add_entry("a", REDUCE_INPUT, 0, 10, None)
+        registry.add_entry("b", REDUCE_OUTPUT, 1, 10, None)
+        registry.forget_all()
+        assert registry.entries() == []
+
+    def test_has_false_when_backing_file_destroyed(self, registry, node):
+        entry = registry.add_entry("S1P1", REDUCE_INPUT, 0, 10, None)
+        node.delete_local(entry.local_name)
+        assert not registry.has("S1P1", REDUCE_INPUT, 0)

@@ -1,0 +1,119 @@
+"""Tests for count-based windows via the ordinal-time reduction."""
+
+from __future__ import annotations
+
+from collections import Counter as PyCounter
+
+import pytest
+
+from repro.core import RecurringQuery, RedoopRuntime, merging_finalizer
+from repro.core.count_windows import CountingIngest, count_window_spec
+from repro.hadoop import BatchFile, Cluster, Record, small_test_config
+
+from ..conftest import wordcount_job
+
+
+def make_setup(win=40, slide=10, num_reducers=4):
+    cluster = Cluster(small_test_config(), seed=3)
+    runtime = RedoopRuntime(cluster)
+    query = RecurringQuery(
+        name="wc",
+        job=wordcount_job(num_reducers=num_reducers, name="wc"),
+        windows={"S1": count_window_spec(win, slide)},
+        finalize=merging_finalizer(sum),
+    )
+    runtime.register_query(query, {"S1": 500_000.0})
+    return runtime, CountingIngest(runtime)
+
+
+def word_records(n, seed=0, t0=1000.0):
+    import random
+
+    rng = random.Random(seed)
+    # Deliberately weird real timestamps: count windows ignore them.
+    return [
+        Record(ts=t0 + rng.uniform(0, 5.0), value=f"w{rng.randrange(5)}", size=100)
+        for _ in range(n)
+    ]
+
+
+class TestCountWindowSpec:
+    def test_spec_on_ordinal_axis(self):
+        spec = count_window_spec(1000, 100)
+        assert spec.win == 1000.0
+        assert spec.slide == 100.0
+        assert spec.pane_seconds == 100.0  # GCD in records
+
+    @pytest.mark.parametrize("win,slide", [(0, 1), (10, 0), (10, 11)])
+    def test_validation(self, win, slide):
+        with pytest.raises(ValueError):
+            count_window_spec(win, slide)
+
+
+class TestCountingIngest:
+    def test_ordinals_assigned_consecutively(self):
+        runtime, ingest = make_setup()
+        ingest.ingest(
+            BatchFile(path="/b/0", source="S1", t_start=0.0, t_end=1.0),
+            word_records(7, seed=1),
+        )
+        ingest.ingest(
+            BatchFile(path="/b/1", source="S1", t_start=1.0, t_end=2.0),
+            word_records(5, seed=2),
+        )
+        assert ingest.records_seen("S1") == 12
+
+    def test_original_timestamp_preserved_in_payload(self):
+        runtime, ingest = make_setup()
+        records = [Record(ts=123.5, value={"k": "x"}, size=50)]
+        ingest.ingest(
+            BatchFile(path="/b/0", source="S1", t_start=0.0, t_end=1.0), records
+        )
+        packer = runtime._source_packers["S1"]
+        # The record landed in pane 0 with ordinal ts and original _ts.
+        assert packer.covered_until == 1.0
+
+    def test_ready_recurrences(self):
+        runtime, ingest = make_setup(win=40, slide=10)
+        assert ingest.ready_recurrences("wc") == 0
+        ingest.ingest(
+            BatchFile(path="/b/0", source="S1", t_start=0.0, t_end=1.0),
+            word_records(45, seed=3),
+        )
+        # 45 records: window 1 needs 40; window 2 needs 50.
+        assert ingest.ready_recurrences("wc") == 1
+
+
+class TestCountWindowAnswers:
+    def test_every_window_covers_exactly_win_records(self):
+        runtime, ingest = make_setup(win=40, slide=10)
+        all_records = []
+        for i in range(4):
+            chunk = word_records(20, seed=i)
+            all_records.extend(chunk)
+            ingest.ingest(
+                BatchFile(
+                    path=f"/b/{i}", source="S1", t_start=float(i), t_end=i + 1.0
+                ),
+                chunk,
+            )
+        for k in (1, 2, 3, 4, 5):
+            result = runtime.run_recurrence("wc", k)
+            lo = (k - 1) * 10
+            expected = PyCounter(r.value for r in all_records[lo : lo + 40])
+            assert dict(result.output) == dict(expected)
+            assert sum(v for _k2, v in result.output) == 40
+
+    def test_caching_works_on_count_windows(self):
+        runtime, ingest = make_setup(win=40, slide=10)
+        for i in range(3):
+            ingest.ingest(
+                BatchFile(
+                    path=f"/b/{i}", source="S1", t_start=float(i), t_end=i + 1.0
+                ),
+                word_records(20, seed=i),
+            )
+        runtime.run_recurrence("wc", 1)
+        r2 = runtime.run_recurrence("wc", 2)
+        # Window 2 shares 3 of 4 record-count panes with window 1.
+        assert r2.counters.get("cache.pane_hits") == 3

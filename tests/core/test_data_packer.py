@@ -1,0 +1,189 @@
+"""Unit tests for the Dynamic Data Packer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.data_packer import HEADER_BYTES, DynamicDataPacker
+from repro.core.panes import WindowSpec
+from repro.core.semantic_analyzer import PartitionPlan
+from repro.hadoop.catalog import BatchFile
+from repro.hadoop.config import small_test_config
+from repro.hadoop.hdfs import SimulatedHDFS
+from repro.hadoop.types import Record
+
+
+def _records(t0: float, t1: float, n: int, size: int = 100):
+    dt = (t1 - t0) / n
+    return [Record(ts=t0 + i * dt, value=i, size=size) for i in range(n)]
+
+
+def _batch(i: int, t0: float, t1: float, source="S1"):
+    return BatchFile(path=f"/b/{source}/{i}", source=source, t_start=t0, t_end=t1)
+
+
+def make_packer(panes_per_file=1, pane_seconds=10.0, use_header=True):
+    hdfs = SimulatedHDFS(small_test_config(), seed=2)
+    spec = WindowSpec(win=pane_seconds * 3, slide=pane_seconds)
+    plan = PartitionPlan(
+        source="S1",
+        pane_seconds=pane_seconds,
+        panes_per_file=panes_per_file,
+        expected_pane_bytes=1000.0,
+    )
+    return hdfs, DynamicDataPacker(hdfs, spec, plan, use_header=use_header)
+
+
+class TestValidation:
+    def test_plan_spec_pane_mismatch_rejected(self):
+        hdfs = SimulatedHDFS(small_test_config(), seed=2)
+        spec = WindowSpec(win=30.0, slide=10.0)  # pane = 10
+        plan = PartitionPlan(
+            source="S1", pane_seconds=5.0, panes_per_file=1,
+            expected_pane_bytes=1.0,
+        )
+        with pytest.raises(ValueError):
+            DynamicDataPacker(hdfs, spec, plan)
+
+    def test_wrong_source_rejected(self):
+        _hdfs, packer = make_packer()
+        with pytest.raises(ValueError):
+            packer.ingest_batch(_batch(0, 0, 10, source="S2"), [])
+
+    def test_out_of_order_batch_rejected(self):
+        _hdfs, packer = make_packer()
+        packer.ingest_batch(_batch(0, 0.0, 10.0), _records(0, 10, 5))
+        with pytest.raises(ValueError):
+            packer.ingest_batch(_batch(1, 5.0, 15.0), [])
+
+    def test_record_outside_batch_rejected(self):
+        _hdfs, packer = make_packer()
+        with pytest.raises(ValueError):
+            packer.ingest_batch(
+                _batch(0, 0.0, 10.0), [Record(ts=12.0, value=None)]
+            )
+
+
+class TestOversizeCase:
+    def test_one_pane_one_file(self):
+        hdfs, packer = make_packer(panes_per_file=1)
+        packed = packer.ingest_batch(_batch(0, 0.0, 10.0), _records(0, 10, 8))
+        assert len(packed) == 1
+        pane = packed[0]
+        assert pane.index == 0
+        assert pane.pid == "S1P0"
+        assert pane.path.endswith("S1P0")
+        assert hdfs.exists(pane.path)
+        assert not packer.is_shared(0)
+
+    def test_batch_spanning_multiple_panes(self):
+        _hdfs, packer = make_packer(panes_per_file=1)
+        packed = packer.ingest_batch(_batch(0, 0.0, 30.0), _records(0, 30, 12))
+        assert [p.index for p in packed] == [0, 1, 2]
+
+    def test_partial_pane_not_sealed(self):
+        _hdfs, packer = make_packer(panes_per_file=1)
+        packed = packer.ingest_batch(_batch(0, 0.0, 5.0), _records(0, 5, 3))
+        assert packed == []
+        assert not packer.is_packed(0)
+        # Completing the pane seals it.
+        packed = packer.ingest_batch(_batch(1, 5.0, 10.0), _records(5, 10, 3))
+        assert [p.index for p in packed] == [0]
+        assert packer.pane(0).num_records == 6
+
+    def test_read_pane_charges_pane_bytes(self):
+        _hdfs, packer = make_packer(panes_per_file=1)
+        packer.ingest_batch(_batch(0, 0.0, 10.0), _records(0, 10, 4, size=50))
+        records, nbytes = packer.read_pane(0)
+        assert len(records) == 4
+        assert nbytes == 200
+
+    def test_available_at_is_seal_time(self):
+        _hdfs, packer = make_packer(panes_per_file=1)
+        packed = packer.ingest_batch(_batch(0, 0.0, 12.0), _records(0, 12, 6))
+        assert packed[0].available_at == 12.0
+
+
+class TestUndersizedCase:
+    def test_group_written_when_complete(self):
+        hdfs, packer = make_packer(panes_per_file=2)
+        assert packer.ingest_batch(_batch(0, 0.0, 10.0), _records(0, 10, 4)) == []
+        packed = packer.ingest_batch(_batch(1, 10.0, 20.0), _records(10, 20, 4))
+        assert [p.index for p in packed] == [0, 1]
+        assert packed[0].path.endswith("S1P0_1")
+        assert packed[0].path == packed[1].path
+        assert packer.is_shared(0) and packer.is_shared(1)
+
+    def test_header_charges_only_pane_bytes(self):
+        _hdfs, packer = make_packer(panes_per_file=2)
+        packer.ingest_batch(_batch(0, 0.0, 20.0), _records(0, 20, 8, size=100))
+        records, nbytes = packer.read_pane(0)
+        assert len(records) == 4
+        assert nbytes == 400 + HEADER_BYTES
+
+    def test_no_header_charges_whole_file(self):
+        _hdfs, packer = make_packer(panes_per_file=2, use_header=False)
+        packer.ingest_batch(_batch(0, 0.0, 20.0), _records(0, 20, 8, size=100))
+        _records_, nbytes = packer.read_pane(0)
+        assert nbytes == 800
+
+    def test_flush_splits_partial_group(self):
+        """A due execution forces the sealed remainder of a group out."""
+        _hdfs, packer = make_packer(panes_per_file=2)
+        packer.ingest_batch(_batch(0, 0.0, 10.0), _records(0, 10, 4))
+        packed = packer.flush()
+        assert [p.index for p in packed] == [0]
+        assert packed[0].path.endswith("S1P0")  # single-pane file name
+        # The group's second pane later lands in its own file.
+        packed = packer.ingest_batch(_batch(1, 10.0, 20.0), _records(10, 20, 4))
+        assert [p.index for p in packed] == [1]
+        assert packed[0].path.endswith("S1P1")
+
+    def test_flush_without_sealed_panes_is_noop(self):
+        _hdfs, packer = make_packer(panes_per_file=2)
+        packer.ingest_batch(_batch(0, 0.0, 5.0), _records(0, 5, 2))
+        assert packer.flush() == []
+
+
+class TestPaneAccess:
+    def test_unpacked_pane_raises(self):
+        _hdfs, packer = make_packer()
+        with pytest.raises(KeyError):
+            packer.pane(0)
+        with pytest.raises(KeyError):
+            packer.read_pane(0)
+        with pytest.raises(KeyError):
+            packer.is_shared(0)
+
+    def test_packed_panes_sorted(self):
+        _hdfs, packer = make_packer()
+        packer.ingest_batch(_batch(0, 0.0, 30.0), _records(0, 30, 9))
+        assert [p.index for p in packer.packed_panes()] == [0, 1, 2]
+
+    def test_covered_until_tracks_batches(self):
+        _hdfs, packer = make_packer()
+        assert packer.covered_until == 0.0
+        packer.ingest_batch(_batch(0, 0.0, 7.0), _records(0, 7, 3))
+        assert packer.covered_until == 7.0
+
+    def test_empty_pane_allowed(self):
+        """A time range with no records still seals (empty pane file)."""
+        _hdfs, packer = make_packer()
+        packed = packer.ingest_batch(_batch(0, 0.0, 10.0), [])
+        assert [p.index for p in packed] == [0]
+        records, nbytes = packer.read_pane(0)
+        assert records == ()
+        assert nbytes == 0
+
+    def test_records_bucketed_by_timestamp(self):
+        _hdfs, packer = make_packer()
+        recs = [
+            Record(ts=3.0, value="a"),
+            Record(ts=15.0, value="b"),
+            Record(ts=7.0, value="c"),
+        ]
+        packer.ingest_batch(_batch(0, 0.0, 20.0), recs)
+        pane0, _ = packer.read_pane(0)
+        pane1, _ = packer.read_pane(1)
+        assert [r.value for r in pane0] == ["a", "c"]
+        assert [r.value for r in pane1] == ["b"]

@@ -1,0 +1,46 @@
+"""Tests for the GetInputPaths-style API (paper Sec. 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from .test_runtime import feed, make_runtime
+
+
+class TestInputPaths:
+    def test_window_panes_listed(self):
+        runtime = make_runtime()
+        feed(runtime, 40.0)
+        paths = runtime.input_paths("wc", 1)
+        assert set(paths) == {"S1"}
+        # 4 oversize panes -> 4 distinct files.
+        assert paths["S1"] == [
+            "/panes/S1/S1P0",
+            "/panes/S1/S1P1",
+            "/panes/S1/S1P2",
+            "/panes/S1/S1P3",
+        ]
+
+    def test_window_slides_with_recurrence(self):
+        runtime = make_runtime()
+        feed(runtime, 50.0)
+        paths = runtime.input_paths("wc", 2)
+        assert paths["S1"][0].endswith("S1P1")
+        assert paths["S1"][-1].endswith("S1P4")
+
+    def test_unpacked_panes_omitted(self):
+        runtime = make_runtime()
+        feed(runtime, 30.0)  # pane 3 not yet arrived
+        paths = runtime.input_paths("wc", 1)
+        assert len(paths["S1"]) == 3
+
+    def test_paths_exist_in_hdfs(self):
+        runtime = make_runtime()
+        feed(runtime, 40.0)
+        for path in runtime.input_paths("wc", 1)["S1"]:
+            assert runtime.cluster.hdfs.exists(path)
+
+    def test_unknown_query_rejected(self):
+        runtime = make_runtime()
+        with pytest.raises(ValueError):
+            runtime.input_paths("ghost", 1)

@@ -1,0 +1,176 @@
+"""Unit tests for the Execution Profiler (Holt smoothing, Eqs. 1-3)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.profiler import ExecutionProfiler
+
+
+class TestValidation:
+    def test_alpha_bounds(self):
+        with pytest.raises(ValueError):
+            ExecutionProfiler(alpha=0.0)
+        with pytest.raises(ValueError):
+            ExecutionProfiler(alpha=1.5)
+
+    def test_beta_bounds(self):
+        with pytest.raises(ValueError):
+            ExecutionProfiler(beta=-0.1)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            ExecutionProfiler().observe(-1.0)
+
+
+class TestHoltEquations:
+    def test_first_observation_initialises_level(self):
+        p = ExecutionProfiler()
+        p.observe(10.0)
+        assert p.level == 10.0
+        assert p.trend == 0.0
+
+    def test_equations_match_manual_computation(self):
+        alpha, beta = 0.5, 0.3
+        p = ExecutionProfiler(alpha=alpha, beta=beta)
+        p.observe(10.0)
+        p.observe(20.0)
+        # L_2 = a*X + (1-a)*(L_1 + T_1) = 0.5*20 + 0.5*10 = 15
+        assert p.level == pytest.approx(15.0)
+        # T_2 = b*(L_2 - L_1) + (1-b)*T_1 = 0.3*5 = 1.5
+        assert p.trend == pytest.approx(1.5)
+        # Forecast (Eq. 3): X̂_{2+k} = L_2 + k*T_2
+        assert p.forecast(1) == pytest.approx(16.5)
+        assert p.forecast(2) == pytest.approx(18.0)
+
+    def test_constant_series_converges_to_value(self):
+        p = ExecutionProfiler()
+        for _ in range(50):
+            p.observe(42.0)
+        assert p.forecast(1) == pytest.approx(42.0, rel=1e-6)
+        assert abs(p.trend) < 1e-6
+
+    def test_rising_series_positive_trend(self):
+        p = ExecutionProfiler()
+        for x in range(1, 20):
+            p.observe(float(x))
+        assert p.trend > 0
+        assert p.forecast(1) > p.level
+
+    def test_forecast_floored_at_zero(self):
+        p = ExecutionProfiler(alpha=1.0, beta=1.0)
+        p.observe(100.0)
+        p.observe(1.0)
+        assert p.forecast(10) == 0.0
+
+    def test_forecast_before_observations_is_none(self):
+        assert ExecutionProfiler().forecast(1) is None
+
+    def test_forecast_k_validation(self):
+        p = ExecutionProfiler()
+        p.observe(1.0)
+        with pytest.raises(ValueError):
+            p.forecast(0)
+
+    @given(st.lists(st.floats(0.1, 1e4), min_size=1, max_size=40))
+    @settings(max_examples=40)
+    def test_level_stays_within_data_envelope_property(self, xs):
+        """Smoothing never escapes far beyond the observed range."""
+        p = ExecutionProfiler(alpha=0.5, beta=0.3)
+        for x in xs:
+            p.observe(x)
+        lo, hi = min(xs), max(xs)
+        margin = (hi - lo) + 1.0
+        assert lo - margin <= p.level <= hi + margin
+
+
+class TestScaleFactorAndTriggers:
+    def test_scale_factor_without_data_is_one(self):
+        assert ExecutionProfiler().scale_factor(100.0) == 1.0
+
+    def test_scale_factor(self):
+        p = ExecutionProfiler()
+        p.observe(200.0)
+        assert p.scale_factor(100.0) == pytest.approx(2.0)
+
+    def test_scale_factor_slide_validation(self):
+        with pytest.raises(ValueError):
+            ExecutionProfiler().scale_factor(0.0)
+
+    def test_overload_predicted(self):
+        p = ExecutionProfiler()
+        p.observe(150.0)
+        assert p.overload_predicted(100.0)
+        assert not p.overload_predicted(200.0)
+
+    def test_change_factor_needs_two_observations(self):
+        p = ExecutionProfiler()
+        assert p.change_factor() == 1.0
+        p.observe(10.0)
+        assert p.change_factor() == 1.0
+
+    def test_change_factor_detects_rise(self):
+        p = ExecutionProfiler()
+        p.observe(10.0)
+        p.observe(10.0)
+        p.observe(30.0)  # spike
+        # Forecast is pulled up relative to... the last observation is
+        # the spike itself, so compare the trajectory the other way:
+        p2 = ExecutionProfiler()
+        p2.observe(10.0)
+        p2.observe(30.0)
+        assert p2.forecast(1) > 10.0
+
+    def test_volatility_steady(self):
+        p = ExecutionProfiler()
+        for _ in range(5):
+            p.observe(10.0)
+        assert p.volatility() == pytest.approx(1.0)
+
+    def test_volatility_spiky(self):
+        p = ExecutionProfiler()
+        for x in (10.0, 20.0, 10.0):
+            p.observe(x)
+        assert p.volatility() == pytest.approx(2.0)
+
+    def test_volatility_k_validation(self):
+        with pytest.raises(ValueError):
+            ExecutionProfiler().volatility(1)
+
+    def test_input_volatility_uses_bytes(self):
+        p = ExecutionProfiler()
+        p.observe(5.0, input_bytes=100.0)
+        p.observe(5.0, input_bytes=200.0)
+        assert p.input_volatility() == pytest.approx(2.0)
+
+    def test_input_volatility_skips_zero_volumes(self):
+        p = ExecutionProfiler()
+        p.observe(5.0, input_bytes=0.0)
+        p.observe(5.0, input_bytes=100.0)
+        assert p.input_volatility() == 1.0
+
+    def test_fluctuation_detected_on_spike(self):
+        p = ExecutionProfiler()
+        p.observe(10.0, input_bytes=100.0)
+        p.observe(10.0, input_bytes=200.0)
+        assert p.fluctuation_detected()
+
+    def test_no_fluctuation_when_steady(self):
+        p = ExecutionProfiler()
+        for _ in range(5):
+            p.observe(10.0, input_bytes=100.0)
+        assert not p.fluctuation_detected()
+
+
+class TestObservations:
+    def test_observation_log(self):
+        p = ExecutionProfiler()
+        p.observe(1.0, input_bytes=10.0)
+        p.observe(2.0, input_bytes=20.0)
+        obs = p.observations
+        assert [o.recurrence for o in obs] == [1, 2]
+        assert obs[1].execution_time == 2.0
+        assert obs[1].input_bytes == 20.0
+        assert p.num_observations == 2

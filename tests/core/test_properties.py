@@ -1,0 +1,150 @@
+"""Cross-cutting property-based tests for the core layer."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cache_controller import (
+    CACHE_AVAILABLE,
+    HDFS_AVAILABLE,
+    WindowAwareCacheController,
+)
+from repro.core.cache_registry import REDUCE_INPUT, REDUCE_OUTPUT, LocalCacheRegistry
+from repro.core.data_packer import DynamicDataPacker
+from repro.core.panes import WindowSpec
+from repro.core.semantic_analyzer import PartitionPlan
+from repro.hadoop.catalog import BatchFile
+from repro.hadoop.config import small_test_config
+from repro.hadoop.hdfs import SimulatedHDFS
+from repro.hadoop.node import TaskNode
+from repro.hadoop.types import Record
+
+
+class TestControllerReadyConsistency:
+    """pane_ready == CACHE_AVAILABLE iff at least one cache placement exists."""
+
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["create", "lose"]),
+                st.integers(0, 2),   # partition
+                st.integers(0, 3),   # node
+            ),
+            max_size=30,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_ready_bit_tracks_placements(self, ops):
+        controller = WindowAwareCacheController()
+        controller.register_query(
+            "q", {"S1": WindowSpec(win=40.0, slide=10.0)}
+        )
+        pid = "S1P0"
+        controller.pane_arrived(pid)
+        live = set()
+        for op, partition, node in ops:
+            if op == "create":
+                controller.cache_created(pid, REDUCE_INPUT, partition, node)
+                live.add(partition)
+            else:
+                controller.cache_lost(pid, REDUCE_INPUT, partition)
+                live.discard(partition)
+            expected = CACHE_AVAILABLE if live else HDFS_AVAILABLE
+            assert controller.pane_ready(pid) == expected
+
+
+class TestPackerCoverage:
+    """Every ingested record lands in exactly one pane, by timestamp."""
+
+    @given(
+        batch_cuts=st.lists(
+            st.floats(0.5, 39.5), min_size=0, max_size=5, unique=True
+        ),
+        timestamps=st.lists(st.floats(0.0, 39.99), min_size=1, max_size=40),
+        ppf=st.integers(1, 3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_records_partitioned_exactly(self, batch_cuts, timestamps, ppf):
+        hdfs = SimulatedHDFS(small_test_config(), seed=1)
+        spec = WindowSpec(win=30.0, slide=10.0)
+        plan = PartitionPlan(
+            source="S1", pane_seconds=10.0, panes_per_file=ppf,
+            expected_pane_bytes=1000.0,
+        )
+        packer = DynamicDataPacker(hdfs, spec, plan)
+        bounds = [0.0] + sorted(batch_cuts) + [40.0]
+        records = [Record(ts=t, value=i, size=10) for i, t in enumerate(sorted(timestamps))]
+        for i, (t0, t1) in enumerate(zip(bounds, bounds[1:])):
+            if t1 - t0 < 1e-9:
+                continue
+            chunk = [r for r in records if t0 <= r.ts < t1]
+            packer.ingest_batch(
+                BatchFile(path=f"/b/{i}", source="S1", t_start=t0, t_end=t1),
+                chunk,
+            )
+        packer.flush()
+        seen = []
+        for idx in range(4):
+            pane_records, _bytes = packer.read_pane(idx)
+            for r in pane_records:
+                assert spec.pane_of_time(r.ts) == idx
+                seen.append(r.value)
+        assert sorted(seen) == [r.value for r in records]
+
+
+class TestRegistryPurgeSafety:
+    """Purging never removes a live (unexpired) entry."""
+
+    @given(
+        entries=st.lists(
+            st.tuples(st.integers(0, 5), st.sampled_from([1, 2])),
+            min_size=1,
+            max_size=15,
+        ),
+        expired=st.sets(st.integers(0, 5)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_only_expired_purged(self, entries, expired):
+        node = TaskNode(0, map_slots=1, reduce_slots=1)
+        registry = LocalCacheRegistry(node, purge_cycle=1.0)
+        for i, (pane, cache_type) in enumerate(entries):
+            registry.add_entry(f"S1P{pane}", cache_type, i, 10, None)
+        registry.mark_expired({f"S1P{p}" for p in expired})
+        purged = registry.periodic_purge(now=100.0)
+        for entry in purged:
+            assert entry.pid in {f"S1P{p}" for p in expired}
+        for entry in registry.entries():
+            assert not entry.expiration  # everything expired is gone
+
+
+class TestSpecConsistency:
+    """Pane override never changes window boundaries or schedules."""
+
+    @given(
+        win_m=st.integers(1, 24),
+        slide_m=st.integers(1, 24),
+        div=st.sampled_from([1, 2, 3, 5]),
+        k=st.integers(1, 10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_override_preserves_windows(self, win_m, slide_m, div, k):
+        win, slide = max(win_m, slide_m) * 60.0, min(win_m, slide_m) * 60.0
+        base = WindowSpec(win=win, slide=slide)
+        pane_ms = round(base.pane_seconds * 1000)
+        if pane_ms % div != 0:
+            return  # override must divide the GCD exactly
+        fine = base.with_pane(base.pane_seconds / div)
+        assert fine.window_bounds(k) == base.window_bounds(k)
+        assert fine.execution_time(k) == base.execution_time(k)
+        base_panes = base.panes_in_window(k)
+        fine_panes = fine.panes_in_window(k)
+        assert len(fine_panes) == div * len(base_panes)
+        # The fine panes tile exactly the same time range.
+        assert fine.pane_bounds(fine_panes[0])[0] == base.pane_bounds(
+            base_panes[0]
+        )[0]
+        assert fine.pane_bounds(fine_panes[-1])[1] == base.pane_bounds(
+            base_panes[-1]
+        )[1]

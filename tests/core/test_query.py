@@ -1,0 +1,129 @@
+"""Unit tests for the recurring query model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.panes import WindowSpec
+from repro.core.query import RecurringQuery, concat_finalizer, merging_finalizer
+
+from ..conftest import wordcount_job
+
+
+def make_query(**kwargs):
+    defaults = dict(
+        name="q",
+        job=wordcount_job(),
+        windows={"S1": WindowSpec(win=100.0, slide=20.0)},
+    )
+    defaults.update(kwargs)
+    return RecurringQuery(**defaults)
+
+
+class TestValidation:
+    def test_needs_sources(self):
+        with pytest.raises(ValueError):
+            make_query(windows={})
+
+    def test_slides_must_match(self):
+        with pytest.raises(ValueError):
+            make_query(
+                windows={
+                    "A": WindowSpec(win=100.0, slide=20.0),
+                    "B": WindowSpec(win=100.0, slide=10.0),
+                }
+            )
+
+    def test_different_wins_same_slide_allowed(self):
+        q = make_query(
+            windows={
+                "A": WindowSpec(win=100.0, slide=20.0),
+                "B": WindowSpec(win=60.0, slide=20.0),
+            }
+        )
+        assert q.num_sources == 2
+
+
+class TestStructure:
+    def test_sources_sorted(self):
+        q = make_query(
+            windows={
+                "B": WindowSpec(win=100.0, slide=20.0),
+                "A": WindowSpec(win=100.0, slide=20.0),
+            }
+        )
+        assert q.sources == ("A", "B")
+
+    def test_slide(self):
+        assert make_query().slide == 20.0
+
+    def test_spec_lookup(self):
+        q = make_query()
+        assert q.spec("S1").win == 100.0
+        with pytest.raises(KeyError):
+            q.spec("S9")
+
+
+class TestSchedule:
+    def test_execution_time_single_source(self):
+        q = make_query()
+        assert q.execution_time(1) == 100.0
+        assert q.execution_time(2) == 120.0
+
+    def test_execution_time_multi_source_takes_max(self):
+        q = make_query(
+            windows={
+                "A": WindowSpec(win=100.0, slide=20.0),
+                "B": WindowSpec(win=60.0, slide=20.0),
+            }
+        )
+        assert q.execution_time(1) == 100.0
+
+    def test_window_bounds_per_source(self):
+        q = make_query(
+            windows={
+                "A": WindowSpec(win=100.0, slide=20.0),
+                "B": WindowSpec(win=60.0, slide=20.0),
+            }
+        )
+        bounds = q.window_bounds(1)
+        assert bounds["A"] == (0.0, 100.0)
+        assert bounds["B"] == (0.0, 60.0)
+
+
+class TestPaths:
+    def test_default_output_path(self):
+        assert make_query().output_path(3) == "/out/q/w0003"
+
+    def test_custom_output_path(self):
+        q = make_query(output_path_fn=lambda k: f"/custom/{k}")
+        assert q.output_path(7) == "/custom/7"
+
+
+class TestFinalizers:
+    def test_concat_finalizer(self):
+        assert list(concat_finalizer("k", [1, 2, 3])) == [
+            ("k", 1),
+            ("k", 2),
+            ("k", 3),
+        ]
+
+    def test_merging_finalizer(self):
+        fin = merging_finalizer(sum)
+        assert list(fin("k", [1, 2, 3])) == [("k", 6)]
+
+    def test_merging_finalizer_custom_merge(self):
+        fin = merging_finalizer(max)
+        assert list(fin("k", [5, 9, 2])) == [("k", 9)]
+
+    def test_algebraic_property_for_wordcount(self):
+        """finalize(reduce per pane) == reduce over the window."""
+        job = wordcount_job()
+        fin = merging_finalizer(sum)
+        pane1 = [("a", 1)] * 3
+        pane2 = [("a", 1)] * 4
+        partials = []
+        for pane in (pane1, pane2):
+            partials.extend(v for _k, v in job.reducer("a", [v for _, v in pane]))
+        direct = list(job.reducer("a", [1] * 7))
+        assert list(fin("a", partials)) == direct

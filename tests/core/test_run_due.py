@@ -1,0 +1,75 @@
+"""Tests for due-time-ordered multi-query execution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import RecurringQuery, RedoopRuntime, WindowSpec, merging_finalizer
+from repro.hadoop import Cluster, small_test_config
+
+from ..conftest import wordcount_job
+from .test_runtime import RATE, feed
+
+
+def two_query_runtime():
+    runtime = RedoopRuntime(Cluster(small_test_config(), seed=3))
+    job = wordcount_job(num_reducers=4, name="wc")
+    short = RecurringQuery(
+        name="short",
+        job=job,
+        windows={"S1": WindowSpec(win=20.0, slide=10.0)},
+        finalize=merging_finalizer(sum),
+    )
+    long_ = RecurringQuery(
+        name="long",
+        job=job,
+        windows={"S1": WindowSpec(win=40.0, slide=20.0)},
+        finalize=merging_finalizer(sum),
+    )
+    runtime.register_query(short, {"S1": RATE})
+    runtime.register_query(long_, {"S1": RATE})
+    return runtime
+
+
+class TestRunDueRecurrences:
+    def test_nothing_due_before_first_window(self):
+        runtime = two_query_runtime()
+        feed(runtime, 10.0)
+        assert runtime.run_due_recurrences(now=15.0) == []
+
+    def test_due_order_across_queries(self):
+        runtime = two_query_runtime()
+        feed(runtime, 60.0)
+        results = runtime.run_due_recurrences(now=60.0)
+        fired = [(r.query, r.recurrence, r.due_time) for r in results]
+        # short fires at 20, 30, 40, 50, 60; long at 40, 60.
+        assert fired == [
+            ("short", 1, 20.0),
+            ("short", 2, 30.0),
+            ("long", 1, 40.0),
+            ("short", 3, 40.0),
+            ("short", 4, 50.0),
+            ("long", 2, 60.0),
+            ("short", 5, 60.0),
+        ]
+
+    def test_incomplete_data_skipped_then_fires(self):
+        from .test_runtime import batch
+
+        runtime = two_query_runtime()
+        feed(runtime, 30.0)  # long's first window (needs 40) not ready
+        results = runtime.run_due_recurrences(now=60.0)
+        assert {r.query for r in results} == {"short"}
+        # Once the data arrives, the skipped recurrence fires.
+        for i, t0 in enumerate((30.0, 40.0, 50.0), start=3):
+            b, records = batch(i, t0, t0 + 10.0)
+            runtime.ingest(b, records)
+        late = runtime.run_due_recurrences(now=60.0)
+        assert ("long", 1) in {(r.query, r.recurrence) for r in late}
+
+    def test_progress_is_persistent(self):
+        runtime = two_query_runtime()
+        feed(runtime, 40.0)
+        first = runtime.run_due_recurrences(now=40.0)
+        again = runtime.run_due_recurrences(now=40.0)
+        assert first and not again  # nothing fires twice

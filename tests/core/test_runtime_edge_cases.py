@@ -1,0 +1,142 @@
+"""Edge cases of the Redoop runtime: degenerate windows and clusters."""
+
+from __future__ import annotations
+
+from collections import Counter as PyCounter
+
+import pytest
+
+from repro.core import RecurringQuery, RedoopRuntime, WindowSpec, merging_finalizer
+from repro.hadoop import BatchFile, Cluster, Record, small_test_config
+
+from ..conftest import wordcount_job
+
+RATE = 500_000.0
+
+
+def make_runtime(win, slide, *, num_nodes=4, num_reducers=4, seed=3):
+    cluster = Cluster(
+        small_test_config(num_nodes=num_nodes, num_reducers=num_reducers),
+        seed=seed,
+    )
+    runtime = RedoopRuntime(cluster)
+    query = RecurringQuery(
+        name="wc",
+        job=wordcount_job(num_reducers=num_reducers, name="wc"),
+        windows={"S1": WindowSpec(win=win, slide=slide)},
+        finalize=merging_finalizer(sum),
+    )
+    runtime.register_query(query, {"S1": RATE})
+    return runtime
+
+
+def feed_words(runtime, upto, *, batch_seconds=10.0, per_batch=20, gap=None):
+    """Feed batches; `gap` is an optional (start, end) with no records."""
+    import random
+
+    fed = []
+    i, t = 0, 0.0
+    while t < upto - 1e-9:
+        t1 = t + batch_seconds
+        rng = random.Random(i)
+        records = [
+            Record(
+                ts=t + j * batch_seconds / per_batch,
+                value=f"w{rng.randrange(5)}",
+                size=100,
+            )
+            for j in range(per_batch)
+        ]
+        if gap is not None:
+            records = [r for r in records if not gap[0] <= r.ts < gap[1]]
+        runtime.ingest(
+            BatchFile(path=f"/b/{i}", source="S1", t_start=t, t_end=t1), records
+        )
+        fed.extend(records)
+        i += 1
+        t = t1
+    return fed
+
+
+class TestTumblingWindow:
+    """win == slide: zero overlap, no cache reuse across windows."""
+
+    def test_correct_but_no_pane_hits(self):
+        runtime = make_runtime(20.0, 20.0)
+        records = feed_words(runtime, 60.0)
+        r1 = runtime.run_recurrence("wc", 1)
+        r2 = runtime.run_recurrence("wc", 2)
+        assert r2.counters.get("cache.pane_hits") == 0
+        for r in (r1, r2):
+            start, end = r.window_bounds["S1"]
+            expected = PyCounter(x.value for x in records if start <= x.ts < end)
+            assert dict(r.output) == dict(expected)
+
+    def test_all_panes_expire_immediately(self):
+        runtime = make_runtime(20.0, 20.0)
+        feed_words(runtime, 80.0)
+        for k in (1, 2, 3):
+            runtime.run_recurrence("wc", k)
+        held = {
+            e.pid
+            for r in runtime.registries().values()
+            for e in r.live_entries()
+        }
+        # Only the current window's pane may remain cached.
+        assert held <= {"wc:S1P2", "wc:S1P3"}
+
+
+class TestSingleNodeCluster:
+    def test_everything_runs_on_one_node(self):
+        runtime = make_runtime(40.0, 10.0, num_nodes=1, num_reducers=2)
+        records = feed_words(runtime, 50.0)
+        r1 = runtime.run_recurrence("wc", 1)
+        r2 = runtime.run_recurrence("wc", 2)
+        start, end = r2.window_bounds["S1"]
+        expected = PyCounter(x.value for x in records if start <= x.ts < end)
+        assert dict(r2.output) == dict(expected)
+        assert r2.response_time < r1.response_time  # caching still helps
+
+
+class TestEmptyData:
+    def test_window_with_empty_pane(self):
+        runtime = make_runtime(40.0, 10.0)
+        records = feed_words(runtime, 40.0, gap=(10.0, 20.0))
+        result = runtime.run_recurrence("wc", 1)
+        expected = PyCounter(r.value for r in records)
+        assert dict(result.output) == dict(expected)
+
+    def test_fully_empty_window(self):
+        runtime = make_runtime(40.0, 10.0)
+        feed_words(runtime, 40.0, gap=(0.0, 40.0))
+        result = runtime.run_recurrence("wc", 1)
+        assert result.output == []
+        assert result.response_time > 0  # overheads still charged
+
+
+class TestManyRecurrences:
+    def test_long_run_stays_bounded(self):
+        """Caches and bookkeeping must not grow without bound."""
+        runtime = make_runtime(40.0, 10.0)
+        feed_words(runtime, 40.0 + 30 * 10.0)
+        entries_seen = []
+        for k in range(1, 31):
+            runtime.run_recurrence("wc", k)
+            entries_seen.append(
+                sum(len(r.live_entries()) for r in runtime.registries().values())
+            )
+        # Steady state: entries plateau at window panes x partitions x 2
+        # (+ panes awaiting the other purge conditions), far below the
+        # total panes processed.
+        assert max(entries_seen[5:]) <= entries_seen[4] + 16
+        state = runtime._states["wc"]
+        assert len(state.pane_work) <= 8
+        assert runtime.counters.get("cache.entries_purged") > 0
+
+    def test_purged_panes_files_remain_in_hdfs(self):
+        """Pane files are HDFS data, not caches; purging spares them."""
+        runtime = make_runtime(40.0, 10.0)
+        feed_words(runtime, 100.0)
+        for k in range(1, 7):
+            runtime.run_recurrence("wc", k)
+        assert runtime.cluster.hdfs.exists("/panes/S1/S1P0")

@@ -1,0 +1,141 @@
+"""Unit tests for the Cache-Aware Task Scheduler (Algorithm 2, Eq. 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.scheduler import (
+    CacheAwareTaskScheduler,
+    MapTaskRequest,
+    ReduceTaskRequest,
+)
+from repro.hadoop import Cluster, small_test_config
+from repro.hadoop.node import MAP_SLOT, REDUCE_SLOT
+from repro.hadoop.types import MEGABYTE
+
+
+@pytest.fixture
+def cluster() -> Cluster:
+    return Cluster(small_test_config(), seed=5)
+
+
+@pytest.fixture
+def scheduler(cluster) -> CacheAwareTaskScheduler:
+    return CacheAwareTaskScheduler(cluster)
+
+
+def map_request(nbytes=8 * MEGABYTE, locations=()):
+    return MapTaskRequest(
+        query="q", pid="S1P0", input_bytes=nbytes, locations=tuple(locations)
+    )
+
+
+def reduce_request(nbytes=8 * MEGABYTE, cached=(), partition=0):
+    return ReduceTaskRequest(
+        query="q",
+        panes=(("S1", 0),),
+        partition=partition,
+        input_bytes=nbytes,
+        cached_bytes_by_node=tuple(cached),
+    )
+
+
+class TestEq4MapSelection:
+    def test_prefers_data_local_node(self, scheduler):
+        node = scheduler.select_map_node(map_request(locations=[2]), now=0.0)
+        assert node.node_id == 2
+
+    def test_load_outweighs_locality(self, scheduler, cluster):
+        # Pile enough work on the local node that Eq. 4 sends the task away.
+        for _ in range(cluster.config.map_slots_per_node):
+            cluster.node(2).occupy_slot(MAP_SLOT, 0.0, 1000.0)
+        node = scheduler.select_map_node(map_request(locations=[2]), now=0.0)
+        assert node.node_id != 2
+
+    def test_locality_wins_under_mild_load(self, scheduler, cluster):
+        # A small load on the local node should not evict the task:
+        # the I/O penalty of going remote exceeds the wait.
+        cluster.node(2).occupy_slot(MAP_SLOT, 0.0, 0.01)
+        node = scheduler.select_map_node(
+            map_request(nbytes=64 * MEGABYTE, locations=[2]), now=0.0
+        )
+        assert node.node_id == 2
+
+    def test_no_live_nodes_raises(self, scheduler, cluster):
+        for nid in list(cluster.live_node_ids()):
+            cluster.fail_node(nid)
+        with pytest.raises(RuntimeError):
+            scheduler.select_map_node(map_request(), now=0.0)
+
+
+class TestEq4ReduceSelection:
+    def test_prefers_cache_host(self, scheduler):
+        request = reduce_request(cached=[(3, 8 * MEGABYTE)])
+        node = scheduler.select_reduce_node(request, now=0.0)
+        assert node.node_id == 3
+
+    def test_overloaded_cache_host_loses(self, scheduler, cluster):
+        for _ in range(cluster.config.reduce_slots_per_node):
+            cluster.node(3).occupy_slot(REDUCE_SLOT, 0.0, 1000.0)
+        request = reduce_request(cached=[(3, 8 * MEGABYTE)])
+        node = scheduler.select_reduce_node(request, now=0.0)
+        assert node.node_id != 3
+
+    def test_partial_cache_weighting(self, scheduler):
+        # Node 1 holds more of the input than node 2: node 1 wins.
+        request = reduce_request(
+            nbytes=10 * MEGABYTE,
+            cached=[(1, 6 * MEGABYTE), (2, 2 * MEGABYTE)],
+        )
+        assert scheduler.select_reduce_node(request, now=0.0).node_id == 1
+
+    def test_deterministic_tiebreak_by_node_id(self, scheduler):
+        node = scheduler.select_reduce_node(reduce_request(), now=0.0)
+        assert node.node_id == 0
+
+
+class TestTaskLists:
+    def test_map_fifo(self, scheduler):
+        a, b = map_request(), map_request()
+        scheduler.enqueue_map(a)
+        scheduler.enqueue_map(b)
+        assert scheduler.next_map() is a
+        assert scheduler.next_map() is b
+        assert scheduler.next_map() is None
+
+    def test_reduce_prefers_fully_cached(self, scheduler):
+        uncached = reduce_request(nbytes=10, cached=())
+        partial = reduce_request(nbytes=10, cached=[(0, 4)])
+        full = reduce_request(nbytes=10, cached=[(0, 10)])
+        for r in (uncached, partial, full):
+            scheduler.enqueue_reduce(r)
+        assert scheduler.next_reduce() is full
+        assert scheduler.next_reduce() is partial
+        assert scheduler.next_reduce() is uncached
+        assert scheduler.next_reduce() is None
+
+    def test_reduce_fifo_within_class(self, scheduler):
+        first = reduce_request(partition=0)
+        second = reduce_request(partition=1)
+        scheduler.enqueue_reduce(first)
+        scheduler.enqueue_reduce(second)
+        assert scheduler.next_reduce() is first
+
+    def test_drop_reduce_tasks_using_lost_cache(self, scheduler):
+        keep = ReduceTaskRequest(
+            query="q", panes=(("S1", 1),), partition=0, input_bytes=1
+        )
+        drop = ReduceTaskRequest(
+            query="q", panes=(("S1", 0), ("S2", 3)), partition=0, input_bytes=1
+        )
+        scheduler.enqueue_reduce(keep)
+        scheduler.enqueue_reduce(drop)
+        removed = scheduler.drop_reduce_tasks_using("S2P3")
+        assert removed == [drop]
+        assert list(scheduler.reduce_task_list) == [keep]
+
+    def test_drop_with_no_match_is_noop(self, scheduler):
+        keep = reduce_request()
+        scheduler.enqueue_reduce(keep)
+        assert scheduler.drop_reduce_tasks_using("S9P9") == []
+        assert list(scheduler.reduce_task_list) == [keep]

@@ -1,0 +1,172 @@
+"""Unit tests for the Semantic Analyzer (Algorithm 1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.panes import WindowSpec
+from repro.core.semantic_analyzer import (
+    PartitionPlan,
+    SemanticAnalyzer,
+    SourceStats,
+)
+from repro.hadoop.config import ClusterConfig
+from repro.hadoop.types import MEGABYTE
+
+
+@pytest.fixture
+def analyzer() -> SemanticAnalyzer:
+    return SemanticAnalyzer(ClusterConfig())  # 64 MB blocks
+
+
+class TestSourceStats:
+    def test_positive_rate_required(self):
+        with pytest.raises(ValueError):
+            SourceStats(source="S1", rate=0.0)
+
+
+class TestAlgorithm1:
+    def test_paper_figure3_example(self, analyzer):
+        """Fig. 3: win=6min, slide=2min, rate=16MB/min, 64MB blocks.
+
+        pane = GCD = 2 minutes; filesize = 32 MB < 64 MB -> undersized;
+        panenum = floor(64/32) = 2 panes per file.
+        """
+        spec = WindowSpec(win=360.0, slide=120.0)
+        stats = SourceStats(source="News", rate=16 * MEGABYTE / 60.0)
+        plan = analyzer.plan(spec, stats)
+        assert plan.pane_seconds == 120.0
+        assert plan.panes_per_file == 2
+        assert not plan.oversize
+        assert plan.expected_pane_bytes == pytest.approx(32 * MEGABYTE)
+
+    def test_oversize_case(self, analyzer):
+        # High rate: pane bytes >= block size -> one pane per file.
+        spec = WindowSpec(win=360.0, slide=120.0)
+        stats = SourceStats(source="S1", rate=MEGABYTE)  # 120 MB per pane
+        plan = analyzer.plan(spec, stats)
+        assert plan.oversize
+        assert plan.panes_per_file == 1
+
+    def test_boundary_exactly_block_size_is_oversize(self, analyzer):
+        spec = WindowSpec(win=2.0, slide=1.0)  # pane = 1 s
+        stats = SourceStats(source="S1", rate=64 * MEGABYTE)
+        assert analyzer.plan(spec, stats).oversize
+
+    def test_very_low_rate_many_panes_per_file(self, analyzer):
+        spec = WindowSpec(win=360.0, slide=120.0)
+        stats = SourceStats(source="S1", rate=1000.0)  # 120 KB per pane
+        plan = analyzer.plan(spec, stats)
+        assert plan.panes_per_file == (64 * MEGABYTE) // 120_000
+
+    @given(
+        win_m=st.integers(1, 120),
+        slide_m=st.integers(1, 120),
+        rate=st.floats(1.0, 1e9),
+    )
+    @settings(max_examples=60)
+    def test_plan_invariants_property(self, win_m, slide_m, rate):
+        win, slide = max(win_m, slide_m) * 60.0, min(win_m, slide_m) * 60.0
+        analyzer = SemanticAnalyzer(ClusterConfig())
+        spec = WindowSpec(win=win, slide=slide)
+        plan = analyzer.plan(spec, SourceStats(source="S", rate=rate))
+        assert plan.pane_seconds == spec.pane_seconds
+        assert plan.panes_per_file >= 1
+        if plan.panes_per_file > 1:
+            # Undersized: the packed file is expected to fit in a block.
+            assert (
+                plan.panes_per_file * plan.expected_pane_bytes
+                <= 64 * MEGABYTE + plan.expected_pane_bytes
+            )
+
+
+class TestPlanAll:
+    def test_plans_every_source(self, analyzer):
+        specs = {
+            "A": WindowSpec(win=100.0, slide=50.0),
+            "B": WindowSpec(win=200.0, slide=50.0),
+        }
+        stats = {
+            "A": SourceStats(source="A", rate=1000.0),
+            "B": SourceStats(source="B", rate=2000.0),
+        }
+        plans = analyzer.plan_all(specs, stats)
+        assert set(plans) == {"A", "B"}
+
+    def test_missing_stats_rejected(self, analyzer):
+        specs = {"A": WindowSpec(win=10.0, slide=5.0)}
+        with pytest.raises(ValueError):
+            analyzer.plan_all(specs, {})
+
+
+class TestPartitionPlanValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"pane_seconds": 0.0},
+            {"panes_per_file": 0},
+            {"sub_panes": 0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        defaults = dict(
+            source="S",
+            pane_seconds=10.0,
+            panes_per_file=1,
+            expected_pane_bytes=100.0,
+        )
+        defaults.update(kwargs)
+        with pytest.raises(ValueError):
+            PartitionPlan(**defaults)
+
+    def test_file_group_of_pane(self):
+        plan = PartitionPlan(
+            source="S", pane_seconds=10.0, panes_per_file=4,
+            expected_pane_bytes=1.0,
+        )
+        assert plan.file_group_of_pane(0) == 0
+        assert plan.file_group_of_pane(3) == 0
+        assert plan.file_group_of_pane(4) == 1
+
+    def test_negative_pane_rejected(self):
+        plan = PartitionPlan(
+            source="S", pane_seconds=10.0, panes_per_file=1,
+            expected_pane_bytes=1.0,
+        )
+        with pytest.raises(ValueError):
+            plan.file_group_of_pane(-1)
+
+
+class TestAdaptiveReplan:
+    def test_scale_factor_splits_panes(self, analyzer):
+        plan = PartitionPlan(
+            source="S", pane_seconds=60.0, panes_per_file=1,
+            expected_pane_bytes=1.0,
+        )
+        refined = analyzer.replan_adaptive(plan, 2.5)
+        assert refined.sub_panes == 3  # ceil(2.5)
+        assert refined.sub_pane_seconds == pytest.approx(20.0)
+
+    def test_factor_at_most_one_reverts(self, analyzer):
+        plan = PartitionPlan(
+            source="S", pane_seconds=60.0, panes_per_file=1,
+            expected_pane_bytes=1.0, sub_panes=4,
+        )
+        assert analyzer.replan_adaptive(plan, 0.8).sub_panes == 1
+
+    def test_same_factor_returns_same_plan(self, analyzer):
+        plan = PartitionPlan(
+            source="S", pane_seconds=60.0, panes_per_file=1,
+            expected_pane_bytes=1.0, sub_panes=2,
+        )
+        assert analyzer.replan_adaptive(plan, 2.0) is plan
+
+    def test_nonpositive_factor_rejected(self, analyzer):
+        plan = PartitionPlan(
+            source="S", pane_seconds=60.0, panes_per_file=1,
+            expected_pane_bytes=1.0,
+        )
+        with pytest.raises(ValueError):
+            analyzer.replan_adaptive(plan, 0.0)

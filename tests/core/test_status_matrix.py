@@ -1,0 +1,193 @@
+"""Unit tests for the Cache Status Matrix (paper Sec. 4.2, Fig. 4)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.panes import WindowSpec
+from repro.core.status_matrix import CacheStatusMatrix
+
+
+def fig4_matrix() -> CacheStatusMatrix:
+    """The paper's Fig. 4 setup: binary join, win=30min, slide=20min."""
+    spec = WindowSpec(win=1800.0, slide=1200.0)  # pane = 10 min
+    return CacheStatusMatrix({"S1": spec, "S2": spec})
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CacheStatusMatrix({})
+
+    def test_mismatched_slides_rejected(self):
+        with pytest.raises(ValueError):
+            CacheStatusMatrix(
+                {
+                    "A": WindowSpec(win=100.0, slide=50.0),
+                    "B": WindowSpec(win=100.0, slide=25.0),
+                }
+            )
+
+    def test_sources_sorted(self):
+        m = fig4_matrix()
+        assert m.sources == ("S1", "S2")
+
+
+class TestMarkAndQuery:
+    def test_mark_done_roundtrip(self):
+        m = fig4_matrix()
+        assert not m.is_done({"S1": 3, "S2": 2})
+        m.mark_done({"S1": 3, "S2": 2})
+        assert m.is_done({"S1": 3, "S2": 2})
+
+    def test_wrong_sources_rejected(self):
+        m = fig4_matrix()
+        with pytest.raises(ValueError):
+            m.mark_done({"S1": 0})
+        with pytest.raises(ValueError):
+            m.is_done({"S1": 0, "S3": 0})
+
+    def test_negative_index_rejected(self):
+        m = fig4_matrix()
+        with pytest.raises(ValueError):
+            m.mark_done({"S1": -1, "S2": 0})
+
+
+class TestRequiredCells:
+    def test_single_source_required_cells(self):
+        spec = WindowSpec(win=30.0, slide=10.0)
+        m = CacheStatusMatrix({"S": spec})
+        assert m.required_cells("S", 4) == {(4,)}
+
+    def test_paper_lifespan_example(self):
+        """Sec. 4.2: S1P1's partners range S2P1..S2P3... in our indexing.
+
+        With win=3 panes, slide=2 panes: window 1 covers panes 0-2 and
+        window 2 covers panes 2-4. Pane S1P1 appears only in window 1,
+        so it must meet S2 panes 0..2.
+        """
+        m = fig4_matrix()
+        cells = m.required_cells("S1", 1)
+        assert cells == {(1, 0), (1, 1), (1, 2)}
+
+    def test_pane_spanning_two_windows(self):
+        m = fig4_matrix()
+        cells = m.required_cells("S1", 2)  # windows 1 and 2
+        assert cells == {(2, j) for j in range(5)}  # S2 panes 0..4
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(ValueError):
+            fig4_matrix().required_cells("S9", 0)
+
+
+class TestExpiration:
+    def test_pane_in_current_window_never_expires(self):
+        m = fig4_matrix()
+        # Window 2 covers panes 2-4; pane 2 is current even if done.
+        for j in range(5):
+            m.mark_done({"S1": 2, "S2": j})
+        assert not m.pane_expired("S1", 2, current_recurrence=2)
+
+    def test_pane_expires_after_lifespan_done(self):
+        m = fig4_matrix()
+        for j in range(3):
+            m.mark_done({"S1": 1, "S2": j})
+        # Window 2's panes are 2-4, so pane 1 has left the window.
+        assert m.pane_expired("S1", 1, current_recurrence=2)
+
+    def test_pane_with_unfinished_partner_not_expired(self):
+        m = fig4_matrix()
+        m.mark_done({"S1": 1, "S2": 0})
+        m.mark_done({"S1": 1, "S2": 1})
+        # (1, 2) still missing.
+        assert not m.pane_expired("S1", 1, current_recurrence=2)
+
+    def test_expired_panes_lists_per_source(self):
+        m = fig4_matrix()
+        for i in range(3):
+            for j in range(3):
+                m.mark_done({"S1": i, "S2": j})
+        expired = m.expired_panes(current_recurrence=2)
+        # Panes 0 and 1 of both sources have left window 2 (panes 2-4)
+        # and completed their lifespans.
+        assert expired == {"S1": [0, 1], "S2": [0, 1]}
+
+
+class TestShift:
+    def test_shift_removes_leading_expired_run(self):
+        m = fig4_matrix()
+        for i in range(3):
+            for j in range(3):
+                m.mark_done({"S1": i, "S2": j})
+        purged = m.shift(current_recurrence=2)
+        assert purged == {"S1": [0, 1], "S2": [0, 1]}
+        assert m.base("S1") == 2
+        assert m.base("S2") == 2
+
+    def test_purged_cells_still_read_done(self):
+        """Fig. 4(c) semantics: purged panes are implicitly done."""
+        m = fig4_matrix()
+        for i in range(3):
+            for j in range(3):
+                m.mark_done({"S1": i, "S2": j})
+        m.shift(current_recurrence=2)
+        assert m.is_done({"S1": 0, "S2": 0})
+        assert m.pane_expired("S1", 0, current_recurrence=2)
+
+    def test_shift_stops_at_live_pane(self):
+        """A done-but-unexpired pane blocks the shift (Fig. 4's P5)."""
+        m = fig4_matrix()
+        # Complete pane 0 of S1 only: S2 panes 0..2.
+        for j in range(3):
+            m.mark_done({"S1": 0, "S2": j})
+        # Pane 1 incomplete -> shift removes only pane 0 on S1, and
+        # nothing on S2 (S2P0 requires (0..2, 0) which are incomplete).
+        purged = m.shift(current_recurrence=2)
+        assert purged == {"S1": [0]}
+        assert m.base("S1") == 1
+        assert m.base("S2") == 0
+
+    def test_mark_done_below_base_is_noop(self):
+        m = fig4_matrix()
+        for i in range(3):
+            for j in range(3):
+                m.mark_done({"S1": i, "S2": j})
+        m.shift(current_recurrence=2)
+        cells_before = m.num_tracked_cells()
+        m.mark_done({"S1": 0, "S2": 0})  # below base
+        assert m.num_tracked_cells() == cells_before
+
+    def test_shift_prunes_stored_cells(self):
+        m = fig4_matrix()
+        for i in range(3):
+            for j in range(3):
+                m.mark_done({"S1": i, "S2": j})
+        before = m.num_tracked_cells()
+        m.shift(current_recurrence=2)
+        assert m.num_tracked_cells() < before
+
+    @given(
+        win_panes=st.integers(2, 6),
+        slide_panes=st.integers(1, 6),
+        recurrences=st.integers(2, 8),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_shift_never_purges_live_panes_property(
+        self, win_panes, slide_panes, recurrences
+    ):
+        """After any shift, no purged pane was still needed."""
+        slide_panes = min(slide_panes, win_panes)
+        pane = 60.0
+        spec = WindowSpec(win=win_panes * pane, slide=slide_panes * pane)
+        m = CacheStatusMatrix({"A": spec, "B": spec})
+        for k in range(1, recurrences + 1):
+            panes = spec.panes_in_window(k)
+            for i in panes:
+                for j in panes:
+                    m.mark_done({"A": i, "B": j})
+            purged = m.shift(current_recurrence=k)
+            current = set(spec.panes_in_window(k))
+            for _src, indices in purged.items():
+                assert not (set(indices) & current)

@@ -1,0 +1,91 @@
+"""Unit tests for the batch-file catalog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hadoop.catalog import BatchCatalog, BatchFile
+
+
+def _batch(path, source, t0, t1):
+    return BatchFile(path=path, source=source, t_start=t0, t_end=t1)
+
+
+class TestBatchFile:
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            _batch("/b", "S1", 10.0, 10.0)
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(ValueError):
+            _batch("/b", "S1", 10.0, 5.0)
+
+    @pytest.mark.parametrize(
+        "start,end,expected",
+        [
+            (0.0, 5.0, False),   # fully before
+            (0.0, 10.001, True), # touches the start
+            (12.0, 15.0, True),  # inside
+            (19.9, 30.0, True),  # touches the end
+            (20.0, 30.0, False), # adjacent after (half-open)
+            (5.0, 10.0, False),  # adjacent before (half-open)
+        ],
+    )
+    def test_overlaps(self, start, end, expected):
+        assert _batch("/b", "S1", 10.0, 20.0).overlaps(start, end) is expected
+
+
+class TestBatchCatalog:
+    def test_add_and_list(self):
+        cat = BatchCatalog()
+        cat.add(_batch("/a", "S1", 0, 10))
+        cat.add(_batch("/b", "S1", 10, 20))
+        assert [b.path for b in cat.batches("S1")] == ["/a", "/b"]
+
+    def test_overlapping_add_rejected(self):
+        cat = BatchCatalog()
+        cat.add(_batch("/a", "S1", 0, 10))
+        with pytest.raises(ValueError):
+            cat.add(_batch("/b", "S1", 5, 15))
+
+    def test_out_of_order_add_rejected(self):
+        cat = BatchCatalog()
+        cat.add(_batch("/a", "S1", 10, 20))
+        with pytest.raises(ValueError):
+            cat.add(_batch("/b", "S1", 0, 5))
+
+    def test_sources_independent(self):
+        cat = BatchCatalog()
+        cat.add(_batch("/a", "S1", 0, 10))
+        cat.add(_batch("/b", "S2", 5, 15))  # overlap across sources is fine
+        assert cat.sources() == ["S1", "S2"]
+
+    def test_files_overlapping_window(self):
+        cat = BatchCatalog()
+        cat.add(_batch("/a", "S1", 0, 10))
+        cat.add(_batch("/b", "S1", 10, 20))
+        cat.add(_batch("/c", "S1", 20, 30))
+        hits = cat.files_overlapping(8, 22)
+        assert [b.path for b in hits] == ["/a", "/b", "/c"]
+        hits = cat.files_overlapping(10, 20)
+        assert [b.path for b in hits] == ["/b"]
+
+    def test_files_overlapping_filters_by_source(self):
+        cat = BatchCatalog()
+        cat.add(_batch("/a", "S1", 0, 10))
+        cat.add(_batch("/b", "S2", 0, 10))
+        hits = cat.files_overlapping(0, 10, source="S2")
+        assert [b.path for b in hits] == ["/b"]
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            BatchCatalog().files_overlapping(5, 5)
+
+    def test_covered_until(self):
+        cat = BatchCatalog()
+        assert cat.covered_until("S1") == 0.0
+        cat.add(_batch("/a", "S1", 0, 10))
+        assert cat.covered_until("S1") == 10.0
+
+    def test_unknown_source_empty(self):
+        assert BatchCatalog().batches("nope") == []

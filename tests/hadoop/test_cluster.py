@@ -1,0 +1,69 @@
+"""Unit tests for the cluster facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hadoop import Cluster, small_test_config
+from repro.hadoop.node import MAP_SLOT
+
+from ..conftest import make_records
+
+
+class TestTopology:
+    def test_node_count(self, small_cluster):
+        assert small_cluster.num_live_nodes == 4
+        assert len(list(small_cluster.nodes())) == 4
+
+    def test_node_lookup(self, small_cluster):
+        assert small_cluster.node(2).node_id == 2
+
+    def test_unknown_node_raises(self, small_cluster):
+        with pytest.raises(KeyError):
+            small_cluster.node(99)
+
+    def test_live_node_ids_sorted(self, small_cluster):
+        assert small_cluster.live_node_ids() == [0, 1, 2, 3]
+
+
+class TestFailureIntegration:
+    def test_fail_node_removes_from_live(self, small_cluster):
+        small_cluster.fail_node(1)
+        assert small_cluster.live_node_ids() == [0, 2, 3]
+        assert small_cluster.counters.get("cluster.node_failures") == 1
+
+    def test_fail_node_returns_lost_cache_names(self, small_cluster):
+        small_cluster.node(1).store_local("cache/x", size=10)
+        assert small_cluster.fail_node(1) == ["cache/x"]
+
+    def test_fail_node_rereplicates_hdfs(self, small_cluster):
+        hfile = small_cluster.hdfs.create("/f", make_records(50, size=100 * 1024))
+        victim = next(iter(hfile.replica_nodes()))
+        small_cluster.fail_node(victim)
+        assert victim not in small_cluster.hdfs.open("/f").replica_nodes()
+
+    def test_recover_node(self, small_cluster):
+        small_cluster.fail_node(3)
+        small_cluster.recover_node(3)
+        assert 3 in small_cluster.live_node_ids()
+
+
+class TestHousekeeping:
+    def test_reset_slots(self, small_cluster):
+        small_cluster.node(0).occupy_slot(MAP_SLOT, 0.0, 100.0)
+        small_cluster.clock.advance(5.0)
+        small_cluster.reset_slots()
+        assert small_cluster.node(0).earliest_slot_time(MAP_SLOT) == 5.0
+
+    def test_total_cache_bytes(self, small_cluster):
+        small_cluster.node(0).store_local("a", size=10)
+        small_cluster.node(1).store_local("b", size=20)
+        assert small_cluster.total_cache_bytes() == 30
+
+    def test_deterministic_given_seed(self):
+        def fingerprint(seed):
+            c = Cluster(small_test_config(), seed=seed)
+            f = c.hdfs.create("/f", make_records(50, size=100 * 1024))
+            return [b.replicas for b in f.blocks]
+
+        assert fingerprint(9) == fingerprint(9)

@@ -1,0 +1,63 @@
+"""Unit tests for repro.hadoop.config."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hadoop.config import DEFAULT_CONFIG, ClusterConfig, small_test_config
+from repro.hadoop.types import MEGABYTE
+
+
+class TestDefaults:
+    def test_paper_cluster_shape(self):
+        # Sec 6.1: 30 slaves, 6 map + 2 reduce slots, 64 MB blocks, 3 replicas.
+        assert DEFAULT_CONFIG.num_nodes == 30
+        assert DEFAULT_CONFIG.map_slots_per_node == 6
+        assert DEFAULT_CONFIG.reduce_slots_per_node == 2
+        assert DEFAULT_CONFIG.block_size == 64 * MEGABYTE
+        assert DEFAULT_CONFIG.replication == 3
+
+    def test_total_slots(self):
+        assert DEFAULT_CONFIG.total_map_slots == 180
+        assert DEFAULT_CONFIG.total_reduce_slots == 60
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_nodes": 0},
+            {"map_slots_per_node": 0},
+            {"reduce_slots_per_node": 0},
+            {"block_size": 0},
+            {"replication": 0},
+            {"disk_bandwidth": 0.0},
+            {"network_bandwidth": -1.0},
+            {"default_num_reducers": 0},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ClusterConfig(**kwargs)
+
+
+class TestOverrides:
+    def test_with_overrides_changes_only_named(self):
+        cfg = DEFAULT_CONFIG.with_overrides(num_nodes=5)
+        assert cfg.num_nodes == 5
+        assert cfg.block_size == DEFAULT_CONFIG.block_size
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_CONFIG.num_nodes = 99
+
+
+class TestSmallTestConfig:
+    def test_shape(self):
+        cfg = small_test_config()
+        assert cfg.num_nodes == 4
+        assert cfg.block_size == 4 * MEGABYTE
+        assert cfg.default_num_reducers == 8
+
+    def test_explicit_reducers(self):
+        assert small_test_config(num_reducers=3).default_num_reducers == 3

@@ -1,0 +1,134 @@
+"""Unit tests for the I/O-dominant cost model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hadoop.config import ClusterConfig
+from repro.hadoop.costmodel import CostModel
+from repro.hadoop.types import MEGABYTE
+
+
+@pytest.fixture
+def model() -> CostModel:
+    cfg = ClusterConfig(
+        disk_bandwidth=100 * MEGABYTE,
+        network_bandwidth=50 * MEGABYTE,
+        task_overhead=0.1,
+    )
+    return CostModel(cfg)
+
+
+class TestPrimitives:
+    def test_local_read(self, model):
+        assert model.local_read_time(100 * MEGABYTE) == pytest.approx(1.0)
+
+    def test_remote_read_bounded_by_network(self, model):
+        # network (50 MB/s) is slower than disk (100 MB/s)
+        assert model.remote_read_time(50 * MEGABYTE) == pytest.approx(1.0)
+
+    def test_remote_never_faster_than_local(self, model):
+        nbytes = 10 * MEGABYTE
+        assert model.remote_read_time(nbytes) >= model.local_read_time(nbytes)
+
+    def test_hdfs_write_includes_replication_hop(self, model):
+        plain = model.write_time(50 * MEGABYTE)
+        hdfs = model.hdfs_write_time(50 * MEGABYTE)
+        assert hdfs > plain
+
+    def test_hdfs_write_no_pipeline_without_replication(self):
+        cfg = ClusterConfig(replication=1)
+        m = CostModel(cfg)
+        assert m.hdfs_write_time(MEGABYTE) == pytest.approx(m.write_time(MEGABYTE))
+
+    def test_sort_time_zero_for_tiny_inputs(self, model):
+        assert model.sort_time(0) == 0.0
+        assert model.sort_time(1) == 0.0
+
+    def test_sort_superlinear(self, model):
+        assert model.sort_time(2000) > 2 * model.sort_time(1000)
+
+
+class TestMapTaskDuration:
+    def test_local_cheaper_than_remote(self, model):
+        kwargs = dict(input_bytes=64 * MEGABYTE, input_records=1000, output_bytes=MEGABYTE)
+        local = model.map_task_duration(**kwargs, data_local=True)
+        remote = model.map_task_duration(**kwargs, data_local=False)
+        assert local < remote
+
+    def test_includes_overhead(self, model):
+        d = model.map_task_duration(0, 0, 0, data_local=True)
+        assert d == pytest.approx(0.1)
+
+    def test_monotone_in_input(self, model):
+        small = model.map_task_duration(MEGABYTE, 100, 0, data_local=True)
+        big = model.map_task_duration(10 * MEGABYTE, 1000, 0, data_local=True)
+        assert big > small
+
+
+class TestReduceTaskDuration:
+    def test_cached_input_cheaper_than_shuffled(self, model):
+        # Same total volume: all shuffled vs. all from local cache.
+        shuffled = model.reduce_task_duration(
+            shuffled_bytes=10 * MEGABYTE,
+            shuffled_records=100_000,
+            cached_bytes=0,
+            cached_records=0,
+            output_bytes=MEGABYTE,
+        )
+        cached = model.reduce_task_duration(
+            shuffled_bytes=0,
+            shuffled_records=0,
+            cached_bytes=10 * MEGABYTE,
+            cached_records=100_000,
+            output_bytes=MEGABYTE,
+        )
+        assert cached < shuffled
+
+    def test_remote_cache_read_more_expensive(self, model):
+        kwargs = dict(
+            shuffled_bytes=0,
+            shuffled_records=0,
+            cached_bytes=10 * MEGABYTE,
+            cached_records=1000,
+            output_bytes=0,
+        )
+        local = model.reduce_task_duration(**kwargs, cache_local=True)
+        remote = model.reduce_task_duration(**kwargs, cache_local=False)
+        assert remote > local
+
+
+class TestTaskIOCost:
+    def test_all_local_matches_local_read(self, model):
+        nbytes = 8 * MEGABYTE
+        assert model.task_io_cost(nbytes, bytes_local=nbytes) == pytest.approx(
+            model.local_read_time(nbytes)
+        )
+
+    def test_all_remote_matches_remote_read(self, model):
+        nbytes = 8 * MEGABYTE
+        assert model.task_io_cost(nbytes) == pytest.approx(
+            model.remote_read_time(nbytes)
+        )
+
+    def test_local_bytes_exceeding_total_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.task_io_cost(10, bytes_local=11)
+
+    @given(
+        total=st.floats(0, 1e9),
+        frac=st.floats(0, 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_more_locality_never_costs_more(self, total, frac):
+        model = CostModel(
+            ClusterConfig(
+                disk_bandwidth=100 * MEGABYTE, network_bandwidth=50 * MEGABYTE
+            )
+        )
+        local = min(total * frac, total)
+        assert model.task_io_cost(total, bytes_local=local) <= (
+            model.task_io_cost(total, bytes_local=0.0) + 1e-9
+        )

@@ -1,0 +1,76 @@
+"""Unit tests for repro.hadoop.counters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hadoop.counters import Counters, PhaseTimes
+
+
+class TestCounters:
+    def test_unknown_counter_reads_zero(self):
+        assert Counters().get("never.set") == 0.0
+
+    def test_increment_accumulates(self):
+        c = Counters()
+        c.increment("hdfs.bytes_read", 10)
+        c.increment("hdfs.bytes_read", 5)
+        assert c.get("hdfs.bytes_read") == 15
+
+    def test_default_increment_is_one(self):
+        c = Counters()
+        c.increment("map.tasks")
+        c.increment("map.tasks")
+        assert c.get("map.tasks") == 2
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counters().increment("x", -1)
+
+    def test_merge(self):
+        a, b = Counters(), Counters()
+        a.increment("x", 1)
+        b.increment("x", 2)
+        b.increment("y", 3)
+        a.merge(b)
+        assert a.get("x") == 3
+        assert a.get("y") == 3
+        assert b.get("x") == 2  # merge does not mutate the source
+
+    def test_iteration_sorted(self):
+        c = Counters()
+        c.increment("b")
+        c.increment("a")
+        assert [name for name, _ in c] == ["a", "b"]
+
+    def test_as_dict_snapshot(self):
+        c = Counters()
+        c.increment("x", 7)
+        snap = c.as_dict()
+        c.increment("x", 1)
+        assert snap == {"x": 7}
+
+
+class TestPhaseTimes:
+    def test_total(self):
+        p = PhaseTimes(map=1.0, shuffle=2.0, reduce=3.0)
+        assert p.total == 6.0
+
+    def test_add_accumulates(self):
+        p = PhaseTimes(map=1.0)
+        p.add(PhaseTimes(map=2.0, shuffle=1.0, reduce=0.5))
+        assert p.map == 3.0
+        assert p.shuffle == 1.0
+        assert p.reduce == 0.5
+
+    def test_scaled(self):
+        p = PhaseTimes(map=2.0, shuffle=4.0, reduce=6.0).scaled(0.5)
+        assert (p.map, p.shuffle, p.reduce) == (1.0, 2.0, 3.0)
+
+    def test_scaled_negative_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseTimes().scaled(-1.0)
+
+    def test_as_dict(self):
+        p = PhaseTimes(map=1.0, shuffle=2.0, reduce=3.0)
+        assert p.as_dict() == {"map": 1.0, "shuffle": 2.0, "reduce": 3.0}

@@ -1,0 +1,86 @@
+"""Unit tests for the fault injector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hadoop.faults import FaultInjector
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"task_failure_prob": -0.1},
+            {"task_failure_prob": 1.0},
+            {"cache_loss_fraction": 1.5},
+            {"max_attempts": 0},
+            {"failed_attempt_fraction": 0.0},
+            {"failed_attempt_fraction": 1.5},
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultInjector(**kwargs)
+
+
+class TestTaskFailures:
+    def test_zero_probability_passthrough(self):
+        inj = FaultInjector(task_failure_prob=0.0)
+        assert inj.attempt_duration("t", 10.0) == (10.0, 0)
+
+    def test_retries_add_time(self):
+        inj = FaultInjector(task_failure_prob=0.9, seed=42, max_attempts=100)
+        effective, retries = inj.attempt_duration("t", 10.0)
+        assert retries >= 1
+        assert effective == pytest.approx(10.0 + retries * 5.0)
+
+    def test_deterministic_for_seed(self):
+        a = FaultInjector(task_failure_prob=0.5, seed=7, max_attempts=50)
+        b = FaultInjector(task_failure_prob=0.5, seed=7, max_attempts=50)
+        results_a = [a.attempt_duration(f"t{i}", 1.0) for i in range(20)]
+        results_b = [b.attempt_duration(f"t{i}", 1.0) for i in range(20)]
+        assert results_a == results_b
+
+    def test_exhausted_attempts_raise(self):
+        inj = FaultInjector(
+            task_failure_prob=0.999, max_attempts=1, seed=0
+        )
+        with pytest.raises(RuntimeError):
+            for i in range(1000):
+                inj.attempt_duration(f"t{i}", 1.0)
+
+
+class TestCacheFailures:
+    def test_zero_fraction_picks_nothing(self):
+        inj = FaultInjector(cache_loss_fraction=0.0)
+        assert inj.pick_cache_victims(["a", "b"]) == []
+
+    def test_empty_pool_picks_nothing(self):
+        inj = FaultInjector(cache_loss_fraction=0.5)
+        assert inj.pick_cache_victims([]) == []
+
+    def test_at_least_one_victim_when_enabled(self):
+        inj = FaultInjector(cache_loss_fraction=0.01, seed=1)
+        assert len(inj.pick_cache_victims(["a", "b", "c"])) == 1
+
+    def test_fraction_respected(self):
+        inj = FaultInjector(cache_loss_fraction=0.5, seed=1)
+        pool = [f"c{i}" for i in range(100)]
+        victims = inj.pick_cache_victims(pool)
+        assert len(victims) == 50
+        assert set(victims) <= set(pool)
+
+    def test_full_fraction_takes_all(self):
+        inj = FaultInjector(cache_loss_fraction=1.0, seed=1)
+        assert inj.pick_cache_victims(["a", "b"]) == ["a", "b"]
+
+
+class TestNodeVictim:
+    def test_picks_from_pool(self):
+        inj = FaultInjector(seed=3)
+        assert inj.pick_node_victim([4, 5, 6]) in {4, 5, 6}
+
+    def test_empty_pool_raises(self):
+        with pytest.raises(ValueError):
+            FaultInjector().pick_node_victim([])

@@ -1,0 +1,156 @@
+"""Unit tests for the simulated HDFS."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hadoop.config import ClusterConfig, small_test_config
+from repro.hadoop.hdfs import HDFSError, SimulatedHDFS
+from repro.hadoop.types import MEGABYTE, Record
+
+from ..conftest import make_records
+
+
+@pytest.fixture
+def hdfs() -> SimulatedHDFS:
+    return SimulatedHDFS(small_test_config(), seed=3)
+
+
+class TestNamespace:
+    def test_create_and_open(self, hdfs):
+        recs = make_records(10)
+        hdfs.create("/data/f1", recs)
+        assert hdfs.open("/data/f1").num_records == 10
+
+    def test_create_duplicate_rejected(self, hdfs):
+        hdfs.create("/f", make_records(1))
+        with pytest.raises(HDFSError):
+            hdfs.create("/f", make_records(1))
+
+    def test_open_missing_raises(self, hdfs):
+        with pytest.raises(HDFSError):
+            hdfs.open("/missing")
+
+    def test_delete(self, hdfs):
+        hdfs.create("/f", make_records(1))
+        hdfs.delete("/f")
+        assert not hdfs.exists("/f")
+
+    def test_delete_missing_raises(self, hdfs):
+        with pytest.raises(HDFSError):
+            hdfs.delete("/missing")
+
+    def test_glob(self, hdfs):
+        for name in ("/logs/S1P1", "/logs/S1P2", "/logs/S2P1"):
+            hdfs.create(name, make_records(1))
+        assert hdfs.glob("/logs/S1P*") == ["/logs/S1P1", "/logs/S1P2"]
+
+    def test_total_bytes(self, hdfs):
+        hdfs.create("/f", make_records(10, size=50))
+        assert hdfs.total_bytes == 500
+
+    def test_read_records_charges_counter(self, hdfs):
+        hdfs.create("/f", make_records(10, size=50))
+        hdfs.read_records("/f")
+        assert hdfs.counters.get("hdfs.bytes_read") == 500
+
+
+class TestBlockPlacement:
+    def test_small_file_is_one_block(self, hdfs):
+        hfile = hdfs.create("/f", make_records(10, size=100))
+        assert len(hfile.blocks) == 1
+
+    def test_large_file_splits_into_blocks(self, hdfs):
+        # 4 MB blocks in the test config; 10 MB of records -> 3 blocks.
+        recs = make_records(100, size=100 * 1024)
+        hfile = hdfs.create("/f", recs)
+        assert len(hfile.blocks) == 3
+        assert sum(b.size for b in hfile.blocks) == hfile.size
+
+    def test_replication_factor_respected(self, hdfs):
+        hfile = hdfs.create("/f", make_records(5))
+        for block in hfile.blocks:
+            assert len(block.replicas) == 3  # config replication
+            assert len(set(block.replicas)) == 3  # distinct nodes
+
+    def test_replication_capped_by_cluster_size(self):
+        cfg = ClusterConfig(num_nodes=2, replication=3, default_num_reducers=2)
+        fs = SimulatedHDFS(cfg, seed=0)
+        hfile = fs.create("/f", make_records(3))
+        assert len(hfile.blocks[0].replicas) == 2
+
+    def test_placement_deterministic_for_seed(self):
+        def placements(seed):
+            fs = SimulatedHDFS(small_test_config(), seed=seed)
+            f = fs.create("/f", make_records(5))
+            return [b.replicas for b in f.blocks]
+
+        assert placements(5) == placements(5)
+
+
+class TestSplits:
+    def test_single_block_single_split(self, hdfs):
+        hdfs.create("/f", make_records(10))
+        splits = hdfs.splits("/f")
+        assert len(splits) == 1
+        assert splits[0].num_records == 10
+
+    def test_multi_block_splits_cover_all_records(self, hdfs):
+        recs = make_records(100, size=100 * 1024)
+        hdfs.create("/f", recs)
+        splits = hdfs.splits("/f")
+        assert len(splits) == 3
+        assert sum(s.num_records for s in splits) == 100
+        rebuilt = [r for s in splits for r in s.records]
+        assert rebuilt == list(recs)
+
+    def test_split_locations_match_block_replicas(self, hdfs):
+        hfile = hdfs.create("/f", make_records(5))
+        split = hdfs.splits("/f")[0]
+        assert split.locations == hfile.blocks[0].replicas
+
+    @given(n=st.integers(1, 60), size=st.integers(1, 300 * 1024))
+    @settings(max_examples=25, deadline=None)
+    def test_no_record_lost_property(self, n, size):
+        fs = SimulatedHDFS(small_test_config(), seed=1)
+        recs = make_records(n, size=size)
+        fs.create("/f", recs)
+        splits = fs.splits("/f")
+        assert sum(s.num_records for s in splits) == n
+
+
+class TestNodeFailure:
+    def test_failed_node_rereplicates(self, hdfs):
+        hfile = hdfs.create("/f", make_records(20, size=100 * 1024))
+        victim = next(iter(hfile.replica_nodes()))
+        moved = hdfs.fail_node(victim)
+        assert moved >= 1
+        for block in hdfs.open("/f").blocks:
+            assert victim not in block.replicas
+            assert len(block.replicas) >= 2
+
+    def test_fail_dead_node_raises(self, hdfs):
+        hdfs.fail_node(0)
+        with pytest.raises(HDFSError):
+            hdfs.fail_node(0)
+
+    def test_recover_node(self, hdfs):
+        hdfs.fail_node(1)
+        hdfs.recover_node(1)
+        assert 1 in hdfs.live_nodes
+
+    def test_recover_alive_node_raises(self, hdfs):
+        with pytest.raises(HDFSError):
+            hdfs.recover_node(0)
+
+    def test_recover_unknown_node_raises(self, hdfs):
+        hdfs.fail_node(0)
+        with pytest.raises(HDFSError):
+            hdfs.recover_node(99)
+
+    def test_new_files_avoid_dead_nodes(self, hdfs):
+        hdfs.fail_node(2)
+        hfile = hdfs.create("/f", make_records(50, size=100 * 1024))
+        assert 2 not in hfile.replica_nodes()

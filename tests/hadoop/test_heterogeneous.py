@@ -1,0 +1,79 @@
+"""Heterogeneous clusters: node speeds and Eq. 4 load balancing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.scheduler import CacheAwareTaskScheduler, MapTaskRequest
+from repro.hadoop import Cluster, JobTracker, small_test_config
+from repro.hadoop.node import MAP_SLOT, TaskNode
+from repro.hadoop.timeline import attach_timeline
+from repro.hadoop.types import MEGABYTE
+
+from ..conftest import make_records, wordcount_job
+
+
+class TestNodeSpeed:
+    def test_slow_node_stretches_tasks(self):
+        fast = TaskNode(0, map_slots=1, reduce_slots=1, speed=1.0)
+        slow = TaskNode(1, map_slots=1, reduce_slots=1, speed=0.5)
+        assert fast.occupy_slot(MAP_SLOT, 0.0, 10.0) == 10.0
+        assert slow.occupy_slot(MAP_SLOT, 0.0, 10.0) == 20.0
+
+    def test_fast_node_compresses_tasks(self):
+        node = TaskNode(0, map_slots=1, reduce_slots=1, speed=2.0)
+        assert node.occupy_slot(MAP_SLOT, 0.0, 10.0) == 5.0
+
+    def test_invalid_speed_rejected(self):
+        with pytest.raises(ValueError):
+            TaskNode(0, map_slots=1, reduce_slots=1, speed=0.0)
+
+    def test_default_speed_is_one(self):
+        assert TaskNode(0, map_slots=1, reduce_slots=1).speed == 1.0
+
+
+class TestHeterogeneousCluster:
+    def test_speeds_applied(self):
+        cluster = Cluster(
+            small_test_config(), seed=1, node_speeds={0: 0.25, 3: 2.0}
+        )
+        assert cluster.node(0).speed == 0.25
+        assert cluster.node(1).speed == 1.0
+        assert cluster.node(3).speed == 2.0
+
+    def test_unknown_node_speed_rejected(self):
+        with pytest.raises(ValueError):
+            Cluster(small_test_config(), node_speeds={99: 2.0})
+
+    def test_job_slower_on_degraded_cluster(self):
+        def span(speeds):
+            cluster = Cluster(small_test_config(), seed=2, node_speeds=speeds)
+            cluster.hdfs.create(
+                "/in", make_records(400, size=50_000, key_space=5)
+            )
+            return JobTracker(cluster).run_job(wordcount_job(), ["/in"]).span
+
+        healthy = span(None)
+        degraded = span({0: 0.2, 1: 0.2})
+        assert degraded > healthy
+
+    def test_eq4_routes_around_slow_node(self):
+        """A slow node accumulates load and loses future placements."""
+        cluster = Cluster(
+            small_test_config(num_nodes=4), seed=2, node_speeds={0: 0.1}
+        )
+        scheduler = CacheAwareTaskScheduler(cluster)
+        timeline = attach_timeline(cluster)
+        request = MapTaskRequest(
+            query="q", pid="p", input_bytes=8 * MEGABYTE, locations=()
+        )
+        now = 0.0
+        for _ in range(40):
+            node = scheduler.select_map_node(request, now)
+            node.occupy_slot(MAP_SLOT, now, 4.0)
+        per_node = {
+            nid: len(timeline.intervals(node_id=nid))
+            for nid in cluster.live_node_ids()
+        }
+        # The 0.1x node gets markedly fewer tasks than its healthy peers.
+        assert per_node[0] < min(per_node[n] for n in (1, 2, 3))

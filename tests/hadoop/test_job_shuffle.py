@@ -1,0 +1,122 @@
+"""Unit tests for job specs and shuffle mechanics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hadoop.job import MapReduceJob, default_partitioner, stable_hash
+from repro.hadoop.shuffle import (
+    apply_combiner,
+    group_sorted,
+    partition_pairs,
+    run_reduce_partition,
+    sort_pairs,
+)
+
+from ..conftest import wordcount_job
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("alpha") == stable_hash("alpha")
+
+    def test_distinguishes_types(self):
+        assert stable_hash("1") != stable_hash(1)
+
+    @given(st.text(max_size=50))
+    def test_non_negative(self, s):
+        assert stable_hash(s) >= 0
+
+
+class TestPartitioner:
+    def test_in_range(self):
+        for key in ("a", "b", 42, ("x", 1)):
+            assert 0 <= default_partitioner(key, 7) < 7
+
+    def test_zero_partitions_rejected(self):
+        with pytest.raises(ValueError):
+            default_partitioner("k", 0)
+
+    @given(st.text(max_size=20), st.integers(1, 64))
+    @settings(max_examples=50)
+    def test_stable_assignment_property(self, key, n):
+        assert default_partitioner(key, n) == default_partitioner(key, n)
+
+
+class TestJobSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wordcount_job(num_reducers=0)
+
+    def test_pair_size_validation(self):
+        job = wordcount_job()
+        with pytest.raises(ValueError):
+            MapReduceJob(
+                name="bad",
+                mapper=job.mapper,
+                reducer=job.reducer,
+                num_reducers=1,
+                intermediate_pair_size=0,
+            )
+
+    def test_with_name(self):
+        job = wordcount_job().with_name("renamed")
+        assert job.name == "renamed"
+
+    def test_partition_of_uses_partitioner(self):
+        job = wordcount_job(num_reducers=5)
+        assert job.partition_of("k") == default_partitioner("k", 5)
+
+
+class TestShuffle:
+    def test_partition_pairs_respects_partitioner(self):
+        job = wordcount_job(num_reducers=3)
+        pairs = [("a", 1), ("b", 1), ("a", 2)]
+        buckets = partition_pairs(pairs, job)
+        for partition, bucket in buckets.items():
+            for key, _ in bucket:
+                assert job.partition_of(key) == partition
+        assert sum(len(b) for b in buckets.values()) == 3
+
+    def test_sort_pairs_orders_by_key(self):
+        pairs = [("b", 1), ("a", 2), ("a", 1)]
+        assert [k for k, _ in sort_pairs(pairs)] == ["a", "a", "b"]
+
+    def test_sort_handles_mixed_key_types(self):
+        pairs = [(2, "x"), ("a", "y"), (1, "z")]
+        # Must not raise; ints group before strs (by type name).
+        keys = [k for k, _ in sort_pairs(pairs)]
+        assert set(keys) == {1, 2, "a"}
+
+    def test_group_sorted(self):
+        groups = dict(group_sorted(sort_pairs([("a", 1), ("b", 5), ("a", 2)])))
+        assert groups == {"a": [1, 2], "b": [5]}
+
+    def test_run_reduce_partition_wordcount(self):
+        job = wordcount_job()
+        out = run_reduce_partition([("a", 1), ("a", 1), ("b", 1)], job.reducer)
+        assert dict(out) == {"a": 2, "b": 1}
+
+    def test_apply_combiner_preserves_totals(self):
+        job = wordcount_job()
+        pairs = [("a", 1)] * 10 + [("b", 1)] * 5
+        combined = apply_combiner(pairs, job.combiner)
+        assert dict(combined) == {"a": 10, "b": 5}
+        assert len(combined) == 2  # actually compacted
+
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from("abcde"), st.integers(0, 10)),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=40)
+    def test_combiner_invariance_property(self, pairs):
+        """Reducing combined output equals reducing raw pairs (sum is algebraic)."""
+        job = wordcount_job()
+        direct = dict(run_reduce_partition(pairs, job.reducer))
+        combined = apply_combiner(pairs, job.combiner)
+        via_combiner = dict(run_reduce_partition(combined, job.reducer))
+        assert direct == via_combiner

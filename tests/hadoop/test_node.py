@@ -1,0 +1,152 @@
+"""Unit tests for task nodes."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hadoop.node import MAP_SLOT, REDUCE_SLOT, NodeError, TaskNode
+
+
+@pytest.fixture
+def node() -> TaskNode:
+    return TaskNode(0, map_slots=2, reduce_slots=1)
+
+
+class TestSlots:
+    def test_initially_free(self, node):
+        assert node.earliest_slot_time(MAP_SLOT) == 0.0
+        assert node.earliest_slot_time(REDUCE_SLOT) == 0.0
+
+    def test_occupy_returns_finish_time(self, node):
+        assert node.occupy_slot(MAP_SLOT, start=1.0, duration=2.0) == 3.0
+
+    def test_parallel_slots(self, node):
+        # Two map slots: two tasks at t=0 run in parallel.
+        node.occupy_slot(MAP_SLOT, 0.0, 5.0)
+        assert node.occupy_slot(MAP_SLOT, 0.0, 5.0) == 5.0
+        # Third task queues behind the earliest finishing slot.
+        assert node.occupy_slot(MAP_SLOT, 0.0, 1.0) == 6.0
+
+    def test_task_waits_for_slot(self, node):
+        node.occupy_slot(REDUCE_SLOT, 0.0, 10.0)
+        assert node.occupy_slot(REDUCE_SLOT, 2.0, 1.0) == 11.0
+
+    def test_task_waits_for_start(self, node):
+        assert node.occupy_slot(MAP_SLOT, 5.0, 1.0) == 6.0
+
+    def test_negative_duration_rejected(self, node):
+        with pytest.raises(ValueError):
+            node.occupy_slot(MAP_SLOT, 0.0, -1.0)
+
+    def test_unknown_kind_rejected(self, node):
+        with pytest.raises(ValueError):
+            node.occupy_slot("gpu", 0.0, 1.0)
+
+    def test_load_at(self, node):
+        node.occupy_slot(MAP_SLOT, 0.0, 4.0)
+        node.occupy_slot(REDUCE_SLOT, 0.0, 2.0)
+        assert node.load_at(0.0) == pytest.approx(6.0)
+        assert node.load_at(3.0) == pytest.approx(1.0)
+        assert node.load_at(10.0) == 0.0
+
+    def test_reset_slots(self, node):
+        node.occupy_slot(MAP_SLOT, 0.0, 100.0)
+        node.reset_slots(now=50.0)
+        assert node.earliest_slot_time(MAP_SLOT) == 50.0
+
+    def test_minimum_slot_validation(self):
+        with pytest.raises(ValueError):
+            TaskNode(0, map_slots=0, reduce_slots=1)
+
+    @given(
+        durations=st.lists(st.floats(0.1, 10), min_size=1, max_size=20),
+        slots=st.integers(1, 4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_never_more_concurrency_than_slots(self, durations, slots):
+        node = TaskNode(0, map_slots=slots, reduce_slots=1)
+        intervals = []
+        for d in durations:
+            finish = node.occupy_slot(MAP_SLOT, 0.0, d)
+            intervals.append((finish - d, finish))
+        # At any interval midpoint, no more than `slots` intervals overlap
+        # (midpoints are interior, avoiding float boundary artefacts).
+        for s, f in intervals:
+            probe = (s + f) / 2
+            overlapping = sum(1 for s2, f2 in intervals if s2 < probe < f2)
+            assert overlapping <= slots
+
+
+class TestLocalFS:
+    def test_store_and_read(self, node):
+        node.store_local("cache/S1P1", size=100, payload=[1, 2, 3])
+        lf = node.read_local("cache/S1P1")
+        assert lf.size == 100
+        assert lf.payload == [1, 2, 3]
+
+    def test_overwrite_allowed(self, node):
+        node.store_local("f", size=1)
+        node.store_local("f", size=2)
+        assert node.read_local("f").size == 2
+
+    def test_missing_read_raises(self, node):
+        with pytest.raises(NodeError):
+            node.read_local("nope")
+
+    def test_delete(self, node):
+        node.store_local("f", size=1)
+        node.delete_local("f")
+        assert not node.has_local("f")
+
+    def test_delete_missing_raises(self, node):
+        with pytest.raises(NodeError):
+            node.delete_local("nope")
+
+    def test_local_bytes(self, node):
+        node.store_local("a", size=10)
+        node.store_local("b", size=32)
+        assert node.local_bytes == 42
+
+    def test_negative_size_rejected(self, node):
+        with pytest.raises(ValueError):
+            node.store_local("f", size=-1)
+
+
+class TestFailure:
+    def test_fail_returns_lost_files(self, node):
+        node.store_local("a", size=1)
+        node.store_local("b", size=1)
+        assert node.fail() == ["a", "b"]
+        assert not node.alive
+
+    def test_dead_node_rejects_operations(self, node):
+        node.fail()
+        with pytest.raises(NodeError):
+            node.occupy_slot(MAP_SLOT, 0.0, 1.0)
+        with pytest.raises(NodeError):
+            node.store_local("f", size=1)
+
+    def test_has_local_false_when_dead(self, node):
+        node.store_local("f", size=1)
+        node.fail()
+        assert not node.has_local("f")
+
+    def test_double_fail_raises(self, node):
+        node.fail()
+        with pytest.raises(NodeError):
+            node.fail()
+
+    def test_recover_resets_state(self, node):
+        node.store_local("f", size=1)
+        node.occupy_slot(MAP_SLOT, 0.0, 100.0)
+        node.fail()
+        node.recover(now=42.0)
+        assert node.alive
+        assert not node.has_local("f")
+        assert node.earliest_slot_time(MAP_SLOT) == 42.0
+
+    def test_recover_alive_raises(self, node):
+        with pytest.raises(NodeError):
+            node.recover()

@@ -1,0 +1,98 @@
+"""Unit tests for repro.hadoop.simclock."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hadoop.simclock import EventQueue, SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(5.0).now == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock(-1.0)
+
+    def test_advance(self):
+        clock = SimClock()
+        assert clock.advance(2.5) == 2.5
+        assert clock.now == 2.5
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-0.1)
+
+    def test_advance_to(self):
+        clock = SimClock(1.0)
+        clock.advance_to(4.0)
+        assert clock.now == 4.0
+
+    def test_advance_to_same_time_is_noop(self):
+        clock = SimClock(3.0)
+        clock.advance_to(3.0)
+        assert clock.now == 3.0
+
+    def test_advance_to_past_rejected(self):
+        clock = SimClock(3.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(2.9)
+
+    @given(st.lists(st.floats(0, 100), max_size=20))
+    def test_monotonic_property(self, deltas):
+        clock = SimClock()
+        prev = clock.now
+        for d in deltas:
+            clock.advance(d)
+            assert clock.now >= prev
+            prev = clock.now
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        q.push(3.0, "c")
+        q.push(1.0, "a")
+        q.push(2.0, "b")
+        assert [q.pop()[1] for _ in range(3)] == ["a", "b", "c"]
+
+    def test_fifo_tiebreak(self):
+        q = EventQueue()
+        q.push(1.0, "first")
+        q.push(1.0, "second")
+        assert q.pop() == (1.0, "first")
+        assert q.pop() == (1.0, "second")
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.push(4.0, None)
+        assert q.peek_time() == 4.0
+        assert len(q) == 1  # peek does not consume
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(-1.0, None)
+
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q
+        q.push(0.0, "x")
+        assert q
+        assert len(q) == 1
+
+    def test_payloads_need_not_be_comparable(self):
+        q = EventQueue()
+        q.push(1.0, {"dict": 1})
+        q.push(1.0, {"dict": 2})
+        assert q.pop()[1] == {"dict": 1}

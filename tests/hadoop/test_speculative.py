@@ -1,0 +1,52 @@
+"""Tests for speculative execution (off by default, as in the paper)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hadoop import Cluster, JobTracker, small_test_config
+from repro.hadoop.config import DEFAULT_CONFIG
+
+from ..conftest import make_records, wordcount_job
+
+
+def run_job(*, speculative: bool, node_speeds=None):
+    config = small_test_config(num_nodes=4).with_overrides(
+        speculative_execution=speculative
+    )
+    cluster = Cluster(config, seed=6, node_speeds=node_speeds)
+    cluster.hdfs.create("/in", make_records(600, size=60_000, key_space=5))
+    return JobTracker(cluster).run_job(wordcount_job(), ["/in"])
+
+
+class TestDefaults:
+    def test_off_by_default_like_the_paper(self):
+        assert DEFAULT_CONFIG.speculative_execution is False
+
+    def test_no_speculation_on_homogeneous_cluster(self):
+        result = run_job(speculative=True)
+        assert result.counters.get("map.speculative_tasks") == 0
+
+
+class TestWithStragglers:
+    SLOW = {0: 0.1}  # node 0 runs tasks at a tenth of the speed
+
+    def test_speculation_launches_backups(self):
+        result = run_job(speculative=True, node_speeds=self.SLOW)
+        assert result.counters.get("map.speculative_tasks") >= 1
+
+    def test_speculation_cuts_job_span(self):
+        plain = run_job(speculative=False, node_speeds=self.SLOW)
+        spec = run_job(speculative=True, node_speeds=self.SLOW)
+        assert spec.span < plain.span
+
+    def test_output_unchanged(self):
+        plain = run_job(speculative=False, node_speeds=self.SLOW)
+        spec = run_job(speculative=True, node_speeds=self.SLOW)
+        assert sorted(map(repr, spec.merged_output())) == sorted(
+            map(repr, plain.merged_output())
+        )
+
+    def test_slowness_threshold_validated_config(self):
+        cfg = small_test_config().with_overrides(speculative_slowness=2.0)
+        assert cfg.speculative_slowness == 2.0

@@ -1,0 +1,81 @@
+"""Unit tests for logical map/reduce task execution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hadoop.task import execute_map, execute_reduce
+from repro.hadoop.types import Record
+
+from ..conftest import make_records, wordcount_job
+
+
+class TestExecuteMap:
+    def test_output_partitioned_correctly(self):
+        job = wordcount_job(num_reducers=4)
+        ex = execute_map(job, make_records(50, key_space=8))
+        for partition, pairs in ex.partitioned.items():
+            for key, _ in pairs:
+                assert job.partition_of(key) == partition
+
+    def test_combiner_compacts_output(self):
+        job = wordcount_job()
+        records = [Record(ts=i, value="same") for i in range(100)]
+        ex = execute_map(job, records)
+        assert ex.output_pairs == 1  # combiner collapsed 100 pairs
+        total = sum(v for pairs in ex.partitioned.values() for _, v in pairs)
+        assert total == 100
+
+    def test_no_combiner_keeps_all_pairs(self):
+        job = wordcount_job()
+        from dataclasses import replace
+
+        job = replace(job, combiner=None)
+        ex = execute_map(job, [Record(ts=i, value="w") for i in range(10)])
+        assert ex.output_pairs == 10
+
+    def test_byte_accounting(self):
+        job = wordcount_job()
+        records = make_records(10, size=50, key_space=1000, seed=9)
+        ex = execute_map(job, records)
+        assert ex.input_bytes == 500
+        assert ex.output_bytes == ex.output_pairs * job.intermediate_pair_size
+
+    def test_explicit_input_bytes_override(self):
+        job = wordcount_job()
+        ex = execute_map(job, make_records(10), input_bytes=12345)
+        assert ex.input_bytes == 12345
+
+    def test_empty_input(self):
+        job = wordcount_job()
+        ex = execute_map(job, [])
+        assert ex.partitioned == {}
+        assert ex.output_pairs == 0
+
+    def test_bytes_for_partition(self):
+        job = wordcount_job(num_reducers=2)
+        ex = execute_map(job, make_records(20, key_space=6))
+        for p in range(2):
+            expected = len(ex.partitioned.get(p, [])) * job.intermediate_pair_size
+            assert ex.bytes_for_partition(p, job) == expected
+
+
+class TestExecuteReduce:
+    def test_wordcount_totals(self):
+        job = wordcount_job()
+        pairs = [("a", 2), ("a", 3), ("b", 1)]
+        rex = execute_reduce(job, 0, pairs)
+        assert dict(rex.output) == {"a": 5, "b": 1}
+
+    def test_byte_accounting(self):
+        job = wordcount_job()
+        rex = execute_reduce(job, 0, [("a", 1), ("b", 1)])
+        assert rex.input_pairs == 2
+        assert rex.input_bytes == 2 * job.intermediate_pair_size
+        assert rex.output_bytes == len(rex.output) * job.output_pair_size
+
+    def test_empty_partition(self):
+        job = wordcount_job()
+        rex = execute_reduce(job, 3, [])
+        assert rex.output == []
+        assert rex.partition == 3

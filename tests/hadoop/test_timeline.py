@@ -1,0 +1,117 @@
+"""Tests for the task timeline and utilisation analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hadoop import Cluster, JobTracker, small_test_config
+from repro.hadoop.node import MAP_SLOT, REDUCE_SLOT, TaskNode
+from repro.hadoop.timeline import TaskInterval, Timeline, attach_timeline
+
+from ..conftest import make_records, wordcount_job
+
+
+class TestTimelineBasics:
+    def test_record_and_query(self):
+        tl = Timeline()
+        tl.record(0, MAP_SLOT, 0.0, 2.0)
+        tl.record(1, REDUCE_SLOT, 1.0, 4.0)
+        assert len(tl) == 2
+        assert tl.busy_time() == 5.0
+        assert tl.busy_time(kind=MAP_SLOT) == 2.0
+        assert tl.busy_time(node_id=1) == 3.0
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Timeline().record(0, MAP_SLOT, 2.0, 1.0)
+
+    def test_span(self):
+        tl = Timeline()
+        tl.record(0, MAP_SLOT, 1.0, 2.0)
+        tl.record(0, MAP_SLOT, 5.0, 9.0)
+        assert tl.span() == (1.0, 9.0)
+
+    def test_span_empty_raises(self):
+        with pytest.raises(ValueError):
+            Timeline().span()
+
+    def test_utilisation(self):
+        tl = Timeline()
+        tl.record(0, MAP_SLOT, 0.0, 5.0)
+        tl.record(1, MAP_SLOT, 0.0, 5.0)
+        # 10 busy slot-seconds over 2 slots x 5 s -> fully utilised.
+        assert tl.utilisation(2) == pytest.approx(1.0)
+        assert tl.utilisation(4) == pytest.approx(0.5)
+
+    def test_utilisation_horizon_clipping(self):
+        tl = Timeline()
+        tl.record(0, MAP_SLOT, 0.0, 10.0)
+        assert tl.utilisation(1, horizon=(5.0, 15.0)) == pytest.approx(0.5)
+
+    def test_utilisation_validation(self):
+        tl = Timeline()
+        tl.record(0, MAP_SLOT, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            tl.utilisation(0)
+        with pytest.raises(ValueError):
+            tl.utilisation(1, horizon=(5.0, 5.0))
+
+    def test_peak_concurrency(self):
+        tl = Timeline()
+        tl.record(0, MAP_SLOT, 0.0, 4.0)
+        tl.record(1, MAP_SLOT, 1.0, 3.0)
+        tl.record(2, MAP_SLOT, 2.0, 5.0)
+        assert tl.peak_concurrency() == 3
+
+    def test_peak_concurrency_boundary_not_overlap(self):
+        tl = Timeline()
+        tl.record(0, MAP_SLOT, 0.0, 2.0)
+        tl.record(0, MAP_SLOT, 2.0, 4.0)  # back-to-back, same slot
+        assert tl.peak_concurrency() == 1
+
+    def test_per_node_busy(self):
+        tl = Timeline()
+        tl.record(0, MAP_SLOT, 0.0, 2.0)
+        tl.record(0, REDUCE_SLOT, 0.0, 1.0)
+        tl.record(3, MAP_SLOT, 0.0, 4.0)
+        assert tl.per_node_busy() == {0: 3.0, 3: 4.0}
+
+
+class TestAttachment:
+    def test_node_reports_occupancy(self):
+        node = TaskNode(5, map_slots=2, reduce_slots=1)
+        tl = Timeline()
+        node.slot_observer = tl.record
+        node.occupy_slot(MAP_SLOT, 1.0, 2.0)
+        assert tl.intervals() == [TaskInterval(5, MAP_SLOT, 1.0, 3.0)]
+
+    def test_attach_to_cluster_records_job(self, small_cluster):
+        tl = attach_timeline(small_cluster)
+        small_cluster.hdfs.create("/in", make_records(100, key_space=5))
+        JobTracker(small_cluster).run_job(wordcount_job(), ["/in"])
+        assert tl.busy_time(kind=MAP_SLOT) > 0
+        assert tl.busy_time(kind=REDUCE_SLOT) > 0
+        # Concurrency never exceeds cluster slot capacity.
+        assert tl.peak_concurrency(kind=MAP_SLOT) <= (
+            small_cluster.config.total_map_slots
+        )
+        assert tl.peak_concurrency(kind=REDUCE_SLOT) <= (
+            small_cluster.config.total_reduce_slots
+        )
+
+    def test_redoop_runtime_observable(self):
+        from repro.core import RedoopRuntime
+        from ..core.test_runtime import RATE, feed, make_query
+
+        from repro.hadoop import Cluster
+
+        cluster = Cluster(small_test_config(), seed=3)
+        tl = attach_timeline(cluster)
+        runtime = RedoopRuntime(cluster)
+        runtime.register_query(make_query(), {"S1": RATE})
+        feed(runtime, 50.0)
+        runtime.run_recurrence("wc", 1)
+        r2_start = len(tl)
+        runtime.run_recurrence("wc", 2)
+        # Window 2 schedules strictly fewer tasks than window 1.
+        assert len(tl) - r2_start < r2_start

@@ -1,0 +1,111 @@
+"""Unit tests for batch arrival generation and rate schedules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.panes import WindowSpec
+from repro.hadoop.catalog import BatchCatalog
+from repro.hadoop.types import Record
+from repro.workloads.batches import (
+    constant_rate,
+    generate_batches,
+    paper_spike_windows,
+    spiky_rate,
+)
+
+
+def _gen(t0, t1, rate, seed):
+    n = max(1, round(rate * (t1 - t0) / 100))
+    dt = (t1 - t0) / n
+    return [Record(ts=t0 + i * dt, value=seed, size=100) for i in range(n)]
+
+
+class TestConstantRate:
+    def test_value(self):
+        assert constant_rate(5.0)(0, 10) == 5.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            constant_rate(0.0)
+
+
+class TestSpikyRate:
+    def test_paper_pattern(self):
+        spiked = paper_spike_windows(10)
+        assert spiked == {2, 3, 5, 6, 8, 9}
+
+    def test_spiked_intervals_doubled(self):
+        spec = WindowSpec(win=100.0, slide=20.0)
+        schedule = spiky_rate(10.0, spec, spiked_recurrences={2, 3})
+        # Window 1's data: [0, 100). Window 2's new data: [100, 120).
+        assert schedule(0.0, 20.0) == 10.0
+        assert schedule(100.0, 120.0) == 20.0
+        assert schedule(120.0, 140.0) == 20.0  # window 3
+        assert schedule(140.0, 160.0) == 10.0  # window 4
+
+    def test_first_window_spike(self):
+        spec = WindowSpec(win=100.0, slide=20.0)
+        schedule = spiky_rate(10.0, spec, spiked_recurrences={1})
+        assert schedule(0.0, 20.0) == 20.0
+        assert schedule(80.0, 100.0) == 20.0
+        assert schedule(100.0, 120.0) == 10.0
+
+    def test_custom_factor(self):
+        spec = WindowSpec(win=100.0, slide=20.0)
+        schedule = spiky_rate(10.0, spec, spiked_recurrences={2}, factor=3.0)
+        assert schedule(100.0, 120.0) == 30.0
+
+    def test_factor_validation(self):
+        spec = WindowSpec(win=100.0, slide=20.0)
+        with pytest.raises(ValueError):
+            spiky_rate(10.0, spec, spiked_recurrences=set(), factor=0.0)
+
+
+class TestGenerateBatches:
+    def test_covers_horizon_contiguously(self):
+        batches = list(
+            generate_batches("S1", 95.0, 10.0, constant_rate(1000.0), _gen)
+        )
+        assert batches[0][0].t_start == 0.0
+        assert batches[-1][0].t_end == 95.0  # short final batch
+        for (a, _), (b, _) in zip(batches, batches[1:]):
+            assert a.t_end == b.t_start
+
+    def test_batches_feed_catalog(self):
+        catalog = BatchCatalog()
+        for batch, _records in generate_batches(
+            "S1", 50.0, 10.0, constant_rate(1000.0), _gen
+        ):
+            catalog.add(batch)  # must satisfy ordering constraints
+        assert len(catalog.batches("S1")) == 5
+
+    def test_records_within_batch_ranges(self):
+        for batch, records in generate_batches(
+            "S1", 30.0, 10.0, constant_rate(1000.0), _gen
+        ):
+            assert all(batch.t_start <= r.ts < batch.t_end for r in records)
+
+    def test_rate_schedule_applied_per_batch(self):
+        spec = WindowSpec(win=20.0, slide=10.0)
+        schedule = spiky_rate(1000.0, spec, spiked_recurrences={2})
+        batches = list(generate_batches("S1", 40.0, 10.0, schedule, _gen))
+        sizes = [sum(r.size for r in records) for _b, records in batches]
+        # Window 2's new data is [20, 30): the third batch is doubled.
+        assert sizes[2] == pytest.approx(2 * sizes[0], rel=0.1)
+
+    def test_paths_unique_and_prefixed(self):
+        paths = [
+            b.path
+            for b, _ in generate_batches(
+                "S1", 30.0, 10.0, constant_rate(1000.0), _gen, path_prefix="/x"
+            )
+        ]
+        assert len(set(paths)) == 3
+        assert all(p.startswith("/x/S1/") for p in paths)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            list(generate_batches("S1", 0.0, 10.0, constant_rate(1.0), _gen))
+        with pytest.raises(ValueError):
+            list(generate_batches("S1", 10.0, 0.0, constant_rate(1.0), _gen))

@@ -1,0 +1,102 @@
+"""Tests for the extended query library (distinct count, extrema)."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import pytest
+
+from repro.core import RedoopRuntime
+from repro.hadoop import BatchFile, Cluster, Record, small_test_config
+from repro.hadoop.shuffle import run_reduce_partition
+from repro.workloads.queries import distinct_count_query, extrema_query
+from repro.workloads.wcc import WCCConfig, generate_wcc_records
+from repro.workloads.ffg import FFGConfig, generate_position_records
+
+
+class TestDistinctCountQuery:
+    def test_reducer_flattens_combined_sets(self):
+        q = distinct_count_query(40.0, 10.0)
+        out = list(q.job.reducer("k", [1, 2, frozenset({2, 3}), 4]))
+        assert out == [("k", frozenset({1, 2, 3, 4}))]
+
+    def test_combiner_idempotent(self):
+        q = distinct_count_query(40.0, 10.0)
+        pairs = [("k", v) for v in (1, 1, 2, 3, 3)]
+        once = run_reduce_partition(pairs, q.job.reducer)
+        twice = run_reduce_partition(once, q.job.reducer)
+        assert once == twice
+
+    def test_finalize_merges_pane_sets(self):
+        q = distinct_count_query(40.0, 10.0)
+        merged = list(q.finalize("k", [frozenset({1, 2}), frozenset({2, 3})]))
+        assert merged == [("k", frozenset({1, 2, 3}))]
+
+    def test_end_to_end_matches_ground_truth(self):
+        cluster = Cluster(small_test_config(), seed=5)
+        runtime = RedoopRuntime(cluster)
+        q = distinct_count_query(40.0, 10.0, num_reducers=4)
+        runtime.register_query(q, {"wcc": 500_000.0})
+        cfg = WCCConfig(record_size=100, num_objects=6, num_clients=9)
+        truth = defaultdict(set)
+        for i in range(5):
+            t0, t1 = i * 10.0, (i + 1) * 10.0
+            records = generate_wcc_records(t0, t1, 2_000.0, config=cfg, seed=i)
+            runtime.ingest(
+                BatchFile(path=f"/b/{i}", source="wcc", t_start=t0, t_end=t1),
+                records,
+            )
+            for r in records:
+                truth[(r.value["object"], r.ts)] = r.value["client"]
+        runtime.run_recurrence(q.name, 1)
+        result = runtime.run_recurrence(q.name, 2)  # window [10, 50)
+        expected = defaultdict(set)
+        for (obj, ts), client in truth.items():
+            if 10.0 <= ts < 50.0:
+                expected[obj].add(client)
+        got = {k: set(v) for k, v in result.output}
+        assert got == dict(expected)
+
+
+class TestExtremaQuery:
+    def test_reducer_computes_envelope(self):
+        q = extrema_query(40.0, 10.0)
+        out = list(q.job.reducer("p", [3.0, 9.5, 0.2]))
+        assert out == [("p", (0.2, 9.5))]
+
+    def test_finalize_merges_envelopes(self):
+        q = extrema_query(40.0, 10.0)
+        merged = list(q.finalize("p", [(1.0, 4.0), (0.5, 3.0)]))
+        assert merged == [("p", (0.5, 4.0))]
+
+    def test_no_combiner(self):
+        # The reducer's output type differs from its input type, so a
+        # combiner would corrupt the fold.
+        assert extrema_query(40.0, 10.0).job.combiner is None
+
+    def test_end_to_end_matches_ground_truth(self):
+        cluster = Cluster(small_test_config(), seed=5)
+        runtime = RedoopRuntime(cluster)
+        q = extrema_query(40.0, 10.0, num_reducers=4)
+        runtime.register_query(q, {"positions": 500_000.0})
+        cfg = FFGConfig(record_size=100, num_players=5)
+        all_records = []
+        for i in range(4):
+            t0, t1 = i * 10.0, (i + 1) * 10.0
+            records = generate_position_records(
+                t0, t1, 2_000.0, config=cfg, seed=i
+            )
+            runtime.ingest(
+                BatchFile(
+                    path=f"/b/{i}", source="positions", t_start=t0, t_end=t1
+                ),
+                records,
+            )
+            all_records.extend(records)
+        result = runtime.run_recurrence(q.name, 1)  # window [0, 40)
+        expected = {}
+        for r in all_records:
+            p, s = r.value["player"], r.value["speed"]
+            lo, hi = expected.get(p, (float("inf"), float("-inf")))
+            expected[p] = (min(lo, s), max(hi, s))
+        assert dict(result.output) == expected

@@ -1,0 +1,121 @@
+"""Unit tests for the paper's aggregation and join query builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hadoop.shuffle import run_reduce_partition, sort_pairs
+from repro.hadoop.types import Record
+from repro.workloads.queries import (
+    JOIN_SOURCES,
+    aggregation_query,
+    join_query,
+)
+
+
+def click(ts, obj, nbytes=100):
+    return Record(
+        ts=ts,
+        value={"src": "wcc", "object": obj, "bytes": nbytes, "client": 1,
+               "method": "GET", "status": 200, "region": "europe"},
+        size=100,
+    )
+
+
+class TestAggregationQuery:
+    def test_structure(self):
+        q = aggregation_query(100.0, 20.0, num_reducers=8)
+        assert q.sources == ("wcc",)
+        assert q.slide == 20.0
+        assert q.job.num_reducers == 8
+
+    def test_mapper_emits_key_and_measures(self):
+        q = aggregation_query(100.0, 20.0)
+        pairs = list(q.job.mapper(click(1.0, obj=5, nbytes=300)))
+        assert pairs == [(5, (1, 300))]
+
+    def test_reducer_aggregates(self):
+        q = aggregation_query(100.0, 20.0)
+        out = list(q.job.reducer(5, [(1, 100), (1, 200), (1, 50)]))
+        assert out == [(5, (3, 350))]
+
+    def test_finalize_merges_partials(self):
+        q = aggregation_query(100.0, 20.0)
+        merged = list(q.finalize(5, [(3, 350), (2, 100)]))
+        assert merged == [(5, (5, 450))]
+
+    def test_algebraic_property(self):
+        """Window reduce == finalize over per-pane reduces."""
+        q = aggregation_query(100.0, 20.0)
+        pane1 = [(1, 100), (1, 200)]
+        pane2 = [(1, 50)]
+        direct = list(q.job.reducer("k", pane1 + pane2))
+        partials = []
+        for pane in (pane1, pane2):
+            partials.extend(v for _k, v in q.job.reducer("k", pane))
+        via_panes = list(q.finalize("k", partials))
+        assert direct == via_panes
+
+    def test_custom_key_field(self):
+        q = aggregation_query(100.0, 20.0, key_field="region")
+        pairs = list(q.job.mapper(click(1.0, obj=5)))
+        assert pairs[0][0] == "europe"
+
+
+def sensor(ts, player, src):
+    if src == "positions":
+        value = {"src": src, "player": player, "x": 1.0, "y": 2.0, "speed": 3.0}
+    else:
+        value = {"src": src, "player": player, "event": "pass", "intensity": 0.5}
+    return Record(ts=ts, value=value, size=80)
+
+
+class TestJoinQuery:
+    def test_structure(self):
+        q = join_query(100.0, 20.0, num_reducers=8)
+        assert q.sources == tuple(sorted(JOIN_SOURCES))
+        assert q.num_sources == 2
+        assert q.job.combiner is None  # joins cannot pre-combine
+
+    def test_mapper_tags_by_source(self):
+        q = join_query(100.0, 20.0)
+        (key, (tag, _value)), = list(q.job.mapper(sensor(1.0, 7, "events")))
+        assert key == 7
+        assert tag == "events"
+
+    def test_reducer_cross_products(self):
+        q = join_query(100.0, 20.0)
+        values = [
+            q.job.mapper(sensor(1.0, 7, "events")).__next__()[1],
+            q.job.mapper(sensor(2.0, 7, "events")).__next__()[1],
+            q.job.mapper(sensor(3.0, 7, "positions")).__next__()[1],
+        ]
+        out = list(q.job.reducer(7, values))
+        assert len(out) == 2  # 2 events x 1 position
+
+    def test_reducer_one_sided_group_empty(self):
+        q = join_query(100.0, 20.0)
+        values = [q.job.mapper(sensor(1.0, 7, "events")).__next__()[1]]
+        assert list(q.job.reducer(7, values)) == []
+
+    def test_pane_decomposition_equals_window_join(self):
+        """Union of per-pane-pair joins == whole-window join."""
+        q = join_query(100.0, 20.0)
+        evt = [sensor(t, t % 2, "events") for t in range(4)]
+        pos = [sensor(t + 0.5, t % 2, "positions") for t in range(4)]
+        # Whole-window join.
+        pairs = []
+        for r in evt + pos:
+            pairs.extend(q.job.mapper(r))
+        whole = run_reduce_partition(pairs, q.job.reducer)
+        # Pane-pair decomposition: panes of 2 records each.
+        panes_e = [evt[:2], evt[2:]]
+        panes_p = [pos[:2], pos[2:]]
+        decomposed = []
+        for pe in panes_e:
+            for pp in panes_p:
+                pane_pairs = []
+                for r in pe + pp:
+                    pane_pairs.extend(q.job.mapper(r))
+                decomposed.extend(run_reduce_partition(pane_pairs, q.job.reducer))
+        assert sorted(map(repr, whole)) == sorted(map(repr, decomposed))
