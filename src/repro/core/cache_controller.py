@@ -21,7 +21,7 @@ query. It drives three things:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
 from .panes import WindowSpec, pane_name, parse_pane_name
 from .status_matrix import CacheStatusMatrix
@@ -32,6 +32,7 @@ __all__ = [
     "CACHE_AVAILABLE",
     "CacheSignature",
     "PurgeNotification",
+    "ReadyListener",
     "WindowAwareCacheController",
 ]
 
@@ -76,13 +77,27 @@ class _QueryInfo:
     matrix: CacheStatusMatrix
 
 
+#: Callback signature for ready-bit transitions: ``(pid, old, new)``.
+ReadyListener = Callable[[str, int, int], None]
+
+
 class WindowAwareCacheController:
-    """Global cache metadata and per-query status matrices."""
+    """Global cache metadata and per-query status matrices.
+
+    Ready-bit transitions drive the scheduler's task lists (Sec. 4.3):
+    interested parties (the runtime) subscribe via
+    :meth:`add_ready_listener` and are notified of every transition —
+    a pane reaching ``HDFS_AVAILABLE`` makes its map task schedulable,
+    reaching ``CACHE_AVAILABLE`` makes cache-reusing reduce tasks
+    schedulable, and a failure rollback to ``HDFS_AVAILABLE`` makes the
+    pane map-eligible again.
+    """
 
     def __init__(self) -> None:
         self._queries: Dict[str, _QueryInfo] = {}
         self._signatures: Dict[Tuple[str, int], CacheSignature] = {}
         self._pane_ready: Dict[str, int] = {}
+        self._ready_listeners: List[ReadyListener] = []
 
     # ------------------------------------------------------------------
     # query registration
@@ -133,6 +148,18 @@ class WindowAwareCacheController:
     # pane readiness
     # ------------------------------------------------------------------
 
+    def add_ready_listener(self, listener: ReadyListener) -> None:
+        """Subscribe to every pane ready-bit transition (Sec. 4.3)."""
+        self._ready_listeners.append(listener)
+
+    def _set_ready(self, pid: str, new: int) -> None:
+        old = self._pane_ready.get(pid, NOT_AVAILABLE)
+        if new == old:
+            return
+        self._pane_ready[pid] = new
+        for listener in self._ready_listeners:
+            listener(pid, old, new)
+
     def pane_ready(self, pid: str) -> int:
         """The pane's ready bit (0, 1, or 2)."""
         return self._pane_ready.get(pid, NOT_AVAILABLE)
@@ -140,7 +167,7 @@ class WindowAwareCacheController:
     def pane_arrived(self, pid: str) -> None:
         """A pane file landed in HDFS: ready becomes HDFS_AVAILABLE."""
         if self._pane_ready.get(pid, NOT_AVAILABLE) < HDFS_AVAILABLE:
-            self._pane_ready[pid] = HDFS_AVAILABLE
+            self._set_ready(pid, HDFS_AVAILABLE)
 
     def cache_created(
         self, pid: str, cache_type: int, partition: int, node_id: int
@@ -156,7 +183,7 @@ class WindowAwareCacheController:
                 )
             self._signatures[key] = signature
         signature.placements[partition] = node_id
-        self._pane_ready[pid] = CACHE_AVAILABLE
+        self._set_ready(pid, CACHE_AVAILABLE)
         return signature
 
     def signature(self, pid: str, cache_type: int) -> Optional[CacheSignature]:
@@ -239,7 +266,7 @@ class WindowAwareCacheController:
             if not signature.placements:
                 del self._signatures[(pid, cache_type)]
         if self.pane_ready(pid) == CACHE_AVAILABLE and not self._has_any_cache(pid):
-            self._pane_ready[pid] = HDFS_AVAILABLE
+            self._set_ready(pid, HDFS_AVAILABLE)
 
     def node_lost(self, node_id: int) -> List[Tuple[str, int, int]]:
         """Roll back every cache hosted on a failed node.

@@ -138,20 +138,25 @@ class ExecutionProfiler:
         return self.scale_factor(slide) > margin
 
     def change_factor(self) -> float:
-        """Forecast execution time over the most recent observation.
+        """Forecast execution time over the pre-spike baseline.
 
         This is the paper's *scale factor* (Sec. 3.3): "the ratio
-        between the expected execution time and the previous one". A
-        value well above 1 signals a building load spike. Returns 1.0
-        until two observations exist.
+        between the expected execution time and the previous one".
+        ``forecast(1)`` already smoothed in the newest observation, so
+        dividing by that same observation would *mute* exactly the
+        spikes the factor exists to detect (a 1,1,1,10 step series
+        would read as < 1 — "load falling"). The denominator is
+        therefore the observation *before* the one most recently
+        absorbed: the execution time the forecast is a change *from*.
+        Returns 1.0 until two observations exist.
         """
         if len(self._observations) < 2:
             return 1.0
-        last = self._observations[-1].execution_time
+        prev = self._observations[-2].execution_time
         fc = self.forecast(1)
-        if last <= 0 or fc is None:
+        if prev <= 0 or fc is None:
             return 1.0
-        return fc / last
+        return fc / prev
 
     def volatility(self, k: int = 3) -> float:
         """Max/min ratio of the last ``k`` execution times.

@@ -5,10 +5,13 @@ failure domain: the caches, which live on task nodes' *local* file
 systems and are therefore not protected by HDFS replication. Recovery
 is metadata rollback plus re-execution:
 
-* a **lost cache** rolls the pane's ready bit back to HDFS-available,
-  removes any scheduled reduce tasks that relied on it, and lets the
-  next recurrence rebuild it by re-running the producing tasks —
-  "without incurring any additional costs" beyond that re-execution;
+* a **lost cache** rolls the pane's ready bit back to HDFS-available
+  (the controller's ready listeners make the pane map-eligible again),
+  removes any scheduled reduce tasks that relied on it from the
+  scheduler's ``reduceTaskList`` — matching job-namespaced pane pids
+  and combination pids alike — and lets the next recurrence rebuild it
+  by re-running the producing tasks — "without incurring any
+  additional costs" beyond that re-execution;
 * a **lost node** additionally loses its slots and HDFS replicas; HDFS
   re-replicates blocks immediately, and every cache the node hosted is
   rolled back as above.
@@ -82,8 +85,11 @@ class RecoveryManager:
 
         Implements Sec. 5's rollback: the data is deleted, the local
         registry forgets the entry, the controller reverts the pane's
-        ready bit (if no copies remain), and any scheduled reduce task
-        that depended on the cache leaves the reduce task list.
+        ready bit (if no copies remain — notifying ready listeners so
+        the runtime re-marks the pane map-eligible), and any scheduled
+        reduce task that depended on the cache leaves the reduce task
+        list ("the scheduled tasks, using this cache, must be removed
+        from the ReduceTaskList immediately").
         """
         runtime = self.runtime
         registries = runtime.registries()

@@ -33,17 +33,32 @@ Execution stages per recurrence (all on virtual time):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from ..hadoop.catalog import BatchFile
 from ..hadoop.cluster import Cluster
 from ..hadoop.counters import Counters, PhaseTimes
 from ..hadoop.faults import FaultInjector
-from ..hadoop.node import MAP_SLOT, REDUCE_SLOT
+from ..hadoop.node import MAP_SLOT, REDUCE_SLOT, TaskNode
 from ..hadoop.shuffle import group_sorted, sort_pairs
 from ..hadoop.task import execute_map
+from ..hadoop.timeline import SchedulingDecision, SchedulingTrace
 from ..hadoop.types import KeyValue, Record
-from .cache_controller import CACHE_AVAILABLE, WindowAwareCacheController
+from .cache_controller import (
+    CACHE_AVAILABLE,
+    HDFS_AVAILABLE,
+    WindowAwareCacheController,
+)
 from .cache_registry import (
     REDUCE_INPUT,
     REDUCE_OUTPUT,
@@ -204,8 +219,14 @@ class RedoopRuntime:
         use_pane_headers: bool = True,
     ) -> None:
         self.cluster = cluster
+        self.counters = Counters()
         self.controller = WindowAwareCacheController()
-        self.scheduler = CacheAwareTaskScheduler(cluster)
+        #: Decision log of every task-list pop, Eq. 4 selection, and
+        #: execution — the audit trail proving the scheduler is real.
+        self.sched_trace = SchedulingTrace()
+        self.scheduler = CacheAwareTaskScheduler(
+            cluster, trace=self.sched_trace, counters=self.counters
+        )
         self.analyzer = SemanticAnalyzer(cluster.config)
         self.enable_caching = enable_caching
         self.enable_output_cache = enable_output_cache and enable_caching
@@ -225,7 +246,27 @@ class RedoopRuntime:
         self._jobs_by_name: Dict[str, object] = {}
         #: job name -> sticky partition placements (shared across queries).
         self._job_partition_nodes: Dict[str, Dict[int, int]] = {}
-        self.counters = Counters()
+        #: pids whose ready bit says HDFS_AVAILABLE: their map task is
+        #: schedulable (Sec. 4.3 — fed by controller transitions).
+        self._map_eligible: Set[str] = set()
+        self.controller.add_ready_listener(self._on_ready_transition)
+
+    def _on_ready_transition(self, pid: str, old: int, new: int) -> None:
+        """Track the scheduler-facing consequence of a ready-bit change.
+
+        ``-> HDFS_AVAILABLE`` (arrival, or cache-loss rollback) makes
+        the pane's map task schedulable; ``-> CACHE_AVAILABLE`` retires
+        it — reduce tasks reusing the cache become schedulable instead.
+        """
+        if new == HDFS_AVAILABLE:
+            self._map_eligible.add(pid)
+            self.counters.increment("sched.map_eligible_transitions")
+        elif new == CACHE_AVAILABLE:
+            self._map_eligible.discard(pid)
+
+    def map_eligible(self) -> Set[str]:
+        """Pids currently awaiting a map task (monitoring/testing)."""
+        return set(self._map_eligible)
 
     # ==================================================================
     # registration and ingest
@@ -505,22 +546,27 @@ class RedoopRuntime:
                 split_bytes = 0
             splits[-1].append(record)
             split_bytes += record.size
+        contexts: Dict[int, List[Record]] = {}
         for split in splits:
             if not split:
                 continue
-            nbytes = sum(r.size for r in split)
-            ex = execute_map(job, split, input_bytes=nbytes)
             request = MapTaskRequest(
                 query=state.query.name,
                 pid=state.qpid(source, idx),
-                input_bytes=nbytes,
+                input_bytes=sum(r.size for r in split),
                 locations=(),
             )
+            contexts[id(request)] = split
+            self.scheduler.enqueue_map(request)
+        for request, split in self._drain_maps(contexts):
+            nbytes = request.input_bytes
+            ex = execute_map(job, split, input_bytes=nbytes)
             node = self.scheduler.select_map_node(request, start)
             duration = self.cluster.cost_model.map_task_duration(
                 nbytes, ex.input_records, ex.output_bytes, data_local=False
             )
             finish = node.occupy_slot(MAP_SLOT, start, duration)
+            self._record_execute(MAP_SLOT, request, node, start)
             partial.absorb(ex.partitioned)
             partial.records_mapped += ex.input_records
             partial.bytes_mapped += nbytes
@@ -635,6 +681,57 @@ class RedoopRuntime:
         return result
 
     # ------------------------------------------------------------------
+    # task-list draining: the only path from a request to a slot
+    # ------------------------------------------------------------------
+    #
+    # Each execution phase enqueues *all* of its task requests, then
+    # drains the scheduler's list and executes exactly the request each
+    # pop returns — map tasks FIFO, reduce tasks in Algorithm 2's
+    # cache-coverage order. Contexts are keyed by request identity, so
+    # the executed object is provably the popped one (the trace records
+    # both sides).
+
+    def _drain_maps(
+        self, contexts: Dict[int, Any]
+    ) -> Iterator[Tuple[MapTaskRequest, Any]]:
+        while contexts:
+            request = self.scheduler.next_map()
+            if request is None or id(request) not in contexts:
+                raise RuntimeError(
+                    "map task list out of sync: popped "
+                    f"{request!r} without an execution context — tasks "
+                    "must be executed exactly as dequeued"
+                )
+            yield request, contexts.pop(id(request))
+
+    def _drain_reduces(
+        self, contexts: Dict[int, Any]
+    ) -> Iterator[Tuple[ReduceTaskRequest, Any]]:
+        while contexts:
+            request = self.scheduler.next_reduce()
+            if request is None or id(request) not in contexts:
+                raise RuntimeError(
+                    "reduce task list out of sync: popped "
+                    f"{request!r} without an execution context — tasks "
+                    "must be executed exactly as dequeued"
+                )
+            yield request, contexts.pop(id(request))
+
+    def _record_execute(
+        self, kind: str, request: Any, node: TaskNode, start: float
+    ) -> None:
+        self.sched_trace.record(
+            SchedulingDecision(
+                event="execute",
+                kind=kind,
+                task=request.task_id,
+                request=request,
+                node_id=node.node_id,
+                time=start,
+            )
+        )
+
+    # ------------------------------------------------------------------
     # pane processing: map + shuffle + reduce-input cache (+ agg rout)
     # ------------------------------------------------------------------
 
@@ -722,8 +819,12 @@ class RedoopRuntime:
                 for split in self.cluster.hdfs.splits(path)
             ]
 
-        map_finish = start
-        partitioned: Dict[int, List[KeyValue]] = {}
+        # The pane's ready bit said HDFS_AVAILABLE (arrival, or a cache-
+        # loss rollback): enqueue every map sub-task, then drain the
+        # list FIFO (Algorithm 2 lines 6-12) and execute the popped
+        # requests — the queue, not the construction order, decides.
+        self._map_eligible.discard(pid)
+        contexts: Dict[int, Tuple[int, Sequence[Record]]] = {}
         for task_no, (records, charged_bytes, locations) in enumerate(subtasks):
             request = MapTaskRequest(
                 query=query.name,
@@ -731,15 +832,19 @@ class RedoopRuntime:
                 input_bytes=charged_bytes,
                 locations=tuple(locations),
             )
+            contexts[id(request)] = (task_no, records)
             self.scheduler.enqueue_map(request)
-            self.scheduler.next_map()  # FIFO pop (Algorithm 2 lines 6-11)
+
+        map_finish = start
+        partitioned: Dict[int, List[KeyValue]] = {}
+        for request, (task_no, records) in self._drain_maps(contexts):
             node = self.scheduler.select_map_node(request, start)
-            ex = execute_map(job, records, input_bytes=charged_bytes)
+            ex = execute_map(job, records, input_bytes=request.input_bytes)
             duration = self.cluster.cost_model.map_task_duration(
-                charged_bytes,
+                request.input_bytes,
                 ex.input_records,
                 ex.output_bytes,
-                data_local=node.node_id in locations,
+                data_local=node.node_id in request.locations,
             )
             duration = self._with_faults(
                 f"{query.name}/map/{pid}#{task_no}", duration, counters
@@ -747,10 +852,11 @@ class RedoopRuntime:
             map_finish = max(
                 map_finish, node.occupy_slot(MAP_SLOT, start, duration)
             )
+            self._record_execute(MAP_SLOT, request, node, start)
             for partition, pairs in ex.partitioned.items():
                 partitioned.setdefault(partition, []).extend(pairs)
             counters.increment("map.tasks")
-            counters.increment("map.input_bytes", charged_bytes)
+            counters.increment("map.input_bytes", request.input_bytes)
             counters.increment("map.output_bytes", ex.output_bytes)
 
         counters.increment("panes.processed")
@@ -780,10 +886,21 @@ class RedoopRuntime:
         state.pane_work[(source, idx)] = work
 
         aggregation = query.num_sources == 1
+        contexts: Dict[int, List[KeyValue]] = {}
         for partition in range(job.num_reducers):
             pairs = partitioned.get(partition, [])
-            fetch_bytes = len(pairs) * job.intermediate_pair_size
-            target = self._partition_node(state, partition, map_finish)
+            request = ReduceTaskRequest(
+                query=query.name,
+                panes=((state.qsource(source), idx),),
+                partition=partition,
+                input_bytes=len(pairs) * job.intermediate_pair_size,
+            )
+            contexts[id(request)] = pairs
+            self.scheduler.enqueue_reduce(request)
+        for request, pairs in self._drain_reduces(contexts):
+            partition = request.partition
+            fetch_bytes = request.input_bytes
+            target = self._reduce_target(state, request, map_finish)
             transfer = self.cluster.cost_model.shuffle_fetch_duration(fetch_bytes)
             sorted_pairs = sort_pairs(pairs)
             rin_bytes = fetch_bytes
@@ -808,6 +925,7 @@ class RedoopRuntime:
             finish = target.occupy_slot(
                 REDUCE_SLOT, map_finish + transfer, duration
             )
+            self._record_execute(REDUCE_SLOT, request, target, map_finish + transfer)
             work.reduce_finish[partition] = finish
             counters.increment("shuffle.bytes", fetch_bytes)
             if self.enable_caching:
@@ -841,21 +959,26 @@ class RedoopRuntime:
             out.extend(job.reducer(key, values))
         return out
 
-    def _partition_node(self, state: _QueryState, partition: int, now: float):
-        """Sticky reduce-node choice for a partition (Eq. 4 on first use)."""
-        node_id = state.partition_nodes.get(partition)
+    def _reduce_target(
+        self, state: _QueryState, request: ReduceTaskRequest, now: float
+    ) -> TaskNode:
+        """Sticky reduce-node choice for a partition (Eq. 4 on first use).
+
+        The selection runs on the *actual* dequeued pane-reduce request
+        — no phantom placeholder requests, which would be invisible to
+        ``drop_reduce_tasks_using`` during failure recovery and would
+        rank as "fully cached" despite carrying no input. Later
+        requests of the same partition reuse the chosen node while it
+        lives, co-locating the partition's caches.
+        """
+        node_id = state.partition_nodes.get(request.partition)
         if node_id is not None:
             node = self.cluster.node(node_id)
             if node.alive:
+                self.counters.increment("sched.sticky_reuses")
                 return node
-        request = ReduceTaskRequest(
-            query=state.query.name,
-            panes=(),
-            partition=partition,
-            input_bytes=0,
-        )
         node = self.scheduler.select_reduce_node(request, now)
-        state.partition_nodes[partition] = node.node_id
+        state.partition_nodes[request.partition] = node.node_id
         return node
 
     # ------------------------------------------------------------------
@@ -877,7 +1000,13 @@ class RedoopRuntime:
         matrix = self.controller.matrix(query.name)
         finish_all = t0
 
+        # Gather every partition's cached pane partials, enqueue one
+        # merge task per partition, then drain the reduce task list:
+        # Algorithm 2 dictates the order (fully cached partitions run
+        # before partially cached before uncached) and the dequeued
+        # request is the one executed.
         outputs: Dict[int, List[KeyValue]] = {}
+        contexts: Dict[int, Tuple[List[Tuple[int, List[KeyValue]]], Dict[int, int], float]] = {}
         for partition in range(job.num_reducers):
             partials: List[Tuple[int, List[KeyValue]]] = []
             cached_by_node: Dict[int, int] = {}
@@ -901,8 +1030,14 @@ class RedoopRuntime:
                 input_bytes=total_bytes,
                 cached_bytes_by_node=tuple(sorted(cached_by_node.items())),
             )
+            contexts[id(request)] = (partials, cached_by_node, ready_at)
             self.scheduler.enqueue_reduce(request)
-            self.scheduler.next_reduce()
+
+        for request, (partials, cached_by_node, ready_at) in self._drain_reduces(
+            contexts
+        ):
+            partition = request.partition
+            total_bytes = request.input_bytes
             node = self.scheduler.select_reduce_node(request, ready_at)
             local_bytes = min(cached_by_node.get(node.node_id, 0), total_bytes)
             merged = self._finalize_merge(query, [p for _i, p in partials])
@@ -920,6 +1055,7 @@ class RedoopRuntime:
                 f"{query.name}/merge/w{recurrence}/{partition}", duration, counters
             )
             finish = node.occupy_slot(REDUCE_SLOT, ready_at, duration)
+            self._record_execute(REDUCE_SLOT, request, node, ready_at)
             finish_all = max(finish_all, finish)
             outputs[partition] = merged
             counters.increment("merge.tasks")
@@ -1015,20 +1151,19 @@ class RedoopRuntime:
         combos = self._window_combinations(window_panes)
         finish_all = t0
 
+        # Enqueue one join-reduce task per partition, then drain the
+        # reduce task list so Algorithm 2's cache-coverage ordering and
+        # Eq. 4's node choice act on the request actually executed.
         outputs: Dict[int, List[KeyValue]] = {}
+        contexts: Dict[int, float] = {}
         for partition in range(job.num_reducers):
-            partition_output: List[KeyValue] = []
-            cached_read = 0
-            fresh_bytes = 0
-            node = None
             ready_at = t0
             for src in sources:
                 for idx in window_panes[src]:
                     work = state.pane_work.get((src, idx))
                     if work is not None and partition in work.reduce_finish:
                         ready_at = max(ready_at, work.reduce_finish[partition])
-            # Choose the partition's node once per window via Eq. 4,
-            # weighting by the reduce-input bytes it would have to read.
+            # Weight Eq. 4 by the reduce-input bytes the task would read.
             rin_by_node: Dict[int, int] = {}
             total_rin = 0
             for src in sources:
@@ -1049,8 +1184,14 @@ class RedoopRuntime:
                 input_bytes=total_rin,
                 cached_bytes_by_node=tuple(sorted(rin_by_node.items())),
             )
+            contexts[id(request)] = ready_at
             self.scheduler.enqueue_reduce(request)
-            self.scheduler.next_reduce()
+
+        for request, ready_at in self._drain_reduces(contexts):
+            partition = request.partition
+            partition_output: List[KeyValue] = []
+            cached_read = 0
+            fresh_bytes = 0
             node = self.scheduler.select_reduce_node(request, ready_at)
 
             duration = self.cluster.config.task_overhead
@@ -1072,6 +1213,7 @@ class RedoopRuntime:
                 f"{query.name}/join/w{recurrence}/{partition}", duration, counters
             )
             finish = node.occupy_slot(REDUCE_SLOT, ready_at, duration)
+            self._record_execute(REDUCE_SLOT, request, node, ready_at)
             finish_all = max(finish_all, finish)
             outputs[partition] = partition_output
             counters.increment("join.tasks")

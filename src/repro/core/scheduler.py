@@ -13,16 +13,27 @@ Redoop extends Hadoop's TaskScheduler with two ideas:
   the task's cached input lives, expensive elsewhere). This trades off
   cache locality against load balance: a fully loaded node loses the
   task even if it holds the cache.
+
+The task lists are the *only* path to execution: the runtime enqueues
+every map and reduce task, then drains the lists through
+:meth:`~CacheAwareTaskScheduler.next_map` /
+:meth:`~CacheAwareTaskScheduler.next_reduce` and executes exactly the
+request each pop returns. Every pop, Eq. 4 selection, and recovery drop
+is recorded in an attached
+:class:`~repro.hadoop.timeline.SchedulingTrace` so tests and benchmarks
+can assert *why* a node was chosen.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Deque, List, Optional, Tuple
 
 from ..hadoop.cluster import Cluster
+from ..hadoop.counters import Counters
 from ..hadoop.node import MAP_SLOT, REDUCE_SLOT, TaskNode
+from ..hadoop.timeline import SchedulingDecision, SchedulingTrace
 
 __all__ = ["MapTaskRequest", "ReduceTaskRequest", "CacheAwareTaskScheduler"]
 
@@ -36,6 +47,10 @@ class MapTaskRequest:
     input_bytes: int
     #: HDFS nodes holding replicas of the pane's blocks.
     locations: Tuple[int, ...] = ()
+
+    @property
+    def task_id(self) -> str:
+        return f"{self.query}/{self.pid}"
 
 
 @dataclass(frozen=True, slots=True)
@@ -51,12 +66,42 @@ class ReduceTaskRequest:
     #: node id -> bytes of the task's input cached on that node.
     cached_bytes_by_node: Tuple[Tuple[int, int], ...] = ()
 
+    @property
+    def task_id(self) -> str:
+        return f"{self.query}/p{self.partition}"
+
+    def pane_pids(self) -> Tuple[str, ...]:
+        """The pane identifiers this task reads, as the registry names them."""
+        from .panes import pane_name
+
+        return tuple(pane_name(src, idx) for src, idx in self.panes)
+
 
 class CacheAwareTaskScheduler:
-    """Eq. 4 node selection plus the Algorithm 2 task lists."""
+    """Eq. 4 node selection plus the Algorithm 2 task lists.
 
-    def __init__(self, cluster: Cluster) -> None:
+    Parameters
+    ----------
+    cluster:
+        The cluster whose live nodes Eq. 4 chooses among.
+    trace:
+        Optional :class:`~repro.hadoop.timeline.SchedulingTrace`; every
+        pop/select/drop decision is recorded there.
+    counters:
+        Optional :class:`~repro.hadoop.counters.Counters` bag receiving
+        the ``sched.*`` counters (see ``docs/counters.md``).
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        *,
+        trace: Optional[SchedulingTrace] = None,
+        counters: Optional[Counters] = None,
+    ) -> None:
         self.cluster = cluster
+        self.trace = trace
+        self.counters = counters
         self.map_task_list: Deque[MapTaskRequest] = deque()
         self.reduce_task_list: Deque[ReduceTaskRequest] = deque()
 
@@ -67,14 +112,30 @@ class CacheAwareTaskScheduler:
     def enqueue_map(self, request: MapTaskRequest) -> None:
         """A pane became HDFS-available: its map task is schedulable."""
         self.map_task_list.append(request)
+        self._count("sched.map_enqueued")
 
     def enqueue_reduce(self, request: ReduceTaskRequest) -> None:
         """A cache pairing became complete: its reduce task is schedulable."""
         self.reduce_task_list.append(request)
+        self._count("sched.reduce_enqueued")
 
     def next_map(self) -> Optional[MapTaskRequest]:
         """FIFO pop from the map task list (Algorithm 2 lines 6-12)."""
-        return self.map_task_list.popleft() if self.map_task_list else None
+        if not self.map_task_list:
+            return None
+        request = self.map_task_list.popleft()
+        self._count("sched.map_dispatched")
+        if self.trace is not None:
+            self.trace.record(
+                SchedulingDecision(
+                    event="pop",
+                    kind=MAP_SLOT,
+                    task=request.task_id,
+                    request=request,
+                    queue_depth=len(self.map_task_list),
+                )
+            )
+        return request
 
     def next_reduce(self) -> Optional[ReduceTaskRequest]:
         """Pop the most cache-covered reduce task (Algorithm 2 lines 13-18).
@@ -87,21 +148,44 @@ class CacheAwareTaskScheduler:
             return None
         best_idx = 0
         best_rank = self._cache_rank(self.reduce_task_list[0])
-        for idx, request in enumerate(self.reduce_task_list):
-            rank = self._cache_rank(request)
-            if rank < best_rank:
-                best_idx, best_rank = idx, rank
-                if rank == 0:
-                    break
+        if best_rank != 0:
+            for idx, request in enumerate(self.reduce_task_list):
+                rank = self._cache_rank(request)
+                if rank < best_rank:
+                    best_idx, best_rank = idx, rank
+                    if rank == 0:
+                        break
         self.reduce_task_list.rotate(-best_idx)
         request = self.reduce_task_list.popleft()
         self.reduce_task_list.rotate(best_idx)
+        self._count("sched.reduce_dispatched")
+        self._count(f"sched.reduce_rank{best_rank}_dispatched")
+        if self.trace is not None:
+            self.trace.record(
+                SchedulingDecision(
+                    event="pop",
+                    kind=REDUCE_SLOT,
+                    task=request.task_id,
+                    request=request,
+                    rank=best_rank,
+                    queue_depth=len(self.reduce_task_list),
+                )
+            )
         return request
 
     @staticmethod
     def _cache_rank(request: ReduceTaskRequest) -> int:
+        """Cache-coverage class: 0 fully cached, 1 partial, 2 uncached.
+
+        A task with no input to read gains nothing from cache-first
+        ordering, so ``input_bytes <= 0`` ranks *uncached* — ranking it
+        "fully cached" would let degenerate (or phantom) requests jump
+        every queue.
+        """
+        if request.input_bytes <= 0:
+            return 2
         cached = sum(b for _n, b in request.cached_bytes_by_node)
-        if request.input_bytes <= 0 or cached >= request.input_bytes:
+        if cached >= request.input_bytes:
             return 0  # fully cached
         if cached > 0:
             return 1  # partially cached
@@ -114,17 +198,35 @@ class CacheAwareTaskScheduler:
         must be removed from the ReduceTaskList immediately." Returns
         the removed tasks so map tasks re-creating the cache can be
         enqueued.
-        """
-        from .panes import pane_name
 
-        removed = [
-            r
-            for r in self.reduce_task_list
-            if any(pane_name(src, idx) == pid for src, idx in r.panes)
-        ]
+        ``pid`` may be a pane cache id (job-namespaced, e.g.
+        ``wc:S1P3``) or a combination cache id (``wc:S1P3xwc:S2P4``);
+        a queued task is dropped when any pane it reads matches any
+        part of the lost pid. The filter is a single identity-safe
+        pass, so equal duplicate requests are judged independently.
+        """
+        parts = frozenset(pid.split("x"))
+        removed: List[ReduceTaskRequest] = []
+        kept: Deque[ReduceTaskRequest] = deque()
+        for request in self.reduce_task_list:
+            if any(p in parts for p in request.pane_pids()):
+                removed.append(request)
+            else:
+                kept.append(request)
         if removed:
-            kept = [r for r in self.reduce_task_list if r not in removed]
-            self.reduce_task_list = deque(kept)
+            self.reduce_task_list = kept
+            self._count("sched.reduce_dropped", len(removed))
+            if self.trace is not None:
+                for request in removed:
+                    self.trace.record(
+                        SchedulingDecision(
+                            event="drop",
+                            kind=REDUCE_SLOT,
+                            task=request.task_id,
+                            request=request,
+                            queue_depth=len(kept),
+                        )
+                    )
         return removed
 
     # ------------------------------------------------------------------
@@ -143,7 +245,23 @@ class CacheAwareTaskScheduler:
                 request.input_bytes, bytes_local=local
             )
 
-        return self._argmin_eq4(MAP_SLOT, now, io_cost)
+        node = self._argmin_eq4(MAP_SLOT, now, io_cost)
+        if node.node_id in locations:
+            self._count("sched.map_local_selects")
+        if self.trace is not None:
+            self.trace.record(
+                SchedulingDecision(
+                    event="select",
+                    kind=MAP_SLOT,
+                    task=request.task_id,
+                    request=request,
+                    node_id=node.node_id,
+                    load=node.load_at(now),
+                    c_task=io_cost(node),
+                    time=now,
+                )
+            )
+        return node
 
     def select_reduce_node(
         self, request: ReduceTaskRequest, now: float
@@ -157,9 +275,28 @@ class CacheAwareTaskScheduler:
                 request.input_bytes, bytes_local=local
             )
 
-        return self._argmin_eq4(REDUCE_SLOT, now, io_cost)
+        node = self._argmin_eq4(REDUCE_SLOT, now, io_cost)
+        if cached.get(node.node_id, 0) > 0:
+            self._count("sched.reduce_cache_local_selects")
+        if self.trace is not None:
+            self.trace.record(
+                SchedulingDecision(
+                    event="select",
+                    kind=REDUCE_SLOT,
+                    task=request.task_id,
+                    request=request,
+                    node_id=node.node_id,
+                    load=node.load_at(now),
+                    c_task=io_cost(node),
+                    rank=self._cache_rank(request),
+                    time=now,
+                )
+            )
+        return node
 
-    def _argmin_eq4(self, kind: str, now: float, io_cost) -> TaskNode:
+    def _argmin_eq4(
+        self, kind: str, now: float, io_cost: Callable[[TaskNode], float]
+    ) -> TaskNode:
         live = self.cluster.live_nodes()
         if not live:
             raise RuntimeError("no live nodes to schedule on")
@@ -169,3 +306,11 @@ class CacheAwareTaskScheduler:
             return (load + io_cost(node), node.node_id)
 
         return min(live, key=objective)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def _count(self, name: str, amount: float = 1.0) -> None:
+        if self.counters is not None:
+            self.counters.increment(name, amount)

@@ -30,6 +30,7 @@ from .hdfs import FileSplit
 from .job import MapReduceJob
 from .node import MAP_SLOT, REDUCE_SLOT, SlotKind, TaskNode
 from .task import MapExecution, ReduceExecution, execute_map, execute_reduce
+from .timeline import SchedulingDecision, SchedulingTrace
 from .types import KeyValue, Record
 
 __all__ = ["FIFOScheduler", "JobResult", "JobTracker"]
@@ -41,7 +42,14 @@ class FIFOScheduler:
     Among live nodes, the node whose next ``kind`` slot frees earliest
     wins; when several free at the same instant, data-local nodes are
     preferred, then the lowest node id (for determinism).
+
+    Like the cache-aware scheduler, it can record every placement into
+    a :class:`~repro.hadoop.timeline.SchedulingTrace` so baseline runs
+    expose the same decision log as Redoop runs.
     """
+
+    def __init__(self, *, trace: Optional[SchedulingTrace] = None) -> None:
+        self.trace = trace
 
     def choose_node(
         self,
@@ -50,6 +58,7 @@ class FIFOScheduler:
         now: float,
         *,
         preferred: Set[int] = frozenset(),
+        task: str = "",
     ) -> TaskNode:
         live = cluster.live_nodes()
         if not live:
@@ -60,7 +69,19 @@ class FIFOScheduler:
             local = 0 if node.node_id in preferred else 1
             return (est_start, local, node.node_id)
 
-        return min(live, key=rank)
+        node = min(live, key=rank)
+        if self.trace is not None:
+            self.trace.record(
+                SchedulingDecision(
+                    event="select",
+                    kind=kind,
+                    task=task,
+                    node_id=node.node_id,
+                    load=node.load_at(now),
+                    time=now,
+                )
+            )
+        return node
 
 
 @dataclass(slots=True)
@@ -193,7 +214,11 @@ class JobTracker:
         durations: List[float] = []
         for split in splits:
             node = self.scheduler.choose_node(
-                cluster, MAP_SLOT, t0, preferred=set(split.locations)
+                cluster,
+                MAP_SLOT,
+                t0,
+                preferred=set(split.locations),
+                task=f"{job.name}/map/{split.path}#{split.split_index}",
             )
             local = node.node_id in split.locations
             ex = execute_map(job, split.records, input_bytes=split.size)
@@ -304,7 +329,12 @@ class JobTracker:
             duration = self._with_faults(
                 f"{job.name}/reduce/{partition}", duration, counters
             )
-            node = self.scheduler.choose_node(cluster, REDUCE_SLOT, shuffle_done)
+            node = self.scheduler.choose_node(
+                cluster,
+                REDUCE_SLOT,
+                shuffle_done,
+                task=f"{job.name}/reduce/{partition}",
+            )
             finish = max(
                 finish, node.occupy_slot(REDUCE_SLOT, shuffle_done, duration)
             )

@@ -7,18 +7,31 @@ The simulator schedules every task through
 compute per-node busy time, slot utilisation over a horizon, and the
 cluster-wide concurrency profile — the observability a real deployment
 would get from the JobTracker UI.
+
+:class:`SchedulingTrace` complements the timeline with *decisions*: for
+every task the cache-aware scheduler pops from a task list and places,
+it records which request was dequeued, at what cache-coverage rank, and
+why the chosen node won Eq. 4 (its load and its ``C_task`` I/O cost).
+Benchmarks and tests use the trace to assert *why* a node was chosen —
+not merely that something ran somewhere.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from .cluster import Cluster
 from .node import SlotKind
 
-__all__ = ["TaskInterval", "Timeline", "attach_timeline"]
+__all__ = [
+    "TaskInterval",
+    "Timeline",
+    "attach_timeline",
+    "SchedulingDecision",
+    "SchedulingTrace",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -127,6 +140,91 @@ class Timeline:
 
     def __len__(self) -> int:
         return len(self._intervals)
+
+
+@dataclass(frozen=True)
+class SchedulingDecision:
+    """One event in the scheduler's decision log.
+
+    ``event`` is one of:
+
+    * ``"pop"`` — a request left a task list (``rank`` is its cache
+      coverage at pop time: 0 fully cached, 1 partial, 2 uncached;
+      map pops carry no rank);
+    * ``"select"`` — Eq. 4 placed the request (``load``/``c_task``
+      explain the winning node's objective value);
+    * ``"execute"`` — the runtime ran the popped request on a node;
+    * ``"drop"`` — failure recovery removed the request from a list.
+    """
+
+    event: str
+    kind: SlotKind
+    task: str
+    #: The request object itself, so tests can assert that the request
+    #: executed *is* (identity, not equality) the one popped.
+    request: Any = None
+    node_id: Optional[int] = None
+    load: Optional[float] = None
+    c_task: Optional[float] = None
+    rank: Optional[int] = None
+    time: Optional[float] = None
+    queue_depth: Optional[int] = None
+
+
+class SchedulingTrace:
+    """Accumulates scheduling decisions for inspection and assertions."""
+
+    def __init__(self) -> None:
+        self._decisions: List[SchedulingDecision] = []
+
+    def record(self, decision: SchedulingDecision) -> None:
+        self._decisions.append(decision)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def decisions(
+        self,
+        *,
+        event: Optional[str] = None,
+        kind: Optional[SlotKind] = None,
+    ) -> List[SchedulingDecision]:
+        """Recorded decisions, optionally filtered by event and kind."""
+        return [
+            d
+            for d in self._decisions
+            if (event is None or d.event == event)
+            and (kind is None or d.kind == kind)
+        ]
+
+    def pops(self, kind: Optional[SlotKind] = None) -> List[SchedulingDecision]:
+        return self.decisions(event="pop", kind=kind)
+
+    def selects(self, kind: Optional[SlotKind] = None) -> List[SchedulingDecision]:
+        return self.decisions(event="select", kind=kind)
+
+    def executions(
+        self, kind: Optional[SlotKind] = None
+    ) -> List[SchedulingDecision]:
+        return self.decisions(event="execute", kind=kind)
+
+    def drops(self, kind: Optional[SlotKind] = None) -> List[SchedulingDecision]:
+        return self.decisions(event="drop", kind=kind)
+
+    def nodes_chosen(self, kind: Optional[SlotKind] = None) -> Dict[int, int]:
+        """Selections per node — the placement-balance picture."""
+        chosen: Dict[int, int] = defaultdict(int)
+        for d in self.selects(kind):
+            if d.node_id is not None:
+                chosen[d.node_id] += 1
+        return dict(chosen)
+
+    def clear(self) -> None:
+        self._decisions.clear()
+
+    def __len__(self) -> int:
+        return len(self._decisions)
 
 
 def attach_timeline(cluster: Cluster) -> Timeline:

@@ -63,6 +63,7 @@ class TestMain:
         }
         assert all(float(r["response_time"]) > 0 for r in rows)
 
+    @pytest.mark.slow
     def test_headline_tiny_run(self, capsys):
         rc = main(["headline", "--scale", "0.05"])
         assert rc == 0

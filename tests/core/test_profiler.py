@@ -116,12 +116,31 @@ class TestScaleFactorAndTriggers:
         p.observe(10.0)
         p.observe(10.0)
         p.observe(30.0)  # spike
-        # Forecast is pulled up relative to... the last observation is
-        # the spike itself, so compare the trajectory the other way:
-        p2 = ExecutionProfiler()
-        p2.observe(10.0)
-        p2.observe(30.0)
-        assert p2.forecast(1) > 10.0
+        # The forecast absorbed the spike; the denominator is the
+        # pre-spike observation, so the factor reads well above 1.
+        assert p.change_factor() > 1.2
+
+    def test_change_factor_step_load_regression(self):
+        """A 1,1,1,10 step must read as a spike, not as load falling.
+
+        The old implementation divided forecast(1) by the newest
+        observation — the spike itself — yielding ~0.69 for this
+        series with alpha=0.5, beta=0.3 (i.e. "load dropping"). The
+        fixed factor divides by the observation *before* the spike.
+        """
+        p = ExecutionProfiler(alpha=0.5, beta=0.3)
+        for x in (1.0, 1.0, 1.0, 10.0):
+            p.observe(x)
+        # L_4 = 0.5*10 + 0.5*1 = 5.5; T_4 = 0.3*4.5 = 1.35; fc = 6.85
+        assert p.forecast(1) == pytest.approx(6.85)
+        assert p.change_factor() == pytest.approx(6.85)
+        assert p.fluctuation_detected()
+
+    def test_change_factor_steady_series_stays_near_one(self):
+        p = ExecutionProfiler()
+        for _ in range(10):
+            p.observe(10.0)
+        assert p.change_factor() == pytest.approx(1.0)
 
     def test_volatility_steady(self):
         p = ExecutionProfiler()

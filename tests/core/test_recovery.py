@@ -168,6 +168,72 @@ class TestNodeFailureRecovery:
         recovery.recover_node(0)
         assert 0 in runtime.cluster.live_node_ids()
 
+    def test_queued_reduce_tasks_dropped_on_node_failure(self, warm_runtime):
+        """Sec. 5: scheduled tasks using a lost cache must leave the
+        ReduceTaskList immediately — matched by job-namespaced pid."""
+        runtime, _ = warm_runtime
+        recovery = RecoveryManager(runtime)
+        from repro.core.scheduler import ReduceTaskRequest
+
+        hosting = {c.node_id for c in recovery.live_caches()}
+        victim = sorted(hosting)[0]
+        lost_pids = {
+            c.pid for c in recovery.live_caches() if c.node_id == victim
+        }
+        assert lost_pids
+
+        # Queue reduce tasks over every cache the victim hosts, plus
+        # one reading a pane the victim does not host (it must survive).
+        surviving_pid = "wc:S1P9"
+        assert surviving_pid not in lost_pids
+        queued = []
+        for i, pid in enumerate(sorted(lost_pids)):
+            src, _, idx = pid.rpartition("P")
+            request = ReduceTaskRequest(
+                query="wc", panes=((src, int(idx)),), partition=i, input_bytes=1
+            )
+            runtime.scheduler.enqueue_reduce(request)
+            queued.append(request)
+        keeper = ReduceTaskRequest(
+            query="wc", panes=(("wc:S1", 9),), partition=0, input_bytes=1
+        )
+        runtime.scheduler.enqueue_reduce(keeper)
+
+        lost = recovery.fail_node(victim)
+        assert lost
+        remaining = list(runtime.scheduler.reduce_task_list)
+        # No queued task referencing a lost cache survives; tasks
+        # reading unaffected panes do.
+        lost_cache_pids = {pid for pid, _t, _p in lost}
+        for request in remaining:
+            assert not (set(request.pane_pids()) & lost_cache_pids)
+        assert keeper in remaining
+        assert runtime.counters.get("sched.reduce_dropped") >= len(queued)
+        # Dropped tasks are re-created by the next recurrence: drain the
+        # keeper so the recurrence starts from clean lists, then run it.
+        runtime.scheduler.reduce_task_list.clear()
+        result = runtime.run_recurrence("wc", 2)
+        assert result.output
+
+    def test_drops_are_traced(self, warm_runtime):
+        runtime, _ = warm_runtime
+        recovery = RecoveryManager(runtime)
+        from repro.core.scheduler import ReduceTaskRequest
+
+        hosting = {c.node_id for c in recovery.live_caches()}
+        victim = sorted(hosting)[0]
+        pid = sorted(
+            c.pid for c in recovery.live_caches() if c.node_id == victim
+        )[0]
+        src, _, idx = pid.rpartition("P")
+        request = ReduceTaskRequest(
+            query="wc", panes=((src, int(idx)),), partition=0, input_bytes=1
+        )
+        runtime.scheduler.enqueue_reduce(request)
+        recovery.fail_node(victim)
+        drops = runtime.sched_trace.drops()
+        assert any(d.request is request for d in drops)
+
     def test_sticky_partitions_remap_after_node_loss(self, warm_runtime):
         """Partitions homed on a dead node move elsewhere."""
         runtime, _ = warm_runtime

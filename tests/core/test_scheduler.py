@@ -139,3 +139,150 @@ class TestTaskLists:
         scheduler.enqueue_reduce(keep)
         assert scheduler.drop_reduce_tasks_using("S9P9") == []
         assert list(scheduler.reduce_task_list) == [keep]
+
+    def test_drop_matches_job_namespaced_pids(self, scheduler):
+        """Runtime requests carry qsource names like ``wc:S1``; a lost
+        cache reported as ``wc:S1P3`` must match them."""
+        drop = ReduceTaskRequest(
+            query="wc", panes=(("wc:S1", 3),), partition=0, input_bytes=1
+        )
+        keep = ReduceTaskRequest(
+            query="wc", panes=(("wc:S1", 4),), partition=0, input_bytes=1
+        )
+        scheduler.enqueue_reduce(drop)
+        scheduler.enqueue_reduce(keep)
+        assert scheduler.drop_reduce_tasks_using("wc:S1P3") == [drop]
+        assert list(scheduler.reduce_task_list) == [keep]
+
+    def test_drop_matches_combination_pids(self, scheduler):
+        """A lost join-output cache (``AxB`` pid) drops every queued
+        task reading either constituent pane."""
+        reads_a = ReduceTaskRequest(
+            query="j", panes=(("j:S1", 1),), partition=0, input_bytes=1
+        )
+        reads_b = ReduceTaskRequest(
+            query="j", panes=(("j:S2", 2),), partition=1, input_bytes=1
+        )
+        keep = ReduceTaskRequest(
+            query="j", panes=(("j:S1", 9),), partition=2, input_bytes=1
+        )
+        for r in (reads_a, reads_b, keep):
+            scheduler.enqueue_reduce(r)
+        removed = scheduler.drop_reduce_tasks_using("j:S1P1xj:S2P2")
+        assert removed == [reads_a, reads_b]
+        assert list(scheduler.reduce_task_list) == [keep]
+
+    def test_drop_keeps_equal_duplicates_not_using_the_cache(self, scheduler):
+        """Equal duplicate requests must be judged independently: the
+        old ``r not in removed`` filter dropped innocent twins."""
+        twin_a = reduce_request(partition=7)
+        twin_b = reduce_request(partition=7)
+        assert twin_a == twin_b and twin_a is not twin_b
+        victim = ReduceTaskRequest(
+            query="q", panes=(("S2", 0),), partition=7, input_bytes=1
+        )
+        for r in (twin_a, victim, twin_b):
+            scheduler.enqueue_reduce(r)
+        removed = scheduler.drop_reduce_tasks_using("S2P0")
+        assert removed == [victim]
+        assert list(scheduler.reduce_task_list) == [twin_a, twin_b]
+        assert scheduler.reduce_task_list[0] is twin_a
+        assert scheduler.reduce_task_list[1] is twin_b
+
+
+class TestCacheRank:
+    rank = staticmethod(CacheAwareTaskScheduler._cache_rank)
+
+    def test_rank_ordering_full_partial_empty(self):
+        full = reduce_request(nbytes=10, cached=[(0, 10)])
+        partial = reduce_request(nbytes=10, cached=[(0, 4)])
+        empty = reduce_request(nbytes=10, cached=())
+        ranks = [self.rank(r) for r in (full, partial, empty)]
+        assert ranks == [0, 1, 2]
+        assert ranks == sorted(ranks)
+
+    def test_overfull_coverage_is_fully_cached(self):
+        assert self.rank(reduce_request(nbytes=10, cached=[(0, 6), (1, 6)])) == 0
+
+    def test_zero_input_is_not_fully_cached(self):
+        """A request with nothing to read must not jump the queue as
+        "fully cached" — the phantom-request bug."""
+        assert self.rank(reduce_request(nbytes=0, cached=())) == 2
+        assert self.rank(reduce_request(nbytes=0, cached=[(0, 5)])) == 2
+
+    def test_zero_input_never_precedes_cached_work(self, scheduler):
+        empty = reduce_request(nbytes=0)
+        cached = reduce_request(nbytes=10, cached=[(0, 10)])
+        scheduler.enqueue_reduce(empty)
+        scheduler.enqueue_reduce(cached)
+        assert scheduler.next_reduce() is cached
+        assert scheduler.next_reduce() is empty
+
+
+class TestContendedOrdering:
+    def test_rank_order_decides_slot_assignment_under_contention(self, cluster):
+        """Algorithm 2's pop order must decide who gets the early slots
+        when reduce slots are contended: fully cached tasks run first,
+        then partially cached, then uncached — regardless of enqueue
+        order."""
+        scheduler = CacheAwareTaskScheduler(cluster)
+        uncached = reduce_request(nbytes=10 * MEGABYTE, partition=0)
+        partial = reduce_request(
+            nbytes=10 * MEGABYTE, cached=[(1, 4 * MEGABYTE)], partition=1
+        )
+        full = reduce_request(
+            nbytes=10 * MEGABYTE, cached=[(2, 10 * MEGABYTE)], partition=2
+        )
+        for r in (uncached, partial, full):  # worst-first enqueue order
+            scheduler.enqueue_reduce(r)
+
+        starts = {}
+        now = 0.0
+        while True:
+            request = scheduler.next_reduce()
+            if request is None:
+                break
+            node = scheduler.select_reduce_node(request, now)
+            start = max(now, node.earliest_slot_time(REDUCE_SLOT))
+            node.occupy_slot(REDUCE_SLOT, now, 100.0)
+            starts[request.partition] = start
+            now = start  # serialise: each pop contends with the last
+
+        assert starts[2] <= starts[1] <= starts[0]
+
+
+class TestSchedulingTrace:
+    def test_pops_and_selects_are_recorded_with_rank(self, cluster):
+        from repro.hadoop.timeline import SchedulingTrace
+
+        trace = SchedulingTrace()
+        scheduler = CacheAwareTaskScheduler(cluster, trace=trace)
+        full = reduce_request(nbytes=10, cached=[(1, 10)])
+        uncached = reduce_request(nbytes=10)
+        scheduler.enqueue_reduce(uncached)
+        scheduler.enqueue_reduce(full)
+
+        popped = scheduler.next_reduce()
+        scheduler.select_reduce_node(popped, now=0.0)
+
+        [pop] = trace.pops(REDUCE_SLOT)
+        assert pop.request is full
+        assert pop.rank == 0
+        [select] = trace.selects(REDUCE_SLOT)
+        assert select.request is full
+        assert select.node_id == 1
+        assert select.load is not None and select.c_task is not None
+
+    def test_counters_track_dispatch_by_rank(self, cluster):
+        from repro.hadoop.counters import Counters
+
+        counters = Counters()
+        scheduler = CacheAwareTaskScheduler(cluster, counters=counters)
+        scheduler.enqueue_reduce(reduce_request(nbytes=10, cached=[(0, 10)]))
+        scheduler.enqueue_reduce(reduce_request(nbytes=10))
+        scheduler.next_reduce()
+        scheduler.next_reduce()
+        assert counters.get("sched.reduce_enqueued") == 2
+        assert counters.get("sched.reduce_dispatched") == 2
+        assert counters.get("sched.reduce_rank0_dispatched") == 1
+        assert counters.get("sched.reduce_rank2_dispatched") == 1

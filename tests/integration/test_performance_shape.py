@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.bench.harness import (
     ExperimentConfig,
     build_workload,

@@ -47,6 +47,7 @@ def test_aggregation_equivalence_across_overlaps(overlap):
     assert hadoop.output_digests == redoop.output_digests
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("overlap", [0.75, 0.5])
 def test_join_equivalence_across_overlaps(overlap):
     cfg = config(kind="join", overlap=overlap, rate=2_000.0, join_keys=7)

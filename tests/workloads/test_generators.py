@@ -71,6 +71,7 @@ class TestWCC:
         with pytest.raises(ValueError):
             WCCConfig(zipf_s=0.0)
 
+    @pytest.mark.slow
     @given(
         t0=st.floats(0, 1e4),
         dur=st.floats(1.0, 1e3),
