@@ -10,6 +10,7 @@ from .experiments import (
     fig7_join,
     fig8_adaptive,
     fig9_fault_tolerance,
+    headline_series,
     headline_speedups,
     join_config,
 )
@@ -53,6 +54,7 @@ __all__ = [
     "format_speedup_summary",
     "series_rows",
     "write_series_csv",
+    "headline_series",
     "headline_speedups",
     "join_config",
     "plot_series",

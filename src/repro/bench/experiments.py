@@ -36,6 +36,7 @@ __all__ = [
     "fig7_join",
     "fig8_adaptive",
     "fig9_fault_tolerance",
+    "headline_series",
     "headline_speedups",
     "ablation_pane_headers",
     "ablation_cache_levels",
@@ -196,12 +197,22 @@ def fig9_fault_tolerance(
     cache_loss_fraction: float = 0.5,
     cluster_config: ClusterConfig = DEFAULT_CONFIG,
     seed: int = 7,
+    node_failure_window: Optional[int] = None,
 ) -> Dict[str, SeriesResult]:
     """Fig. 9: cache removals injected at the start of each window.
 
     The paper uses an FFG aggregation at overlap 0.5 and compares
     Hadoop and Redoop with (f) and without injected failures. Series
     are plotted as cumulative running time.
+
+    ``node_failure_window`` additionally runs a ``redoop(node-f)``
+    series in which one whole slave node is killed right before that
+    window executes and recovered before the next — exercising Sec. 5's
+    node-loss rollback end to end (cache re-execution on surviving
+    nodes, HDFS re-replication, and the scheduler dropping queued tasks
+    that depended on the dead node's caches). The kill and recovery
+    appear in the series' trace as ``node.failed`` / ``node.recovered``
+    fault events.
     """
     config = ExperimentConfig(
         kind="ffg-aggregation",
@@ -214,7 +225,7 @@ def fig9_fault_tolerance(
         seed=seed,
     )
     workload = build_workload(config)
-    return {
+    results = {
         "hadoop": run_hadoop_series(config, workload=workload),
         "redoop": run_redoop_series(config, workload=workload),
         "redoop(f)": run_redoop_series(
@@ -232,15 +243,37 @@ def fig9_fault_tolerance(
             workload=workload,
         ),
     }
+    if node_failure_window is not None:
+        if not 1 <= node_failure_window <= num_windows:
+            raise ValueError(
+                f"node_failure_window must be in [1, {num_windows}]"
+            )
+        results["redoop(node-f)"] = run_redoop_series(
+            config,
+            label="redoop(node-f)",
+            node_failure_window=node_failure_window,
+            node_failure_injector=FaultInjector(seed=seed),
+            workload=workload,
+        )
+    return results
+
+
+def headline_series(
+    *, scale: float = 1.0
+) -> Dict[str, Dict[str, SeriesResult]]:
+    """The two overlap-0.9 comparisons behind the headline speedups."""
+    return {
+        "aggregation": _compare(aggregation_config(0.9, scale=scale)),
+        "join": _compare(join_config(0.9, scale=scale)),
+    }
 
 
 def headline_speedups(*, scale: float = 1.0) -> Dict[str, float]:
     """The abstract's headline: up to 9x speedup at overlap 0.9."""
-    agg = _compare(aggregation_config(0.9, scale=scale))
-    join = _compare(join_config(0.9, scale=scale))
+    series = headline_series(scale=scale)
     return {
-        "aggregation": agg["redoop"].speedup_vs(agg["hadoop"], skip_first=True),
-        "join": join["redoop"].speedup_vs(join["hadoop"], skip_first=True),
+        kind: runs["redoop"].speedup_vs(runs["hadoop"], skip_first=True)
+        for kind, runs in series.items()
     }
 
 
@@ -352,5 +385,7 @@ def ablation_scheduler(*, scale: float = 1.0) -> Dict[str, SeriesResult]:
                 output_pairs=len(r.output),
             )
         )
-    blind = SeriesResult(label="cache-blind", windows=metrics)
+    blind = SeriesResult(
+        label="cache-blind", windows=metrics, tracer=runtime.tracer
+    )
     return {"cache-aware": aware, "cache-blind": blind}

@@ -28,6 +28,7 @@ from ..hadoop.counters import PhaseTimes
 from ..hadoop.faults import FaultInjector
 from ..hadoop.runner import PlainHadoopDriver
 from ..hadoop.types import Record
+from repro.trace import Tracer
 from ..workloads.batches import (
     RateSchedule,
     constant_rate,
@@ -164,6 +165,9 @@ class SeriesResult:
     windows: List[WindowMetrics]
     #: Final output pairs per window (sorted reprs) for cross-checking.
     output_digests: List[Tuple[str, ...]] = field(default_factory=list)
+    #: The run's span spine (``None`` for averaged/synthetic series);
+    #: export with :func:`repro.trace.export_chrome_trace`.
+    tracer: Optional[Tracer] = None
 
     def response_times(self) -> List[float]:
         return [w.response_time for w in self.windows]
@@ -285,12 +289,21 @@ def run_redoop_series(
     enable_output_cache: bool = True,
     use_pane_headers: bool = True,
     cache_failure_injector: Optional[FaultInjector] = None,
+    node_failure_window: Optional[int] = None,
+    node_failure_injector: Optional[FaultInjector] = None,
     workload: Optional[Mapping[str, List[Tuple[BatchFile, List[Record]]]]] = None,
+    tracer: Optional[Tracer] = None,
 ) -> SeriesResult:
     """Run the experiment on Redoop and collect per-window metrics.
 
     ``cache_failure_injector`` reproduces Fig. 9: before each window's
     execution the injector destroys a fraction of live caches.
+    ``node_failure_window`` kills one whole node (picked by
+    ``node_failure_injector``, or a seeded default) right before that
+    recurrence executes and brings it back before the next one — the
+    end-to-end slave-failure scenario of Sec. 5. ``tracer`` supplies
+    the span spine (one is created per run otherwise); it is returned
+    on the series for export.
     """
     workload = workload or build_workload(config)
     cluster = Cluster(config.cluster_config, seed=config.seed)
@@ -300,6 +313,7 @@ def run_redoop_series(
         enable_caching=enable_caching,
         enable_output_cache=enable_output_cache,
         use_pane_headers=use_pane_headers,
+        tracer=tracer,
     )
     query = config.build_query()
     runtime.register_query(query, {src: config.rate for src in config.sources})
@@ -313,17 +327,28 @@ def run_redoop_series(
     )
     results: List[RecurrenceResult] = []
     cursor = 0
+    failed_node: Optional[int] = None
     for recurrence in range(1, config.num_windows + 1):
         due = query.execution_time(recurrence)
         while cursor < len(pending) and pending[cursor][0].t_end <= due + 1e-9:
             runtime.ingest(*pending[cursor])
             cursor += 1
+        if failed_node is not None:
+            recovery.recover_node(failed_node)
+            failed_node = None
+        if node_failure_window is not None and recurrence == node_failure_window:
+            injector = node_failure_injector or FaultInjector(seed=config.seed)
+            failed_node = injector.pick_node_victim(cluster.live_node_ids())
+            recovery.fail_node(failed_node)
         if cache_failure_injector is not None and recurrence > 1:
             recovery.inject_pane_cache_failures(cache_failure_injector)
         results.append(runtime.run_recurrence(query.name, recurrence))
+    if failed_node is not None:
+        recovery.recover_node(failed_node)
 
     return SeriesResult(
         label=label,
+        tracer=runtime.tracer,
         windows=[
             WindowMetrics(
                 recurrence=r.recurrence,
@@ -347,6 +372,7 @@ def run_hadoop_series(
     label: str = "hadoop",
     task_failure_prob: float = 0.0,
     workload: Optional[Mapping[str, List[Tuple[BatchFile, List[Record]]]]] = None,
+    tracer: Optional[Tracer] = None,
 ) -> SeriesResult:
     """Run the experiment on plain Hadoop (one fresh job per window)."""
     workload = workload or build_workload(config)
@@ -361,7 +387,7 @@ def run_hadoop_series(
         if task_failure_prob > 0
         else None
     )
-    driver = PlainHadoopDriver(cluster, fault_injector=injector)
+    driver = PlainHadoopDriver(cluster, fault_injector=injector, tracer=tracer)
     query = config.build_query()
     spec = config.spec
 
@@ -389,7 +415,12 @@ def run_hadoop_series(
             )
         )
         digests.append(tuple(sorted(map(repr, execution.output()))))
-    return SeriesResult(label=label, windows=windows, output_digests=digests)
+    return SeriesResult(
+        label=label,
+        windows=windows,
+        output_digests=digests,
+        tracer=driver.tracer,
+    )
 
 
 # ----------------------------------------------------------------------

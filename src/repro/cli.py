@@ -7,11 +7,14 @@ rows/series the paper plots and optionally exporting them as CSV::
     python -m repro fig6 --scale 0.5 --windows 10
     python -m repro fig8 --overlaps 0.1 0.9 --csv fig8.csv
     python -m repro headline --scale 1.0
+    python -m repro fig6 --trace-out fig6-trace.json
+    python -m repro report fig6-trace.json --top 5
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Dict, Optional, Sequence
 
@@ -27,10 +30,18 @@ from .bench import (
     format_phase_split,
     format_response_table,
     format_speedup_summary,
-    headline_speedups,
+    headline_series,
 )
 from .bench.plots import plot_series, plot_speedups
 from .bench.reporting import write_series_csv
+from .trace import (
+    Tracer,
+    export_chrome_trace,
+    format_window_reports,
+    load_chrome_trace,
+    reports_as_rows,
+    window_reports_from_document,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -41,6 +52,7 @@ _EXPERIMENTS = {
     "fig9": "fault tolerance (cumulative time, cache removals)",
     "headline": "the 'up to 9x' best-case speedups",
     "ablations": "pane headers / cache levels / Eq.4 scheduling",
+    "report": "per-window phase/cache/task report from a --trace-out JSON",
 }
 
 
@@ -71,6 +83,10 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="render ASCII bar charts of the per-window times",
         )
+        p.add_argument(
+            "--trace-out",
+            help="write a Chrome-trace/Perfetto JSON of every series here",
+        )
         if overlaps:
             p.add_argument(
                 "--overlaps",
@@ -82,12 +98,52 @@ def build_parser() -> argparse.ArgumentParser:
 
     for name in ("fig6", "fig7", "fig8"):
         add_common(sub.add_parser(name, help=_EXPERIMENTS[name]), overlaps=True)
-    add_common(sub.add_parser("fig9", help=_EXPERIMENTS["fig9"]), overlaps=False)
+    fig9 = sub.add_parser("fig9", help=_EXPERIMENTS["fig9"])
+    add_common(fig9, overlaps=False)
+    fig9.add_argument(
+        "--node-failure-window",
+        type=int,
+        default=None,
+        metavar="W",
+        help="also run redoop(node-f): kill one node before window W, "
+        "recover it before window W+1",
+    )
     headline = sub.add_parser("headline", help=_EXPERIMENTS["headline"])
     headline.add_argument("--scale", type=float, default=0.5)
+    headline.add_argument(
+        "--trace-out",
+        help="write a Chrome-trace/Perfetto JSON of every series here",
+    )
     ablations = sub.add_parser("ablations", help=_EXPERIMENTS["ablations"])
     ablations.add_argument("--scale", type=float, default=0.5)
+    ablations.add_argument(
+        "--trace-out",
+        help="write a Chrome-trace/Perfetto JSON of every series here",
+    )
+    report = sub.add_parser("report", help=_EXPERIMENTS["report"])
+    report.add_argument("trace", help="trace JSON written by --trace-out")
+    report.add_argument(
+        "--top",
+        type=int,
+        default=3,
+        help="slowest tasks to list per window (default 3)",
+    )
+    report.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit the report as JSON instead of text",
+    )
     return parser
+
+
+def _gather_tracers(series_by_key: Dict[str, object]) -> Dict[str, Tracer]:
+    """Tracers per series key, skipping series without one (averaged)."""
+    return {
+        key: series.tracer
+        for key, series in series_by_key.items()
+        if getattr(series, "tracer", None) is not None
+    }
 
 
 def _print_overlap_sweep(
@@ -121,6 +177,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"{name:10} {blurb}")
         return 0
 
+    if args.command == "report":
+        document = load_chrome_trace(args.trace)
+        reports = window_reports_from_document(document)
+        if args.as_json:
+            print(json.dumps(reports_as_rows(reports), indent=2))
+        else:
+            print(format_window_reports(reports, top_k=args.top), end="")
+        return 0
+
     csv_series: Dict[str, object] = {}
     if args.command == "fig6":
         results = fig6_aggregation(
@@ -138,18 +203,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         csv_series = _print_overlap_sweep(results, plot=args.plot)
     elif args.command == "fig9":
-        series = fig9_fault_tolerance(scale=args.scale, num_windows=args.windows)
+        series = fig9_fault_tolerance(
+            scale=args.scale,
+            num_windows=args.windows,
+            node_failure_window=args.node_failure_window,
+        )
         print(format_cumulative_table(series, title="Fig 9 cumulative time"))
         if args.plot:
             print()
             print(plot_speedups(series, title="speedups vs hadoop:"))
         csv_series = dict(series)
     elif args.command == "headline":
-        speedups = headline_speedups(scale=args.scale)
+        by_kind = headline_series(scale=args.scale)
         print("steady-state speedups at overlap 0.9 (paper: up to 9x):")
-        for kind, factor in speedups.items():
+        for kind, runs in by_kind.items():
+            factor = runs["redoop"].speedup_vs(runs["hadoop"], skip_first=True)
             print(f"  {kind:12} {factor:5.2f}x")
-        return 0
+        csv_series = {
+            f"{kind}/{label}": result
+            for kind, runs in by_kind.items()
+            for label, result in runs.items()
+        }
     elif args.command == "ablations":
         for name, fn in (
             ("pane headers", ablation_pane_headers),
@@ -159,11 +233,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             series = fn(scale=args.scale)
             print(format_response_table(series, title=f"--- ablation: {name} ---"))
             print()
-        return 0
+            for label, result in series.items():
+                csv_series[f"{name}/{label}"] = result
 
     if getattr(args, "csv", None) and csv_series:
         rows = write_series_csv(args.csv, csv_series)
         print(f"wrote {rows} rows to {args.csv}")
+    if getattr(args, "trace_out", None):
+        tracers = _gather_tracers(csv_series)
+        if tracers:
+            count = export_chrome_trace(tracers, args.trace_out)
+            print(f"wrote {count} trace events to {args.trace_out}")
     return 0
 
 

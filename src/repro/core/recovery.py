@@ -105,6 +105,15 @@ class RecoveryManager:
         )
         runtime.scheduler.drop_reduce_tasks_using(victim.pid)
         runtime.counters.increment("faults.caches_destroyed")
+        runtime.tracer.instant(
+            "cache.lost",
+            "fault",
+            time=runtime.cluster.clock.now,
+            node_id=victim.node_id,
+            pid=victim.pid,
+            cache_type=victim.cache_type,
+            partition=victim.partition,
+        )
 
     def inject_pane_cache_failures(
         self, injector: FaultInjector

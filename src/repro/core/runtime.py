@@ -54,6 +54,16 @@ from ..hadoop.shuffle import group_sorted, sort_pairs
 from ..hadoop.task import execute_map
 from ..hadoop.timeline import SchedulingDecision, SchedulingTrace
 from ..hadoop.types import KeyValue, Record
+from repro.trace import (
+    CAT_FAULT,
+    CAT_PHASE,
+    CAT_RECURRENCE,
+    CAT_RUN,
+    CAT_TASK,
+    PHASE_NAMES,
+    Span,
+    Tracer,
+)
 from .cache_controller import (
     CACHE_AVAILABLE,
     HDFS_AVAILABLE,
@@ -217,13 +227,28 @@ class RedoopRuntime:
         purge_cycle: Optional[float] = None,
         fault_injector: Optional[FaultInjector] = None,
         use_pane_headers: bool = True,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.cluster = cluster
         self.counters = Counters()
         self.controller = WindowAwareCacheController()
+        #: The span spine this run writes to: every recurrence, phase,
+        #: task, scheduler decision, and fault lands here (see
+        #: ``docs/observability.md``). Shared with the cluster so node
+        #: fail/recover events interleave with the spans.
+        self.tracer = tracer if tracer is not None else Tracer()
+        if getattr(cluster, "tracer", None) is None:
+            cluster.tracer = self.tracer
+        self._run_span = self.tracer.begin(
+            "redoop-run", CAT_RUN, cluster.clock.now
+        )
+        #: recurrence-scoped phase spans (``None`` outside a recurrence;
+        #: proactive work emitted then parents to the run span).
+        self._phase_spans: Optional[Dict[str, Span]] = None
         #: Decision log of every task-list pop, Eq. 4 selection, and
         #: execution — the audit trail proving the scheduler is real.
-        self.sched_trace = SchedulingTrace()
+        #: A facade over ``self.tracer``: one store, two views.
+        self.sched_trace = SchedulingTrace(spine=self.tracer)
         self.scheduler = CacheAwareTaskScheduler(
             cluster, trace=self.sched_trace, counters=self.counters
         )
@@ -567,6 +592,16 @@ class RedoopRuntime:
             )
             finish = node.occupy_slot(MAP_SLOT, start, duration)
             self._record_execute(MAP_SLOT, request, node, start)
+            self._emit_task(
+                "map",
+                f"map/{request.pid}#c{partial.chunks}",
+                finish - duration / node.speed,
+                finish,
+                node.node_id,
+                slot="map",
+                bytes=nbytes,
+                proactive=True,
+            )
             partial.absorb(ex.partitioned)
             partial.records_mapped += ex.input_records
             partial.bytes_mapped += nbytes
@@ -620,46 +655,80 @@ class RedoopRuntime:
         start = max(self.cluster.clock.now, due)
         t0 = start + self.cluster.config.job_overhead
 
-        # ----- map + pane-reduce for panes lacking caches --------------
-        map_finishes: List[float] = []
-        for source in query.sources:
-            for idx in state.spec(source).panes_in_window(recurrence):
-                work = self._ensure_pane_processed(
-                    state, source, idx, t0, counters
+        rec_span = self.tracer.begin(
+            f"{query.name}@w{recurrence}",
+            CAT_RECURRENCE,
+            due,
+            parent=self._run_span,
+            window=recurrence,
+            query=query.name,
+            due=due,
+        )
+        self._phase_spans = {
+            name: self.tracer.begin(name, CAT_PHASE, t0, parent=rec_span)
+            for name in PHASE_NAMES
+        }
+        try:
+            # ----- map + pane-reduce for panes lacking caches ----------
+            map_finishes: List[float] = []
+            for source in query.sources:
+                for idx in state.spec(source).panes_in_window(recurrence):
+                    work = self._ensure_pane_processed(
+                        state, source, idx, t0, counters
+                    )
+                    if work is not None and work.map_finish > t0:
+                        map_finishes.append(work.map_finish)
+
+            maps_done = max(map_finishes, default=t0)
+            first_map_done = min(map_finishes, default=t0)
+
+            # ----- combine phase (joins + finalize merge) ---------------
+            if query.num_sources == 1:
+                outputs, finish = self._combine_aggregation(
+                    state, recurrence, t0, counters
                 )
-                if work is not None and work.map_finish > t0:
-                    map_finishes.append(work.map_finish)
+            else:
+                outputs, finish = self._combine_join(
+                    state, recurrence, t0, counters
+                )
 
-        maps_done = max(map_finishes, default=t0)
-        first_map_done = min(map_finishes, default=t0)
+            finish = max(finish, maps_done, t0)
+            self.cluster.clock.advance_to(finish)
 
-        # ----- combine phase (joins + finalize merge) -------------------
-        if query.num_sources == 1:
-            outputs, finish = self._combine_aggregation(
-                state, recurrence, t0, counters
+            # pane-reduce finish spans double as the shuffle boundary.
+            shuffle_done = max(
+                (
+                    f
+                    for work in state.pane_work.values()
+                    for f in work.reduce_finish.values()
+                    if f > t0
+                ),
+                default=maps_done,
             )
-        else:
-            outputs, finish = self._combine_join(state, recurrence, t0, counters)
+            shuffle_done = min(max(shuffle_done, maps_done), finish)
+            phases = PhaseTimes(
+                map=max(0.0, maps_done - t0),
+                shuffle=max(0.0, shuffle_done - max(first_map_done, t0)),
+                reduce=max(0.0, finish - shuffle_done),
+            )
 
-        finish = max(finish, maps_done, t0)
-        self.cluster.clock.advance_to(finish)
-
-        # pane-reduce finish spans double as the shuffle boundary.
-        shuffle_done = max(
-            (
-                f
-                for work in state.pane_work.values()
-                for f in work.reduce_finish.values()
-                if f > t0
-            ),
-            default=maps_done,
+            self._close_phase_spans(
+                t0, maps_done, first_map_done, shuffle_done, finish
+            )
+        finally:
+            self._phase_spans = None
+        self.tracer.end(
+            rec_span,
+            finish,
+            response_time=finish - due,
+            phases={
+                "map": phases.map,
+                "shuffle": phases.shuffle,
+                "reduce": phases.reduce,
+            },
+            counters=counters.as_dict(),
         )
-        shuffle_done = min(max(shuffle_done, maps_done), finish)
-        phases = PhaseTimes(
-            map=max(0.0, maps_done - t0),
-            shuffle=max(0.0, shuffle_done - max(first_map_done, t0)),
-            reduce=max(0.0, finish - shuffle_done),
-        )
+        self.tracer.extend(self._run_span, finish)
 
         output_pairs = [pair for _p, pairs in sorted(outputs.items()) for pair in pairs]
         self._write_output(query, recurrence, output_pairs, finish)
@@ -716,6 +785,67 @@ class RedoopRuntime:
                     "must be executed exactly as dequeued"
                 )
             yield request, contexts.pop(id(request))
+
+    def _emit_task(
+        self,
+        phase: str,
+        name: str,
+        start: float,
+        finish: float,
+        node_id: int,
+        **attrs: Any,
+    ) -> None:
+        """Record one task span under the current recurrence's ``phase``.
+
+        Outside a recurrence (proactive chunk maps, pane seals during
+        ingest) the span parents to the run span directly.
+        """
+        parent: Span = self._run_span
+        if self._phase_spans is not None and phase in self._phase_spans:
+            parent = self._phase_spans[phase]
+        self.tracer.span(
+            name,
+            CAT_TASK,
+            start,
+            max(finish, start),
+            parent=parent,
+            node_id=node_id,
+            **attrs,
+        )
+
+    def _close_phase_spans(
+        self,
+        t0: float,
+        maps_done: float,
+        first_map_done: float,
+        shuffle_done: float,
+        finish: float,
+    ) -> None:
+        """Pin the recurrence's phase spans to their computed boundaries.
+
+        Map and shuffle take the same boundaries ``PhaseTimes`` reports;
+        pane-reduce and combine tighten to the envelope of their task
+        children (zero-length at their nominal boundary when the window
+        was fully served from cache and no task ran).
+        """
+        spans = self._phase_spans
+        assert spans is not None
+        spans["map"].start = t0
+        self.tracer.end(spans["map"], max(maps_done, t0))
+        shuffle_start = max(first_map_done, t0)
+        spans["shuffle"].start = shuffle_start
+        self.tracer.end(spans["shuffle"], max(shuffle_done, shuffle_start))
+        for name, fallback in (
+            ("pane-reduce", maps_done),
+            ("combine", shuffle_done),
+        ):
+            span = spans[name]
+            env = self.tracer.envelope(self.tracer.children(span))
+            lo, hi = env if env is not None else (fallback, fallback)
+            span.start = lo
+            self.tracer.end(span, max(hi, lo))
+        spans["post"].start = finish
+        self.tracer.end(spans["post"], finish)
 
     def _record_execute(
         self, kind: str, request: Any, node: TaskNode, start: float
@@ -840,19 +970,33 @@ class RedoopRuntime:
         for request, (task_no, records) in self._drain_maps(contexts):
             node = self.scheduler.select_map_node(request, start)
             ex = execute_map(job, records, input_bytes=request.input_bytes)
+            data_local = node.node_id in request.locations
             duration = self.cluster.cost_model.map_task_duration(
                 request.input_bytes,
                 ex.input_records,
                 ex.output_bytes,
-                data_local=node.node_id in request.locations,
+                data_local=data_local,
             )
             duration = self._with_faults(
-                f"{query.name}/map/{pid}#{task_no}", duration, counters
+                f"{query.name}/map/{pid}#{task_no}",
+                duration,
+                counters,
+                at=start,
+                node_id=node.node_id,
             )
-            map_finish = max(
-                map_finish, node.occupy_slot(MAP_SLOT, start, duration)
-            )
+            task_finish = node.occupy_slot(MAP_SLOT, start, duration)
+            map_finish = max(map_finish, task_finish)
             self._record_execute(MAP_SLOT, request, node, start)
+            self._emit_task(
+                "map",
+                f"map/{pid}#{task_no}",
+                task_finish - duration / node.speed,
+                task_finish,
+                node.node_id,
+                slot="map",
+                bytes=request.input_bytes,
+                data_local=data_local,
+            )
             for partition, pairs in ex.partitioned.items():
                 partitioned.setdefault(partition, []).extend(pairs)
             counters.increment("map.tasks")
@@ -920,12 +1064,35 @@ class RedoopRuntime:
                 if self.enable_output_cache:
                     duration += self.cluster.cost_model.cache_write_time(rout_bytes)
             duration = self._with_faults(
-                f"{query.name}/pane-reduce/{pid}/{partition}", duration, counters
+                f"{query.name}/pane-reduce/{pid}/{partition}",
+                duration,
+                counters,
+                at=map_finish + transfer,
+                node_id=target.node_id,
             )
             finish = target.occupy_slot(
                 REDUCE_SLOT, map_finish + transfer, duration
             )
             self._record_execute(REDUCE_SLOT, request, target, map_finish + transfer)
+            if transfer > 0:
+                self._emit_task(
+                    "shuffle",
+                    f"shuffle/{pid}/p{partition}",
+                    map_finish,
+                    map_finish + transfer,
+                    target.node_id,
+                    slot="net",
+                    bytes=fetch_bytes,
+                )
+            self._emit_task(
+                "pane-reduce",
+                f"pane-reduce/{pid}/p{partition}",
+                finish - duration / target.speed,
+                finish,
+                target.node_id,
+                slot="reduce",
+                bytes=fetch_bytes,
+            )
             work.reduce_finish[partition] = finish
             counters.increment("shuffle.bytes", fetch_bytes)
             if self.enable_caching:
@@ -1052,10 +1219,25 @@ class RedoopRuntime:
                 + self.cluster.cost_model.hdfs_write_time(out_bytes)
             )
             duration = self._with_faults(
-                f"{query.name}/merge/w{recurrence}/{partition}", duration, counters
+                f"{query.name}/merge/w{recurrence}/{partition}",
+                duration,
+                counters,
+                at=ready_at,
+                node_id=node.node_id,
             )
             finish = node.occupy_slot(REDUCE_SLOT, ready_at, duration)
             self._record_execute(REDUCE_SLOT, request, node, ready_at)
+            self._emit_task(
+                "combine",
+                f"merge/w{recurrence}/p{partition}",
+                finish - duration / node.speed,
+                finish,
+                node.node_id,
+                slot="reduce",
+                bytes=total_bytes,
+                cached_local_bytes=local_bytes,
+                cache_rank=CacheAwareTaskScheduler._cache_rank(request),
+            )
             finish_all = max(finish_all, finish)
             outputs[partition] = merged
             counters.increment("merge.tasks")
@@ -1210,10 +1392,26 @@ class RedoopRuntime:
             out_bytes = len(partition_output) * job.output_pair_size
             duration += self.cluster.cost_model.hdfs_write_time(out_bytes)
             duration = self._with_faults(
-                f"{query.name}/join/w{recurrence}/{partition}", duration, counters
+                f"{query.name}/join/w{recurrence}/{partition}",
+                duration,
+                counters,
+                at=ready_at,
+                node_id=node.node_id,
             )
             finish = node.occupy_slot(REDUCE_SLOT, ready_at, duration)
             self._record_execute(REDUCE_SLOT, request, node, ready_at)
+            self._emit_task(
+                "combine",
+                f"join/w{recurrence}/p{partition}",
+                finish - duration / node.speed,
+                finish,
+                node.node_id,
+                slot="reduce",
+                bytes=request.input_bytes,
+                cached_bytes=cached_read,
+                fresh_bytes=fresh_bytes,
+                cache_rank=CacheAwareTaskScheduler._cache_rank(request),
+            )
             finish_all = max(finish_all, finish)
             outputs[partition] = partition_output
             counters.increment("join.tasks")
@@ -1478,13 +1676,27 @@ class RedoopRuntime:
                 )
 
     def _with_faults(
-        self, task_key: str, duration: float, counters: Counters
+        self,
+        task_key: str,
+        duration: float,
+        counters: Counters,
+        *,
+        at: Optional[float] = None,
+        node_id: Optional[int] = None,
     ) -> float:
         if self.faults is None:
             return duration
         effective, retries = self.faults.attempt_duration(task_key, duration)
         if retries:
             counters.increment("task.retries", retries)
+            self.tracer.instant(
+                "task.retry",
+                CAT_FAULT,
+                time=at,
+                node_id=node_id,
+                task=task_key,
+                retries=retries,
+            )
         return effective
 
     def _state(self, query_name: str) -> _QueryState:

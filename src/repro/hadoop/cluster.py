@@ -53,6 +53,9 @@ class Cluster:
         self.hdfs = SimulatedHDFS(config, seed=seed + 1)
         self.cost_model = CostModel(config)
         self.counters = Counters()
+        #: Optional span spine; when a runtime attaches one, node
+        #: failures/recoveries land on it as fault events.
+        self.tracer = None
         speeds = node_speeds or {}
         unknown = set(speeds) - set(range(config.num_nodes))
         if unknown:
@@ -108,6 +111,14 @@ class Cluster:
         lost = node.fail()
         self.hdfs.fail_node(node_id)
         self.counters.increment("cluster.node_failures")
+        if self.tracer is not None:
+            self.tracer.instant(
+                "node.failed",
+                "fault",
+                time=self.clock.now,
+                node_id=node_id,
+                lost_files=len(lost),
+            )
         return lost
 
     def recover_node(self, node_id: int) -> None:
@@ -115,6 +126,13 @@ class Cluster:
         node = self.node(node_id)
         node.recover(self.clock.now)
         self.hdfs.recover_node(node_id)
+        if self.tracer is not None:
+            self.tracer.instant(
+                "node.recovered",
+                "fault",
+                time=self.clock.now,
+                node_id=node_id,
+            )
 
     # ------------------------------------------------------------------
     # housekeeping

@@ -21,7 +21,9 @@ task does. Phase spans are recorded the way the paper measures them
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.trace import CAT_JOB, CAT_PHASE, CAT_RUN, CAT_TASK, Span, Tracer
 
 from .cluster import Cluster
 from .counters import Counters, PhaseTimes
@@ -120,10 +122,20 @@ class JobTracker:
         *,
         scheduler: Optional[FIFOScheduler] = None,
         fault_injector: Optional[FaultInjector] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.cluster = cluster
         self.scheduler = scheduler or FIFOScheduler()
         self.faults = fault_injector
+        #: Span spine for the baseline path; jobs, phases, and tasks all
+        #: land here so plain-Hadoop runs export the same trace shape as
+        #: Redoop runs (the ``job`` category replaces ``recurrence``).
+        self.tracer = tracer if tracer is not None else Tracer()
+        if getattr(cluster, "tracer", None) is None:
+            cluster.tracer = self.tracer
+        self._run_span = self.tracer.begin(
+            "hadoop-run", CAT_RUN, cluster.clock.now
+        )
 
     # ------------------------------------------------------------------
     # public API
@@ -136,6 +148,7 @@ class JobTracker:
         *,
         start: Optional[float] = None,
         output_path: Optional[str] = None,
+        trace_attrs: Optional[Mapping[str, Any]] = None,
     ) -> JobResult:
         """Execute ``job`` over ``input_paths`` and advance the clock.
 
@@ -151,6 +164,11 @@ class JobTracker:
             When given, the merged reduce output is materialised as an
             HDFS file at this path (write cost is already charged inside
             the reduce tasks).
+        trace_attrs:
+            Extra attributes for the job's trace span. A ``"due"`` key
+            (the window's deadline, for recurring drivers) anchors the
+            span's start so response time reads off the span directly;
+            a ``"window"`` key labels it for per-window reports.
         """
         cluster = self.cluster
         cost = cluster.cost_model
@@ -158,13 +176,35 @@ class JobTracker:
         t_submit = max(cluster.clock.now, start if start is not None else 0.0)
         t0 = t_submit + cluster.config.job_overhead
 
+        attrs = dict(trace_attrs or {})
+        due = float(attrs.pop("due", t_submit))
+        job_span = self.tracer.begin(
+            job.name, CAT_JOB, min(due, t_submit), parent=self._run_span,
+            due=due, **attrs,
+        )
+        map_span = self.tracer.begin("map", CAT_PHASE, t0, parent=job_span)
+        shuffle_span = self.tracer.begin(
+            "shuffle", CAT_PHASE, t0, parent=job_span
+        )
+        reduce_span = self.tracer.begin(
+            "reduce", CAT_PHASE, t0, parent=job_span
+        )
+
         splits = self._plan_splits(input_paths)
-        map_execs, map_finishes = self._run_map_phase(job, splits, t0, counters)
+        map_execs, map_finishes = self._run_map_phase(
+            job, splits, t0, counters, map_span
+        )
         maps_done = max(map_finishes, default=t0)
         first_map_done = min(map_finishes, default=t0)
 
         outputs, reduce_nodes, shuffle_all_done, finish = self._run_reduce_phase(
-            job, map_execs, first_map_done, maps_done, counters
+            job,
+            map_execs,
+            first_map_done,
+            maps_done,
+            counters,
+            shuffle_span,
+            reduce_span,
         )
 
         finish = max(finish, maps_done)
@@ -179,6 +219,23 @@ class JobTracker:
             self._write_output(job, output_path, outputs, finish)
 
         counters.increment("job.runs")
+        self.tracer.end(map_span, max(maps_done, t0))
+        shuffle_span.start = min(first_map_done, shuffle_all_done)
+        self.tracer.end(shuffle_span, shuffle_all_done)
+        reduce_span.start = min(shuffle_all_done, finish)
+        self.tracer.end(reduce_span, finish)
+        self.tracer.end(
+            job_span,
+            finish,
+            response_time=finish - due,
+            phases={
+                "map": phases.map,
+                "shuffle": phases.shuffle,
+                "reduce": phases.reduce,
+            },
+            counters=counters.as_dict(),
+        )
+        self.tracer.extend(self._run_span, finish)
         return JobResult(
             job_name=job.name,
             start_time=t_submit,
@@ -205,6 +262,7 @@ class JobTracker:
         splits: Sequence[FileSplit],
         t0: float,
         counters: Counters,
+        phase_span: Span,
     ) -> Tuple[List[MapExecution], List[float]]:
         cluster = self.cluster
         cost = cluster.cost_model
@@ -232,8 +290,22 @@ class JobTracker:
                 f"{job.name}/map/{split.path}#{split.split_index}",
                 duration,
                 counters,
+                at=t0,
+                node_id=node.node_id,
             )
-            finishes.append(node.occupy_slot(MAP_SLOT, t0, duration))
+            task_finish = node.occupy_slot(MAP_SLOT, t0, duration)
+            finishes.append(task_finish)
+            self.tracer.span(
+                f"map/{split.path}#{split.split_index}",
+                CAT_TASK,
+                task_finish - duration / node.speed,
+                task_finish,
+                parent=phase_span,
+                node_id=node.node_id,
+                slot="map",
+                bytes=ex.input_bytes,
+                data_local=local,
+            )
             execs.append(ex)
             nodes_used.append(node.node_id)
             durations.append(duration)
@@ -245,7 +317,7 @@ class JobTracker:
                 counters.increment("map.rack_remote_tasks")
         if cluster.config.speculative_execution and len(finishes) > 1:
             finishes = self._speculate_stragglers(
-                finishes, nodes_used, durations, counters
+                finishes, nodes_used, durations, counters, phase_span
             )
         return execs, finishes
 
@@ -255,6 +327,7 @@ class JobTracker:
         nodes_used: List[int],
         durations: List[float],
         counters: Counters,
+        phase_span: Span,
     ) -> List[float]:
         """Launch backup copies of straggler map tasks (Hadoop-style).
 
@@ -285,6 +358,16 @@ class JobTracker:
             backup_finish = backup_node.occupy_slot(
                 MAP_SLOT, baseline, durations[i]
             )
+            self.tracer.span(
+                f"map-backup#{i}",
+                CAT_TASK,
+                backup_finish - durations[i] / backup_node.speed,
+                backup_finish,
+                parent=phase_span,
+                node_id=backup_node.node_id,
+                slot="map",
+                speculative=True,
+            )
             adjusted[i] = min(finish, backup_finish)
             counters.increment("map.speculative_tasks")
         return adjusted
@@ -296,6 +379,8 @@ class JobTracker:
         first_map_done: float,
         maps_done: float,
         counters: Counters,
+        shuffle_span: Span,
+        reduce_span: Span,
     ) -> Tuple[Dict[int, List[KeyValue]], Dict[int, int], float, float]:
         cluster = self.cluster
         cost = cluster.cost_model
@@ -326,17 +411,41 @@ class JobTracker:
                 cached_records=0,
                 output_bytes=rex.output_bytes,
             )
-            duration = self._with_faults(
-                f"{job.name}/reduce/{partition}", duration, counters
-            )
             node = self.scheduler.choose_node(
                 cluster,
                 REDUCE_SLOT,
                 shuffle_done,
                 task=f"{job.name}/reduce/{partition}",
             )
-            finish = max(
-                finish, node.occupy_slot(REDUCE_SLOT, shuffle_done, duration)
+            duration = self._with_faults(
+                f"{job.name}/reduce/{partition}",
+                duration,
+                counters,
+                at=shuffle_done,
+                node_id=node.node_id,
+            )
+            task_finish = node.occupy_slot(REDUCE_SLOT, shuffle_done, duration)
+            finish = max(finish, task_finish)
+            if shuffle_done > first_map_done:
+                self.tracer.span(
+                    f"shuffle/p{partition}",
+                    CAT_TASK,
+                    first_map_done,
+                    shuffle_done,
+                    parent=shuffle_span,
+                    node_id=node.node_id,
+                    slot="net",
+                    bytes=fetch_bytes,
+                )
+            self.tracer.span(
+                f"reduce/p{partition}",
+                CAT_TASK,
+                task_finish - duration / node.speed,
+                task_finish,
+                parent=reduce_span,
+                node_id=node.node_id,
+                slot="reduce",
+                bytes=fetch_bytes,
             )
             outputs[partition] = rex.output
             reduce_nodes[partition] = node.node_id
@@ -350,7 +459,13 @@ class JobTracker:
     # ------------------------------------------------------------------
 
     def _with_faults(
-        self, task_key: str, duration: float, counters: Counters
+        self,
+        task_key: str,
+        duration: float,
+        counters: Counters,
+        *,
+        at: Optional[float] = None,
+        node_id: Optional[int] = None,
     ) -> float:
         """Inflate ``duration`` by any injected failed attempts."""
         if self.faults is None:
@@ -358,6 +473,14 @@ class JobTracker:
         effective, retries = self.faults.attempt_duration(task_key, duration)
         if retries:
             counters.increment("task.retries", retries)
+            self.tracer.instant(
+                "task.retry",
+                "fault",
+                time=at,
+                node_id=node_id,
+                task=task_key,
+                retries=retries,
+            )
         return effective
 
     def _write_output(

@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.trace import Tracer
+
 from .catalog import BatchCatalog
 from .cluster import Cluster
 from .faults import FaultInjector
@@ -69,9 +71,16 @@ class PlainHadoopDriver:
         cluster: Cluster,
         *,
         fault_injector: Optional[FaultInjector] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.cluster = cluster
-        self.tracker = JobTracker(cluster, fault_injector=fault_injector)
+        self.tracker = JobTracker(
+            cluster, fault_injector=fault_injector, tracer=tracer
+        )
+
+    @property
+    def tracer(self) -> Tracer:
+        return self.tracker.tracer
 
     def run_window(
         self,
@@ -95,7 +104,14 @@ class PlainHadoopDriver:
             job.with_name(f"{job.name}@w{index}"), window_start, window_end
         )
         result = self.tracker.run_job(
-            windowed, paths, start=start, output_path=output_path
+            windowed,
+            paths,
+            start=start,
+            output_path=output_path,
+            trace_attrs={
+                "window": index,
+                "due": start if start is not None else window_end,
+            },
         )
         return WindowExecution(
             index=index,

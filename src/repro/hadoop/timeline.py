@@ -14,6 +14,11 @@ it records which request was dequeued, at what cache-coverage rank, and
 why the chosen node won Eq. 4 (its load and its ``C_task`` I/O cost).
 Benchmarks and tests use the trace to assert *why* a node was chosen —
 not merely that something ran somewhere.
+
+Since the observability unification, :class:`SchedulingTrace` is a
+facade over the span spine (:class:`repro.trace.Tracer`): every
+decision is stored as one ``"sched"``-category trace event, so the
+decision log and the exported run trace are a single source of truth.
 """
 
 from __future__ import annotations
@@ -21,6 +26,8 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
+
+from repro.trace import CAT_SCHED, Tracer
 
 from .cluster import Cluster
 from .node import SlotKind
@@ -172,13 +179,34 @@ class SchedulingDecision:
 
 
 class SchedulingTrace:
-    """Accumulates scheduling decisions for inspection and assertions."""
+    """Scheduling-decision view over the span spine.
 
-    def __init__(self) -> None:
-        self._decisions: List[SchedulingDecision] = []
+    Each :meth:`record` call becomes one ``"sched"`` trace event on the
+    underlying :class:`~repro.trace.Tracer` (a private one when
+    constructed standalone, the runtime's shared spine otherwise), with
+    the full :class:`SchedulingDecision` riding in the event's ``data``
+    payload. Queries read back from the spine, so there is exactly one
+    store: the Chrome-trace export and these assertions cannot drift.
+    """
+
+    def __init__(self, spine: Optional[Tracer] = None) -> None:
+        self._spine = spine if spine is not None else Tracer()
+
+    @property
+    def spine(self) -> Tracer:
+        """The tracer this decision log writes to."""
+        return self._spine
 
     def record(self, decision: SchedulingDecision) -> None:
-        self._decisions.append(decision)
+        self._spine.instant(
+            f"sched.{decision.event}",
+            CAT_SCHED,
+            time=decision.time,
+            node_id=decision.node_id,
+            data=decision,
+            task=decision.task,
+            kind=str(decision.kind),
+        )
 
     # ------------------------------------------------------------------
     # queries
@@ -193,8 +221,11 @@ class SchedulingTrace:
         """Recorded decisions, optionally filtered by event and kind."""
         return [
             d
-            for d in self._decisions
-            if (event is None or d.event == event)
+            for d in (
+                e.data for e in self._spine.events(category=CAT_SCHED)
+            )
+            if isinstance(d, SchedulingDecision)
+            and (event is None or d.event == event)
             and (kind is None or d.kind == kind)
         ]
 
@@ -221,10 +252,10 @@ class SchedulingTrace:
         return dict(chosen)
 
     def clear(self) -> None:
-        self._decisions.clear()
+        self._spine.clear_events(CAT_SCHED)
 
     def __len__(self) -> int:
-        return len(self._decisions)
+        return len(self._spine.events(category=CAT_SCHED))
 
 
 def attach_timeline(cluster: Cluster) -> Timeline:

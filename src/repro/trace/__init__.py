@@ -1,0 +1,57 @@
+"""Unified run tracing: the span spine and its consumers.
+
+See ``docs/observability.md`` for the span hierarchy, the event
+schema, and how the exported traces map to the paper's figures.
+"""
+
+from .spine import (
+    CAT_FAULT,
+    CAT_JOB,
+    CAT_PHASE,
+    CAT_RECURRENCE,
+    CAT_RUN,
+    CAT_SCHED,
+    CAT_TASK,
+    PHASE_NAMES,
+    Span,
+    TraceEvent,
+    Tracer,
+)
+from .chrome import (
+    chrome_trace_document,
+    export_chrome_trace,
+    load_chrome_trace,
+    validate_chrome_trace,
+)
+from .report import (
+    TaskRow,
+    WindowReport,
+    format_window_reports,
+    reports_as_rows,
+    window_reports,
+    window_reports_from_document,
+)
+
+__all__ = [
+    "CAT_RUN",
+    "CAT_RECURRENCE",
+    "CAT_JOB",
+    "CAT_PHASE",
+    "CAT_TASK",
+    "CAT_SCHED",
+    "CAT_FAULT",
+    "PHASE_NAMES",
+    "Span",
+    "TraceEvent",
+    "Tracer",
+    "chrome_trace_document",
+    "export_chrome_trace",
+    "load_chrome_trace",
+    "validate_chrome_trace",
+    "TaskRow",
+    "WindowReport",
+    "window_reports",
+    "window_reports_from_document",
+    "format_window_reports",
+    "reports_as_rows",
+]

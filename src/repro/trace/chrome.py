@@ -1,0 +1,296 @@
+"""Chrome-trace / Perfetto export of the span spine.
+
+The exported JSON follows the Trace Event Format (the ``traceEvents``
+object form), loadable in ``chrome://tracing`` or https://ui.perfetto.dev:
+
+* one **process** per simulated node (``node-3``), plus one *master*
+  pseudo-process per series carrying the run / recurrence / phase
+  spans;
+* one **thread** per slot lane, so slot contention is literally
+  visible: task spans are packed greedily into non-overlapping lanes
+  per (node, slot kind), reconstructing exactly the earliest-free-slot
+  assignment the simulator used;
+* spans become complete (``"ph": "X"``) events, instants (faults,
+  retries, scheduler selections) become instant (``"ph": "i"``)
+  events. Timestamps are virtual seconds scaled to microseconds.
+
+Multiple series (e.g. a fig6 run's ``hadoop`` and ``redoop`` sides)
+export into one file: each series gets its own pid block, so Perfetto
+shows them as separate process groups. Structural metadata needed to
+rebuild reports from the file (span ids, parent links, attributes)
+rides in each event's ``args``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+from .spine import Span, Tracer
+
+__all__ = [
+    "chrome_trace_document",
+    "export_chrome_trace",
+    "load_chrome_trace",
+    "validate_chrome_trace",
+]
+
+#: pid spacing between series: series ``i`` owns ``[i*PID_BLOCK, ...)``.
+PID_BLOCK = 1000
+
+#: tid offsets inside a node process, one lane group per slot kind.
+_LANE_OFFSETS = {"map": 0, "reduce": 100, "net": 200}
+
+#: Master-side tids by span category/phase name.
+_MASTER_TIDS = {
+    "run": 0,
+    "recurrence": 1,
+    "job": 1,
+}
+#: Phase spans each get their own master thread (phases overlap in
+#: time, so sharing a lane would render as a broken flamegraph).
+_PHASE_TID_BASE = 2
+
+
+def _us(seconds: float) -> float:
+    return round(seconds * 1_000_000, 3)
+
+
+def _span_args(span: Span) -> Dict[str, Any]:
+    args: Dict[str, Any] = {
+        "span": span.span_id,
+        "parent": span.parent_id,
+        "category": span.category,
+    }
+    if span.node_id is not None:
+        args["node"] = span.node_id
+    args.update(span.attrs)
+    return args
+
+
+class _LanePacker:
+    """Greedy first-fit packing of intervals into non-overlapping lanes."""
+
+    def __init__(self) -> None:
+        self._lane_ends: List[float] = []
+
+    def lane_for(self, start: float, end: float) -> int:
+        for lane, busy_until in enumerate(self._lane_ends):
+            if start >= busy_until - 1e-9:
+                self._lane_ends[lane] = end
+                return lane
+        self._lane_ends.append(end)
+        return len(self._lane_ends) - 1
+
+
+def _phase_tid(name: str, assigned: Dict[str, int]) -> int:
+    if name not in assigned:
+        assigned[name] = _PHASE_TID_BASE + len(assigned)
+    return assigned[name]
+
+
+def _series_events(
+    label: str, tracer: Tracer, base_pid: int
+) -> List[Dict[str, Any]]:
+    events: List[Dict[str, Any]] = []
+    horizon = tracer.high_water()
+    master = base_pid
+
+    used_pids: Dict[int, str] = {master: f"{label} (master)"}
+    thread_names: Dict[Tuple[int, int], str] = {
+        (master, 0): "run",
+        (master, 1): "windows",
+    }
+    packers: Dict[Tuple[int, str], _LanePacker] = {}
+    phase_tids: Dict[str, int] = {}
+
+    for span in tracer.spans():
+        start = span.start
+        end = span.end if span.end is not None else horizon
+        if span.node_id is not None:
+            pid = base_pid + 1 + span.node_id
+            used_pids.setdefault(pid, f"{label} node-{span.node_id}")
+            lane_group = str(span.attrs.get("slot", "map"))
+            packer = packers.setdefault((pid, lane_group), _LanePacker())
+            lane = packer.lane_for(start, end)
+            tid = _LANE_OFFSETS.get(lane_group, 0) + lane
+            thread_names.setdefault((pid, tid), f"{lane_group}-{lane}")
+        else:
+            pid = master
+            if span.category == "phase":
+                tid = _phase_tid(span.name, phase_tids)
+                thread_names.setdefault((pid, tid), f"phase:{span.name}")
+            else:
+                tid = _MASTER_TIDS.get(span.category, 1)
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.category,
+                "ph": "X",
+                "ts": _us(start),
+                "dur": _us(max(0.0, end - start)),
+                "pid": pid,
+                "tid": tid,
+                "args": _span_args(span),
+            }
+        )
+
+    for event in tracer.events():
+        if event.time is None:
+            # Timeless bookkeeping events (e.g. task-list pops) have no
+            # meaningful position on a timeline; they stay spine-only.
+            continue
+        if event.node_id is not None:
+            pid = base_pid + 1 + event.node_id
+            used_pids.setdefault(pid, f"{label} node-{event.node_id}")
+            tid = 0
+        else:
+            pid, tid = master, 1
+        args: Dict[str, Any] = {"category": event.category}
+        if event.parent_id is not None:
+            args["parent"] = event.parent_id
+        args.update(event.attrs)
+        events.append(
+            {
+                "name": event.name,
+                "cat": event.category,
+                "ph": "i",
+                "s": "t",
+                "ts": _us(event.time),
+                "pid": pid,
+                "tid": tid,
+                "args": args,
+            }
+        )
+
+    meta: List[Dict[str, Any]] = []
+    for pid, name in sorted(used_pids.items()):
+        meta.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": name},
+            }
+        )
+        meta.append(
+            {
+                "name": "process_sort_index",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"sort_index": pid},
+            }
+        )
+    for (pid, tid), name in sorted(thread_names.items()):
+        meta.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": name},
+            }
+        )
+    return meta + events
+
+
+def chrome_trace_document(
+    traces: Union[Tracer, Mapping[str, Tracer]],
+    *,
+    label: str = "redoop",
+) -> Dict[str, Any]:
+    """Render one or more tracers as a Chrome-trace JSON document.
+
+    ``traces`` may be a single :class:`Tracer` (exported under
+    ``label``) or an ordered mapping of series label to tracer; each
+    series occupies its own pid block.
+    """
+    if isinstance(traces, Tracer):
+        traces = {label: traces}
+    if not traces:
+        raise ValueError("no tracers to export")
+    events: List[Dict[str, Any]] = []
+    series_pids: Dict[str, int] = {}
+    for index, (series_label, tracer) in enumerate(traces.items()):
+        base_pid = index * PID_BLOCK
+        series_pids[series_label] = base_pid
+        events.extend(_series_events(series_label, tracer, base_pid))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "exporter": "repro.trace.chrome",
+            "series": series_pids,
+            "time_unit": "virtual seconds, scaled to us",
+        },
+    }
+
+
+def export_chrome_trace(
+    traces: Union[Tracer, Mapping[str, Tracer]],
+    path: str,
+    *,
+    label: str = "redoop",
+) -> int:
+    """Write the Chrome-trace JSON to ``path``; returns the event count."""
+    document = chrome_trace_document(traces, label=label)
+    with open(path, "w") as fh:
+        json.dump(document, fh, indent=1)
+    return len(document["traceEvents"])
+
+
+def load_chrome_trace(path: str) -> Dict[str, Any]:
+    """Load an exported trace document back (for ``repro report``)."""
+    with open(path) as fh:
+        document = json.load(fh)
+    problems = validate_chrome_trace(document)
+    if problems:
+        raise ValueError(
+            f"{path} is not a valid repro trace export: " + "; ".join(problems[:5])
+        )
+    return document
+
+
+def validate_chrome_trace(document: Any) -> List[str]:
+    """Check a document against the Trace Event Format (object form).
+
+    Returns a list of problems; an empty list means the document should
+    load in ``chrome://tracing`` / Perfetto. This is the schema the
+    golden-trace regression test pins.
+    """
+    problems: List[str] = []
+    if not isinstance(document, dict):
+        return ["top level must be an object"]
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents must be a list"]
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in ("X", "i", "M", "B", "E", "C"):
+            problems.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            problems.append(f"{where}: missing name")
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                problems.append(f"{where}: {key} must be an integer")
+        if ph == "M":
+            if not isinstance(event.get("args"), dict):
+                problems.append(f"{where}: metadata event needs args")
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where}: ts must be a non-negative number")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: dur must be a non-negative number")
+        if ph == "i" and event.get("s") not in (None, "g", "p", "t"):
+            problems.append(f"{where}: bad instant scope {event.get('s')!r}")
+    return problems

@@ -1,0 +1,261 @@
+"""Per-window reports folded from the span spine.
+
+Consumes either a live :class:`~repro.trace.spine.Tracer` or an
+exported Chrome-trace document (``repro report trace.json``) and
+produces, per window: the phase breakdown, the cache hit/rebuild
+ratio, and the top-k slowest tasks — the paper's Sec. 6 "where did the
+time go" questions, answerable for *one* window instead of only on
+average.
+
+Both input paths share one implementation: a tracer is first rendered
+to the exported document form, so whatever the report can say about a
+live run it can also say about a file someone attached to a bug
+report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from .chrome import PID_BLOCK, chrome_trace_document
+from .spine import PHASE_NAMES, Tracer
+
+__all__ = [
+    "TaskRow",
+    "WindowReport",
+    "window_reports",
+    "window_reports_from_document",
+    "format_window_reports",
+    "reports_as_rows",
+]
+
+
+@dataclass(frozen=True)
+class TaskRow:
+    """One task span, as the report ranks them."""
+
+    name: str
+    node_id: Optional[int]
+    start: float
+    duration: float
+    phase: str
+
+
+@dataclass
+class WindowReport:
+    """Everything the report knows about one window of one series."""
+
+    series: str
+    window: int
+    due: float
+    finish: float
+    #: ``finish - due`` — matches ``WindowMetrics.response_time``.
+    response_time: float
+    #: phase name -> span duration (seconds).
+    phases: Dict[str, float] = field(default_factory=dict)
+    #: the recurrence's counter snapshot (empty for plain-Hadoop jobs).
+    counters: Dict[str, float] = field(default_factory=dict)
+    tasks: List[TaskRow] = field(default_factory=list)
+
+    def top_tasks(self, k: int = 5) -> List[TaskRow]:
+        """The ``k`` slowest tasks of the window."""
+        return sorted(self.tasks, key=lambda t: (-t.duration, t.name))[:k]
+
+    def cache_hit_ratio(self) -> Optional[float]:
+        """Fraction of window panes served from cache; ``None`` if unknown."""
+        hits = self.counters.get("cache.pane_hits", 0.0)
+        processed = self.counters.get("panes.processed", 0.0)
+        if hits + processed <= 0:
+            return None
+        return hits / (hits + processed)
+
+
+# ----------------------------------------------------------------------
+# building
+# ----------------------------------------------------------------------
+
+
+def window_reports(
+    tracer: Tracer, *, series: str = "redoop"
+) -> List[WindowReport]:
+    """Reports for one live tracer (round-trips through the export form)."""
+    document = chrome_trace_document({series: tracer})
+    return window_reports_from_document(document).get(series, [])
+
+
+def window_reports_from_document(
+    document: Mapping[str, Any]
+) -> Dict[str, List[WindowReport]]:
+    """Reports per series from an exported Chrome-trace document."""
+    events = [
+        e
+        for e in document.get("traceEvents", [])
+        if isinstance(e, dict) and e.get("ph") == "X"
+    ]
+    labels_by_base: Dict[int, str] = {}
+    other = document.get("otherData", {})
+    if isinstance(other, dict):
+        for label, base in other.get("series", {}).items():
+            labels_by_base[int(base)] = label
+
+    def series_of(event: Mapping[str, Any]) -> str:
+        base = (int(event.get("pid", 0)) // PID_BLOCK) * PID_BLOCK
+        return labels_by_base.get(base, f"series-{base // PID_BLOCK}")
+
+    # Span ids are per-tracer, so in a merged multi-series document they
+    # collide across series; every link must be keyed (series, span id).
+    reports: Dict[str, List[WindowReport]] = {}
+    window_by_span: Dict[Any, WindowReport] = {}
+    phase_events: List[Mapping[str, Any]] = []
+    task_events: List[Mapping[str, Any]] = []
+
+    for event in events:
+        args = event.get("args", {})
+        category = args.get("category", event.get("cat"))
+        if category in ("recurrence", "job"):
+            start = event["ts"] / 1e6
+            finish = start + event.get("dur", 0.0) / 1e6
+            due = float(args.get("due", start))
+            report = WindowReport(
+                series=series_of(event),
+                window=int(args.get("window", len(reports) + 1)),
+                due=due,
+                finish=finish,
+                response_time=float(args.get("response_time", finish - due)),
+                counters={
+                    str(k): float(v)
+                    for k, v in args.get("counters", {}).items()
+                },
+            )
+            reports.setdefault(report.series, []).append(report)
+            window_by_span[(report.series, args["span"])] = report
+        elif category == "phase":
+            phase_events.append(event)
+        elif category == "task":
+            task_events.append(event)
+
+    phase_owner: Dict[Any, WindowReport] = {}
+    phase_name: Dict[Any, str] = {}
+    for event in phase_events:
+        args = event["args"]
+        key = (series_of(event), args.get("parent"))
+        report = window_by_span.get(key)
+        if report is None:
+            continue
+        name = str(event["name"])
+        report.phases[name] = report.phases.get(name, 0.0) + event.get(
+            "dur", 0.0
+        ) / 1e6
+        phase_owner[(key[0], args["span"])] = report
+        phase_name[(key[0], args["span"])] = name
+
+    for event in task_events:
+        args = event["args"]
+        key = (series_of(event), args.get("parent"))
+        report = phase_owner.get(key) or window_by_span.get(key)
+        if report is None:
+            continue
+        report.tasks.append(
+            TaskRow(
+                name=str(event["name"]),
+                node_id=args.get("node"),
+                start=event["ts"] / 1e6,
+                duration=event.get("dur", 0.0) / 1e6,
+                phase=phase_name.get(key, str(args.get("phase", "?"))),
+            )
+        )
+
+    for series_reports in reports.values():
+        series_reports.sort(key=lambda r: (r.window, r.due))
+    return reports
+
+
+# ----------------------------------------------------------------------
+# rendering
+# ----------------------------------------------------------------------
+
+
+def _ordered_phases(report: WindowReport) -> List[str]:
+    known = [p for p in PHASE_NAMES if p in report.phases]
+    extra = [p for p in sorted(report.phases) if p not in PHASE_NAMES]
+    return known + extra
+
+
+def format_window_reports(
+    reports: Union[List[WindowReport], Mapping[str, List[WindowReport]]],
+    *,
+    top_k: int = 3,
+) -> str:
+    """Human-readable per-window report (``repro report``'s output)."""
+    if isinstance(reports, list):
+        reports = {reports[0].series if reports else "series": reports}
+    lines: List[str] = []
+    for series, series_reports in reports.items():
+        lines.append(f"--- series: {series} ---")
+        for report in series_reports:
+            lines.append(
+                f"window {report.window}: due {report.due:.1f}s, "
+                f"finish {report.finish:.1f}s, "
+                f"response {report.response_time:.1f}s"
+            )
+            if report.phases:
+                parts = " | ".join(
+                    f"{name} {report.phases[name]:.2f}s"
+                    for name in _ordered_phases(report)
+                )
+                lines.append(f"  phases: {parts}")
+            ratio = report.cache_hit_ratio()
+            if ratio is not None:
+                hits = report.counters.get("cache.pane_hits", 0.0)
+                processed = report.counters.get("panes.processed", 0.0)
+                rebuilds = report.counters.get("cache.rin_rebuilds", 0.0)
+                rout = report.counters.get("cache.rout_hits", 0.0)
+                lines.append(
+                    f"  cache: {hits:.0f} pane hits / {processed:.0f} "
+                    f"processed ({ratio:6.1%} reused), "
+                    f"{rebuilds:.0f} rebuilds, {rout:.0f} rout hits"
+                )
+            top = report.top_tasks(top_k)
+            if top:
+                lines.append(f"  slowest {len(top)} tasks:")
+                for task in top:
+                    node = f"node {task.node_id}" if task.node_id is not None else "master"
+                    lines.append(
+                        f"    {task.duration:8.2f}s  {task.name:<40} "
+                        f"{node:>8}  [{task.phase}]"
+                    )
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def reports_as_rows(
+    reports: Mapping[str, List[WindowReport]]
+) -> List[Dict[str, Any]]:
+    """Machine-readable form (one dict per series+window) for ``--json``."""
+    rows: List[Dict[str, Any]] = []
+    for series, series_reports in reports.items():
+        for report in series_reports:
+            rows.append(
+                {
+                    "series": series,
+                    "window": report.window,
+                    "due": report.due,
+                    "finish": report.finish,
+                    "response_time": report.response_time,
+                    "phases": dict(report.phases),
+                    "cache_hit_ratio": report.cache_hit_ratio(),
+                    "counters": dict(report.counters),
+                    "top_tasks": [
+                        {
+                            "name": t.name,
+                            "node": t.node_id,
+                            "start": t.start,
+                            "duration": t.duration,
+                            "phase": t.phase,
+                        }
+                        for t in report.top_tasks(5)
+                    ],
+                }
+            )
+    return rows

@@ -1,0 +1,129 @@
+"""Drift guard: every counter the code emits must be documented.
+
+Walks every module under ``src/`` with ``ast`` and collects the first
+argument of each ``counters.increment(...)`` / ``self._count(...)``
+call. Literal names must appear (in backticks) in ``docs/counters.md``;
+f-string names (e.g. ``sched.reduce_rank{r}_dispatched``) are turned
+into regexes that must match at least one documented token. The reverse
+direction is pinned too: every counter listed in the doc's tables must
+correspond to an emission site, so the doc cannot go stale.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+DOC = REPO / "docs" / "counters.md"
+
+#: Method names whose first string argument is a counter name.
+_EMITTERS = {"increment", "_count"}
+
+
+def _emitted_counters():
+    """(literal names, f-string regexes) across all of src/."""
+    literals = {}  # name -> first file seen
+    patterns = {}  # regex -> first file seen
+    for path in sorted(SRC.rglob("*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        rel = str(path.relative_to(REPO))
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Call) and node.args):
+                continue
+            func = node.func
+            name = func.attr if isinstance(func, ast.Attribute) else getattr(
+                func, "id", None
+            )
+            if name not in _EMITTERS:
+                continue
+            first = node.args[0]
+            if isinstance(first, ast.Constant) and isinstance(first.value, str):
+                # Skip definitions like `def _count(rate, ...)` pass-through
+                # callers with non-counter strings: counter names are dotted.
+                if "." in first.value:
+                    literals.setdefault(first.value, rel)
+            elif isinstance(first, ast.JoinedStr):
+                parts = []
+                for piece in first.values:
+                    if isinstance(piece, ast.Constant):
+                        parts.append(re.escape(str(piece.value)))
+                    else:
+                        parts.append(r"[0-9A-Za-z_]+")
+                patterns.setdefault("^" + "".join(parts) + "$", rel)
+            # Anything else (ast.Name etc.) is a pass-through helper like
+            # Counters.increment(name, amount) itself — not an emission site.
+    return literals, patterns
+
+
+def _documented_tokens():
+    """(all backticked dotted tokens, tokens from table rows) in the doc."""
+    text = DOC.read_text()
+    every = {
+        token
+        for token in re.findall(r"`([a-z0-9_.{}]+)`", text)
+        if "." in token
+    }
+    table = {
+        token
+        for line in text.splitlines()
+        if line.lstrip().startswith("|")
+        for token in re.findall(r"`([a-z0-9_.{}]+)`", line)
+        if "." in token
+    }
+    return every, table
+
+
+def _doc_token_regex(token: str) -> str:
+    """A doc token may use ``{placeholder}`` for templated counters."""
+    return "^" + re.sub(r"\\\{[a-z_]+\\\}", r"[0-9A-Za-z_]+", re.escape(token)) + "$"
+
+
+def test_every_emitted_counter_is_documented():
+    literals, _ = _emitted_counters()
+    assert literals, "AST walk found no counter emissions — guard is broken"
+    documented, _ = _documented_tokens()
+    doc_regexes = [_doc_token_regex(t) for t in documented]
+    missing = {
+        name: where
+        for name, where in literals.items()
+        if not any(re.match(rx, name) for rx in doc_regexes)
+    }
+    assert not missing, (
+        "counters emitted but not documented in docs/counters.md: "
+        + ", ".join(f"{n} ({w})" for n, w in sorted(missing.items()))
+    )
+
+
+def test_fstring_counters_have_documented_family():
+    _, patterns = _emitted_counters()
+    assert patterns, "expected at least one templated counter (rank dispatch)"
+    documented, _ = _documented_tokens()
+    expanded = {t: re.sub(r"\{[a-z_]+\}", "0", t) for t in documented}
+    for pattern, where in patterns.items():
+        hits = [t for t, probe in expanded.items() if re.match(pattern, probe)]
+        assert hits, (
+            f"templated counter {pattern!r} from {where} matches no "
+            "documented token in docs/counters.md"
+        )
+
+
+def test_documented_tables_match_code():
+    literals, patterns = _emitted_counters()
+    _, table = _documented_tokens()
+    assert table, "docs/counters.md has no counter tables"
+    emitted = set(literals)
+    stale = set()
+    for token in table:
+        probe = re.sub(r"\{[a-z_]+\}", "0", token)
+        if probe in emitted:
+            continue
+        if any(re.match(p, probe) for p in patterns):
+            continue
+        stale.add(token)
+    assert not stale, (
+        "documented counters with no emission site in src/: "
+        + ", ".join(sorted(stale))
+    )

@@ -1,0 +1,140 @@
+"""Tests for the Chrome-trace/Perfetto exporter."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.trace import (
+    CAT_PHASE,
+    CAT_RECURRENCE,
+    CAT_RUN,
+    CAT_TASK,
+    Tracer,
+    chrome_trace_document,
+    export_chrome_trace,
+    load_chrome_trace,
+    validate_chrome_trace,
+)
+from repro.trace.chrome import PID_BLOCK
+
+
+def small_tracer() -> Tracer:
+    t = Tracer()
+    run = t.begin("run", CAT_RUN, 0.0)
+    rec = t.begin("w1", CAT_RECURRENCE, 10.0, parent=run, window=1)
+    phase = t.begin("map", CAT_PHASE, 10.0, parent=rec)
+    # Two tasks on the same node whose extents overlap -> two lanes.
+    t.span("map/a", CAT_TASK, 10.0, 14.0, parent=phase, node_id=2, slot="map")
+    t.span("map/b", CAT_TASK, 11.0, 13.0, parent=phase, node_id=2, slot="map")
+    # A third that fits after the second finishes -> reuses a lane.
+    t.span("map/c", CAT_TASK, 13.5, 15.0, parent=phase, node_id=2, slot="map")
+    t.span("red/a", CAT_TASK, 14.0, 16.0, parent=rec, node_id=0, slot="reduce")
+    t.end(phase, 14.0)
+    t.end(rec, 16.0)
+    t.end(run, 16.0)
+    t.instant("node.failed", "fault", time=12.0, node_id=2)
+    t.instant("sched.pop", "sched")  # timeless: must not be exported
+    return t
+
+
+class TestDocument:
+    def test_document_validates(self):
+        doc = chrome_trace_document(small_tracer())
+        assert validate_chrome_trace(doc) == []
+
+    def test_one_process_per_node_plus_master(self):
+        doc = chrome_trace_document(small_tracer(), label="redoop")
+        names = {
+            e["pid"]: e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert names[0] == "redoop (master)"
+        assert names[1 + 2] == "redoop node-2"
+        assert names[1 + 0] == "redoop node-0"
+
+    def test_slot_contention_gets_distinct_lanes(self):
+        doc = chrome_trace_document(small_tracer())
+        tids = {
+            e["name"]: e["tid"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "X" and e["name"].startswith("map/")
+        }
+        # a and b overlap -> different lanes; c starts after b -> reuses one.
+        assert tids["map/a"] != tids["map/b"]
+        assert tids["map/c"] in (tids["map/a"], tids["map/b"])
+
+    def test_master_spans_live_in_master_process(self):
+        doc = chrome_trace_document(small_tracer())
+        by_name = {
+            e["name"]: e for e in doc["traceEvents"] if e["ph"] == "X"
+        }
+        assert by_name["run"]["pid"] == 0
+        assert by_name["w1"]["pid"] == 0
+        assert by_name["map"]["pid"] == 0
+        assert by_name["map/a"]["pid"] == 3
+
+    def test_timeless_events_are_skipped(self):
+        doc = chrome_trace_document(small_tracer())
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert [e["name"] for e in instants] == ["node.failed"]
+
+    def test_args_carry_span_links(self):
+        doc = chrome_trace_document(small_tracer())
+        by_name = {
+            e["name"]: e for e in doc["traceEvents"] if e["ph"] == "X"
+        }
+        task = by_name["map/a"]["args"]
+        phase = by_name["map"]["args"]
+        assert task["parent"] == phase["span"]
+        assert task["category"] == CAT_TASK
+
+    def test_multi_series_pid_blocks(self):
+        doc = chrome_trace_document(
+            {"hadoop": small_tracer(), "redoop": small_tracer()}
+        )
+        assert doc["otherData"]["series"] == {
+            "hadoop": 0,
+            "redoop": PID_BLOCK,
+        }
+        pids = {e["pid"] for e in doc["traceEvents"]}
+        assert any(p >= PID_BLOCK for p in pids)
+        assert validate_chrome_trace(doc) == []
+
+    def test_empty_export_rejected(self):
+        with pytest.raises(ValueError):
+            chrome_trace_document({})
+
+
+class TestFileRoundTrip:
+    def test_export_and_load(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        count = export_chrome_trace(small_tracer(), path)
+        assert count > 0
+        doc = load_chrome_trace(path)
+        assert len(doc["traceEvents"]) == count
+        assert doc["otherData"]["exporter"] == "repro.trace.chrome"
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = str(tmp_path / "bad.json")
+        with open(path, "w") as fh:
+            json.dump({"traceEvents": [{"ph": "Q"}]}, fh)
+        with pytest.raises(ValueError):
+            load_chrome_trace(path)
+
+
+class TestValidator:
+    def test_flags_bad_shapes(self):
+        assert validate_chrome_trace([]) == ["top level must be an object"]
+        assert validate_chrome_trace({}) == ["traceEvents must be a list"]
+        problems = validate_chrome_trace(
+            {
+                "traceEvents": [
+                    {"ph": "X", "name": "", "pid": 0, "tid": 0, "ts": -1},
+                    {"ph": "i", "name": "x", "pid": "a", "tid": 0, "ts": 1},
+                ]
+            }
+        )
+        assert len(problems) >= 3

@@ -1,0 +1,155 @@
+"""Tests for the per-window report consumer (``repro.trace.report``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import ExperimentConfig, run_redoop_series
+from repro.hadoop.config import small_test_config
+from repro.trace import (
+    CAT_PHASE,
+    CAT_RECURRENCE,
+    CAT_RUN,
+    CAT_TASK,
+    Tracer,
+    chrome_trace_document,
+    format_window_reports,
+    reports_as_rows,
+    window_reports,
+    window_reports_from_document,
+)
+
+
+def tiny_config(kind="aggregation", **kwargs):
+    defaults = dict(
+        kind=kind,
+        win=40.0,
+        overlap=0.75,
+        num_windows=3,
+        rate=2_000.0,
+        record_size=100,
+        num_reducers=4,
+        cluster_config=small_test_config(),
+        seed=11,
+        batches_per_pane=2,
+    )
+    defaults.update(kwargs)
+    return ExperimentConfig(**defaults)
+
+
+def synthetic_tracer() -> Tracer:
+    """Hand-built spine with one window, two phases, three tasks."""
+    t = Tracer()
+    run = t.begin("run", CAT_RUN, 0.0)
+    rec = t.begin(
+        "q@w1",
+        CAT_RECURRENCE,
+        40.0,
+        parent=run,
+        window=1,
+        due=40.0,
+        response_time=6.0,
+        counters={"cache.pane_hits": 3, "panes.processed": 1},
+    )
+    mphase = t.begin("map", CAT_PHASE, 40.0, parent=rec)
+    rphase = t.begin("pane-reduce", CAT_PHASE, 42.0, parent=rec)
+    t.span("map/a#0", CAT_TASK, 40.0, 42.0, parent=mphase, node_id=0, slot="map")
+    t.span("map/b#0", CAT_TASK, 40.0, 43.0, parent=mphase, node_id=1, slot="map")
+    t.span(
+        "pane-reduce/a/p0", CAT_TASK, 42.0, 46.0, parent=rphase, node_id=2,
+        slot="reduce",
+    )
+    t.end(mphase, 43.0)
+    t.end(rphase, 46.0)
+    t.end(rec, 46.0)
+    t.end(run, 46.0)
+    return t
+
+
+class TestSyntheticReport:
+    def test_window_fields(self):
+        (report,) = window_reports(synthetic_tracer(), series="s")
+        assert report.series == "s"
+        assert report.window == 1
+        assert report.due == pytest.approx(40.0)
+        assert report.finish == pytest.approx(46.0)
+        assert report.response_time == pytest.approx(6.0)
+
+    def test_phase_breakdown(self):
+        (report,) = window_reports(synthetic_tracer())
+        assert report.phases["map"] == pytest.approx(3.0)
+        assert report.phases["pane-reduce"] == pytest.approx(4.0)
+
+    def test_tasks_attach_to_their_phase(self):
+        (report,) = window_reports(synthetic_tracer())
+        assert len(report.tasks) == 3
+        by_name = {t.name: t for t in report.tasks}
+        assert by_name["map/a#0"].phase == "map"
+        assert by_name["pane-reduce/a/p0"].phase == "pane-reduce"
+        assert by_name["map/b#0"].node_id == 1
+
+    def test_top_tasks_ranked_by_duration(self):
+        (report,) = window_reports(synthetic_tracer())
+        top = report.top_tasks(2)
+        assert [t.name for t in top] == ["pane-reduce/a/p0", "map/b#0"]
+
+    def test_cache_hit_ratio(self):
+        (report,) = window_reports(synthetic_tracer())
+        assert report.cache_hit_ratio() == pytest.approx(0.75)
+
+    def test_no_collision_across_merged_series(self):
+        # Two tracers with identical (colliding) span ids in one file:
+        # every window must keep its own phases and tasks.
+        doc = chrome_trace_document(
+            {"left": synthetic_tracer(), "right": synthetic_tracer()}
+        )
+        reports = window_reports_from_document(doc)
+        assert set(reports) == {"left", "right"}
+        for series in ("left", "right"):
+            (report,) = reports[series]
+            assert len(report.tasks) == 3
+            assert set(report.phases) == {"map", "pane-reduce"}
+
+
+class TestLiveRunReport:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_redoop_series(tiny_config(num_windows=2), label="redoop")
+
+    def test_response_times_match_window_metrics(self, result):
+        reports = window_reports(result.tracer)
+        assert len(reports) == len(result.windows)
+        for report, metrics in zip(reports, result.windows):
+            assert report.window == metrics.recurrence
+            assert report.response_time == pytest.approx(
+                metrics.response_time, abs=1e-6
+            )
+
+    def test_reports_have_phases_and_tasks(self, result):
+        for report in window_reports(result.tracer):
+            assert "map" in report.phases
+            assert report.tasks, "window should carry task spans"
+
+    def test_counters_snapshot_present(self, result):
+        last = window_reports(result.tracer)[-1]
+        assert last.counters.get("map.tasks", 0) > 0
+
+
+class TestRendering:
+    def test_format_text(self):
+        text = format_window_reports(window_reports(synthetic_tracer()), top_k=2)
+        assert "--- series:" in text
+        assert "window 1: due 40.0s, finish 46.0s, response 6.0s" in text
+        assert "map 3.00s" in text
+        assert "pane hits" in text
+        assert "slowest 2 tasks:" in text
+
+    def test_rows_json_shape(self):
+        doc = chrome_trace_document({"s": synthetic_tracer()})
+        rows = reports_as_rows(window_reports_from_document(doc))
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["series"] == "s"
+        assert row["response_time"] == pytest.approx(6.0)
+        assert row["cache_hit_ratio"] == pytest.approx(0.75)
+        assert row["top_tasks"][0]["name"] == "pane-reduce/a/p0"

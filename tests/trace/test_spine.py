@@ -1,0 +1,109 @@
+"""Unit tests for the span spine (``repro.trace.spine``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trace import (
+    CAT_PHASE,
+    CAT_RECURRENCE,
+    CAT_RUN,
+    CAT_SCHED,
+    CAT_TASK,
+    PHASE_NAMES,
+    Tracer,
+)
+
+
+class TestSpans:
+    def test_begin_end_records_extent(self):
+        t = Tracer()
+        span = t.begin("run", CAT_RUN, 5.0)
+        assert span.end is None
+        assert span.duration == 0.0
+        t.end(span, 9.0)
+        assert span.duration == pytest.approx(4.0)
+
+    def test_end_before_start_rejected(self):
+        t = Tracer()
+        span = t.begin("run", CAT_RUN, 5.0)
+        with pytest.raises(ValueError):
+            t.end(span, 4.0)
+
+    def test_extend_never_shrinks(self):
+        t = Tracer()
+        span = t.begin("run", CAT_RUN, 0.0)
+        t.extend(span, 10.0)
+        t.extend(span, 3.0)
+        assert span.end == 10.0
+
+    def test_hierarchy_via_parent(self):
+        t = Tracer()
+        run = t.begin("run", CAT_RUN, 0.0)
+        rec = t.begin("w1", CAT_RECURRENCE, 1.0, parent=run)
+        phase = t.begin("map", CAT_PHASE, 1.0, parent=rec)
+        task = t.span("map/x", CAT_TASK, 1.0, 2.0, parent=phase, node_id=3)
+        assert t.children(run) == [rec]
+        assert t.children(rec) == [phase]
+        assert t.children(phase) == [task]
+        assert task.node_id == 3
+        assert t.get_span(task.span_id) is task
+
+    def test_span_queries_filter(self):
+        t = Tracer()
+        run = t.begin("run", CAT_RUN, 0.0)
+        t.begin("w1", CAT_RECURRENCE, 0.0, parent=run)
+        t.begin("w2", CAT_RECURRENCE, 1.0, parent=run)
+        assert len(t.spans(category=CAT_RECURRENCE)) == 2
+        assert len(t.spans(category=CAT_RECURRENCE, parent=run)) == 2
+        assert t.spans(category=CAT_RUN) == [run]
+
+    def test_ids_are_unique(self):
+        t = Tracer()
+        ids = {t.begin(f"s{i}", CAT_TASK, 0.0).span_id for i in range(10)}
+        ids |= {t.instant(f"e{i}", CAT_SCHED).event_id for i in range(10)}
+        assert len(ids) == 20
+
+    def test_envelope(self):
+        t = Tracer()
+        a = t.span("a", CAT_TASK, 2.0, 5.0)
+        b = t.span("b", CAT_TASK, 1.0, 4.0)
+        assert t.envelope([a, b]) == (1.0, 5.0)
+        assert t.envelope([]) is None
+
+    def test_phase_names_cover_the_paper_stages(self):
+        assert PHASE_NAMES == ("map", "shuffle", "pane-reduce", "combine", "post")
+
+
+class TestEvents:
+    def test_instant_carries_payload_and_attrs(self):
+        t = Tracer()
+        payload = object()
+        e = t.instant(
+            "sched.pop", CAT_SCHED, time=3.0, node_id=1, data=payload, rank=2
+        )
+        assert e.data is payload
+        assert e.attrs["rank"] == 2
+        assert t.events(category=CAT_SCHED) == [e]
+
+    def test_timeless_events_allowed(self):
+        t = Tracer()
+        e = t.instant("sched.pop", CAT_SCHED)
+        assert e.time is None
+
+    def test_clear_events_keeps_spans(self):
+        t = Tracer()
+        t.begin("run", CAT_RUN, 0.0)
+        t.instant("sched.pop", CAT_SCHED, time=1.0)
+        t.instant("node.failed", "fault", time=2.0)
+        t.clear_events(CAT_SCHED)
+        assert t.events(category=CAT_SCHED) == []
+        assert len(t.events(category="fault")) == 1
+        assert len(t.spans()) == 1
+
+    def test_high_water_tracks_latest_time(self):
+        t = Tracer()
+        assert t.high_water() == 0.0
+        t.span("a", CAT_TASK, 0.0, 7.0)
+        t.instant("x", CAT_SCHED, time=9.0)
+        assert t.high_water() == 9.0
