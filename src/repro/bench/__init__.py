@@ -23,6 +23,13 @@ from .harness import (
     run_redoop_series,
 )
 from .plots import bar_chart, plot_series, plot_speedups
+from .service import (
+    ScenarioRun,
+    ServiceScenario,
+    build_server,
+    drive_scenario,
+    output_digests,
+)
 from .sweeps import sweep_cluster_size, sweep_num_reducers, sweep_window_size
 from .reporting import (
     format_cumulative_table,
@@ -43,7 +50,12 @@ __all__ = [
     "ablation_scheduler",
     "aggregation_config",
     "bar_chart",
+    "build_server",
     "build_workload",
+    "drive_scenario",
+    "output_digests",
+    "ScenarioRun",
+    "ServiceScenario",
     "fig6_aggregation",
     "fig7_join",
     "fig8_adaptive",

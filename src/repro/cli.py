@@ -9,6 +9,8 @@ rows/series the paper plots and optionally exporting them as CSV::
     python -m repro headline --scale 1.0
     python -m repro fig6 --trace-out fig6-trace.json
     python -m repro report fig6-trace.json --top 5
+    python -m repro serve --tenants 3 --recurrences 20 --seed 7
+    python -m repro serve --restore-from ckpts/ckpt-r00023.bin
 """
 
 from __future__ import annotations
@@ -53,6 +55,7 @@ _EXPERIMENTS = {
     "headline": "the 'up to 9x' best-case speedups",
     "ablations": "pane headers / cache levels / Eq.4 scheduling",
     "report": "per-window phase/cache/task report from a --trace-out JSON",
+    "serve": "multi-tenant query server soak (churn, checkpoints, restore)",
 }
 
 
@@ -120,6 +123,71 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-out",
         help="write a Chrome-trace/Perfetto JSON of every series here",
     )
+    serve = sub.add_parser("serve", help=_EXPERIMENTS["serve"])
+    serve.add_argument(
+        "--tenants", type=int, default=3, help="concurrent queries (default 3)"
+    )
+    serve.add_argument(
+        "--recurrences",
+        type=int,
+        default=20,
+        help="base-slide recurrences in the batch horizon (default 20)",
+    )
+    serve.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="multiplier on the scenario's arrival rate (default 1.0)",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=0, help="seed for data + cluster RNG"
+    )
+    serve.add_argument(
+        "--no-churn",
+        action="store_true",
+        help="disable the mid-run deregister/submit/pause/resume schedule",
+    )
+    serve.add_argument(
+        "--checkpoint-dir",
+        help="snapshot the server here at recurrence boundaries",
+    )
+    serve.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="checkpoint every N recurrences (default 1; needs "
+        "--checkpoint-dir)",
+    )
+    serve.add_argument(
+        "--restore-from",
+        metavar="CKPT",
+        help="resume from this checkpoint file instead of starting fresh",
+    )
+    serve.add_argument(
+        "--kill-after",
+        type=int,
+        metavar="N",
+        help="stop once N recurrences have fired (simulated crash; "
+        "restart with --restore-from)",
+    )
+    serve.add_argument(
+        "--wall-clock",
+        type=float,
+        default=None,
+        metavar="SPEEDUP",
+        help="pace the virtual schedule against real time at SPEEDUP x "
+        "virtual-per-wall (default: run as fast as possible)",
+    )
+    serve.add_argument(
+        "--digests",
+        action="store_true",
+        help="print every per-window output digest (for soak comparison)",
+    )
+    serve.add_argument(
+        "--trace-out",
+        help="write the service trace (Chrome/Perfetto JSON) here",
+    )
     report = sub.add_parser("report", help=_EXPERIMENTS["report"])
     report.add_argument("trace", help="trace JSON written by --trace-out")
     report.add_argument(
@@ -169,6 +237,89 @@ def _print_overlap_sweep(
     return merged
 
 
+def _run_serve(args) -> int:
+    import time as _time
+
+    from .bench.service import (
+        ServiceScenario,
+        build_server,
+        drive_scenario,
+    )
+    from .service import CheckpointError, QueryServer, latest_checkpoint
+
+    scenario = ServiceScenario(
+        tenants=args.tenants,
+        recurrences=args.recurrences,
+        rate=200_000.0 * args.scale,
+        seed=args.seed,
+        churn=not args.no_churn,
+    )
+    try:
+        if args.restore_from:
+            from pathlib import Path
+
+            restore_path = Path(args.restore_from)
+            if restore_path.is_dir():
+                newest = latest_checkpoint(restore_path)
+                if newest is None:
+                    print(
+                        f"error: no checkpoint files in {restore_path}",
+                        file=sys.stderr,
+                    )
+                    return 1
+                restore_path = newest
+            server = QueryServer.restore(restore_path)
+            if args.checkpoint_dir:
+                server.checkpoint_dir = Path(args.checkpoint_dir)
+                server.checkpoint_every = args.checkpoint_every
+            print(
+                f"restored from {restore_path} at virtual time "
+                f"{server.now:.1f}s with tenants {server.tenants()}"
+            )
+        else:
+            server = build_server(
+                scenario,
+                checkpoint_dir=args.checkpoint_dir,
+                checkpoint_every=(
+                    args.checkpoint_every if args.checkpoint_dir else 0
+                ),
+            )
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    pace = None
+    if args.wall_clock:
+        start_wall = _time.monotonic()
+        start_virtual = server.now
+
+        def pace(virtual_now: float) -> None:
+            target = start_wall + (virtual_now - start_virtual) / args.wall_clock
+            delay = target - _time.monotonic()
+            if delay > 0:
+                _time.sleep(delay)
+
+    run = drive_scenario(
+        scenario, server, stop_after_recurrences=args.kill_after, pace=pace
+    )
+    killed = args.kill_after is not None and run.recurrences_fired >= args.kill_after
+    print(
+        f"{'killed' if killed else 'drained'} at virtual time "
+        f"{server.now:.1f}s after {run.recurrences_fired} recurrences; "
+        f"tenants: {server.tenants()}"
+    )
+    for name in sorted(run.counters):
+        print(f"  {name:40} {run.counters[name]:10.0f}")
+    if args.digests:
+        for tenant in sorted(run.digests):
+            for recurrence, digest in run.digests[tenant]:
+                print(f"digest {tenant} w{recurrence:03d} {digest}")
+    if args.trace_out:
+        count = export_chrome_trace({"serve": server.tracer}, args.trace_out)
+        print(f"wrote {count} trace events to {args.trace_out}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
@@ -176,6 +327,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for name, blurb in _EXPERIMENTS.items():
             print(f"{name:10} {blurb}")
         return 0
+
+    if args.command == "serve":
+        return _run_serve(args)
 
     if args.command == "report":
         document = load_chrome_trace(args.trace)

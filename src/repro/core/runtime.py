@@ -423,8 +423,146 @@ class RedoopRuntime:
                     },
                 )
 
+    def deregister_query(self, name: str) -> None:
+        """Remove a registered query and release everything it held.
+
+        The reverse of :meth:`register_query`, safe between recurrences
+        (a recurrence is atomic, so the scheduler's task lists are
+        empty here). Four things happen:
+
+        1. the controller drops the query's status matrix and flips its
+           ``doneQueryMask`` bits; caches the query alone kept alive
+           become purgeable and are reclaimed immediately;
+        2. map-eligible panes of the query's job namespace are retired
+           when no surviving query shares that job;
+        3. each source the query read either resets completely (last
+           reader gone: packer, specs, and rates are dropped so a later
+           registration re-derives the pane size from scratch) or
+           re-derives its shared GCD pane over the surviving queries —
+           rebuilding the packer at the new (possibly coarser) pane
+           when no data has been ingested yet, and keeping the existing
+           finer pane otherwise (finer panes remain valid for every
+           surviving window constraint);
+        4. job-level bookkeeping (name registry, sticky partition
+           placements) is dropped with the job's last query.
+        """
+        state = self._state(name)
+        query = state.query
+        del self._states[name]
+
+        notifications = self.controller.unregister_query(name)
+        self._apply_purge_notifications(notifications, purge_now=True)
+
+        surviving_jobs = {s.query.job.name for s in self._states.values()}
+        if query.job.name not in surviving_jobs:
+            self._jobs_by_name.pop(query.job.name, None)
+            self._job_partition_nodes.pop(query.job.name, None)
+            prefix = f"{query.job.name}:"
+            self._map_eligible = {
+                pid for pid in self._map_eligible if not pid.startswith(prefix)
+            }
+
+        rebuilt_sources: List[str] = []
+        for src in query.sources:
+            specs = self._source_specs.get(src)
+            if specs is None:
+                continue
+            specs.pop(name, None)
+            if not specs:
+                # Last reader gone: the source resets completely.
+                del self._source_specs[src]
+                self._source_packers.pop(src, None)
+                self._source_rates.pop(src, None)
+                continue
+            packer = self._source_packers.get(src)
+            shared = self._shared_pane(src)
+            if packer is not None and abs(packer.pane_seconds - shared) > 1e-9:
+                if packer.covered_until <= 0 and not packer.packed_panes():
+                    self._refresh_source_packer(src)
+                    rebuilt_sources.append(src)
+                # else: data already packed at the finer pane — keep it;
+                # it divides every surviving window constraint.
+        if rebuilt_sources:
+            self._refresh_effective_specs(rebuilt_sources, except_query=name)
+        self.counters.increment("runtime.queries_deregistered")
+
+    def catch_up_query(self, name: str) -> int:
+        """Mark panes packed before ``name`` registered as arrived for it.
+
+        :meth:`ingest` flips each reader's ready bit as panes seal, so a
+        query registered *after* data started arriving never hears about
+        the earlier panes — its status matrix would claim their data is
+        absent even though the pane files sit in HDFS. Calling this
+        right after a late registration replays those arrivals into the
+        controller (the serving layer does this on every submit).
+        Returns the number of pane arrivals replayed.
+        """
+        state = self._state(name)
+        caught = 0
+        for src in state.query.sources:
+            packer = state.packers[src]
+            for pane in packer.packed_panes():
+                self.controller.pane_arrived(state.qpid(src, pane.index))
+                caught += 1
+        if caught:
+            self.counters.increment("runtime.panes_caught_up", caught)
+        return caught
+
+    def _apply_purge_notifications(
+        self, notifications: Sequence[Any], *, purge_now: bool = False
+    ) -> None:
+        """Expire cache entries named by the controller's notifications.
+
+        With ``purge_now`` the registries sweep immediately (deregistration
+        reclaims space right away) instead of waiting for the next
+        periodic purge cycle.
+        """
+        for notification in notifications:
+            for node_id in notification.node_ids:
+                registry = self._registries.get(node_id)
+                if registry is not None:
+                    registry.mark_expired([notification.pid])
+        if purge_now and notifications:
+            purged_total = 0
+            for registry in self._registries.values():
+                purged_total += len(registry.on_demand_purge())
+            if purged_total:
+                self.counters.increment("cache.entries_purged", purged_total)
+
+    def shared_pane(self, source: str) -> float:
+        """The pane size (seconds) the source's data is materialised at.
+
+        This is the GCD pane of all registered window constraints —
+        except after query churn with already-ingested data, where the
+        materialised pane may be finer than the surviving queries'
+        ideal GCD (refining would invalidate existing pane files).
+        """
+        if source not in self._source_specs:
+            raise ValueError(f"no registered query reads source {source!r}")
+        packer = self._source_packers.get(source)
+        if packer is not None:
+            return packer.pane_seconds
+        return self._shared_pane(source)
+
     def queries(self) -> List[str]:
         return sorted(self._states)
+
+    def query(self, name: str) -> RecurringQuery:
+        """The registered query object behind ``name``."""
+        return self._state(name).query
+
+    def next_recurrence(self, name: str) -> int:
+        """The recurrence number ``name`` will execute next."""
+        return self._state(name).next_recurrence
+
+    def next_due(self, name: str) -> float:
+        """When ``name``'s next recurrence becomes due (virtual seconds)."""
+        state = self._state(name)
+        return state.query.execution_time(state.next_recurrence)
+
+    def data_complete(self, name: str) -> bool:
+        """Has all data for ``name``'s next recurrence been ingested?"""
+        return self._data_complete(self._state(name))
 
     def profiler(self, query: str) -> ExecutionProfiler:
         return self._state(query).profiler
@@ -1607,11 +1745,7 @@ class RedoopRuntime:
         notifications = self.controller.advance_window(
             query.name, result.recurrence
         )
-        for notification in notifications:
-            for node_id in notification.node_ids:
-                registry = self._registries.get(node_id)
-                if registry is not None:
-                    registry.mark_expired([notification.pid])
+        self._apply_purge_notifications(notifications)
         now = self.cluster.clock.now
         for registry in self._registries.values():
             purged = registry.maybe_purge(now)

@@ -1,0 +1,31 @@
+"""The serving layer: a long-running multi-tenant recurring-query server.
+
+See :mod:`repro.service.server` for the event loop,
+:mod:`repro.service.ingest` for admission control,
+:mod:`repro.service.checkpoint` for the snapshot format, and
+``docs/service.md`` for the full design.
+"""
+
+from .checkpoint import CheckpointError, SCHEMA_VERSION, load_checkpoint, save_checkpoint
+from .ingest import ACCEPTED, DEFERRED, SHED, STALE, IngestChannel
+from .server import PAUSED, RUNNING, QueryServer, latest_checkpoint
+from .spec import QuerySpec, build_query, resolve_factory
+
+__all__ = [
+    "ACCEPTED",
+    "DEFERRED",
+    "SHED",
+    "STALE",
+    "PAUSED",
+    "RUNNING",
+    "CheckpointError",
+    "SCHEMA_VERSION",
+    "IngestChannel",
+    "QuerySpec",
+    "QueryServer",
+    "build_query",
+    "latest_checkpoint",
+    "load_checkpoint",
+    "resolve_factory",
+    "save_checkpoint",
+]

@@ -1,0 +1,163 @@
+"""Streaming ingest channels with explicit admission control.
+
+The bench harness feeds the runtime by calling
+:meth:`~repro.core.runtime.RedoopRuntime.ingest` directly — fine for a
+one-shot experiment, wrong for a server: a server must bound how much
+un-ingested data it buffers per source, notice when producers outrun
+the event loop, and make the resulting policy decision (push back or
+drop) *visible* instead of silently falling behind.
+
+An :class:`IngestChannel` is that boundary for one source. Producers
+``offer()`` sealed batches; the server ``pop()``s them into the runtime
+in time order. Every offer gets an explicit admission verdict:
+
+``ACCEPTED``
+    Queued for delivery; the channel's ``accepted_until`` horizon
+    advances to the batch's ``t_end``.
+``DEFERRED``
+    The queue is full and the channel's policy is ``"defer"``: the
+    producer keeps the batch and must re-offer it later (backpressure,
+    no data loss).
+``SHED``
+    The queue is full and the policy is ``"shed"``: the batch is
+    dropped *and the horizon still advances* — the time range is gone
+    and downstream panes will seal with partial data. Shed ranges and
+    bytes are counted, never silent.
+``STALE``
+    The batch ends at or before ``accepted_until`` — it was already
+    accepted (or shed) earlier. Re-offering is a no-op, which makes
+    "replay the whole schedule from the start" a correct driver
+    strategy after a checkpoint restore.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Sequence, Tuple
+
+from ..hadoop.catalog import BatchFile
+from ..hadoop.counters import Counters
+from ..hadoop.types import Record
+
+__all__ = [
+    "ACCEPTED",
+    "DEFERRED",
+    "SHED",
+    "STALE",
+    "IngestChannel",
+]
+
+#: Admission verdicts returned by :meth:`IngestChannel.offer`.
+ACCEPTED = "accepted"
+DEFERRED = "deferred"
+SHED = "shed"
+STALE = "stale"
+
+_POLICIES = ("defer", "shed")
+
+
+@dataclass(frozen=True, slots=True)
+class _Pending:
+    batch: BatchFile
+    records: Tuple[Record, ...]
+
+
+class IngestChannel:
+    """Bounded, time-ordered admission queue for one source's batches.
+
+    Parameters
+    ----------
+    source:
+        The data source this channel feeds.
+    capacity:
+        Maximum number of batches queued awaiting delivery. When full,
+        further offers are deferred or shed per ``policy``.
+    policy:
+        ``"defer"`` (default) pushes back on the producer without data
+        loss; ``"shed"`` drops the overflowing batch and advances the
+        horizon (lossy degradation, explicitly counted).
+    counters:
+        Counter bag the channel reports admission outcomes into
+        (typically the runtime's, so ``repro report`` sees them).
+    """
+
+    def __init__(
+        self,
+        source: str,
+        *,
+        capacity: int = 16,
+        policy: str = "defer",
+        counters: Optional[Counters] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("channel capacity must be at least 1")
+        if policy not in _POLICIES:
+            raise ValueError(f"policy must be one of {_POLICIES}, got {policy!r}")
+        self.source = source
+        self.capacity = capacity
+        self.policy = policy
+        self.counters = counters if counters is not None else Counters()
+        self._queue: Deque[_Pending] = deque()
+        #: Data horizon: every instant before this has been accepted
+        #: (or deliberately shed). Offers ending at or before it are
+        #: stale; offers must otherwise start exactly here.
+        self.accepted_until = 0.0
+        self.peak_depth = 0
+        #: ``[t_start, t_end)`` ranges dropped under the shed policy.
+        self.shed_ranges: List[Tuple[float, float]] = []
+
+    # ------------------------------------------------------------------
+    # producer side
+    # ------------------------------------------------------------------
+
+    def offer(self, batch: BatchFile, records: Sequence[Record]) -> str:
+        """Submit a sealed batch; returns an admission verdict string."""
+        if batch.source != self.source:
+            raise ValueError(
+                f"channel for {self.source!r} offered a batch of "
+                f"{batch.source!r}"
+            )
+        if batch.t_end <= self.accepted_until + 1e-9:
+            self.counters.increment("service.batches_stale")
+            return STALE
+        if batch.t_start < self.accepted_until - 1e-9:
+            raise ValueError(
+                f"batch [{batch.t_start}, {batch.t_end}) straddles the "
+                f"accepted horizon {self.accepted_until} of source "
+                f"{self.source!r}; batches must not overlap"
+            )
+        if len(self._queue) >= self.capacity:
+            if self.policy == "defer":
+                self.counters.increment("service.batches_deferred")
+                return DEFERRED
+            self.accepted_until = batch.t_end
+            self.shed_ranges.append((batch.t_start, batch.t_end))
+            self.counters.increment("service.batches_shed")
+            self.counters.increment(
+                "service.bytes_shed", sum(r.size for r in records)
+            )
+            return SHED
+        self._queue.append(_Pending(batch, tuple(records)))
+        self.accepted_until = batch.t_end
+        self.peak_depth = max(self.peak_depth, len(self._queue))
+        self.counters.increment("service.batches_accepted")
+        return ACCEPTED
+
+    # ------------------------------------------------------------------
+    # consumer (server) side
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def peek_time(self) -> Optional[float]:
+        """``t_end`` of the next deliverable batch (its seal time)."""
+        return self._queue[0].batch.t_end if self._queue else None
+
+    def pop(self) -> Tuple[BatchFile, Tuple[Record, ...]]:
+        """Dequeue the earliest pending batch for delivery."""
+        if not self._queue:
+            raise IndexError(f"channel {self.source!r} has no pending batches")
+        pending = self._queue.popleft()
+        return pending.batch, pending.records

@@ -1,0 +1,391 @@
+"""The query server: one shared runtime serving many tenants for weeks.
+
+Redoop's premise (Sec. 2.3) is that recurring queries are *registered
+once and then live* — the system keeps running as batches arrive,
+recurrences fire, and tenants come and go. :class:`QueryServer` is that
+serving layer over a single shared :class:`~repro.core.runtime.
+RedoopRuntime` / cluster:
+
+* **lifecycle** — tenants :meth:`submit` durable
+  :class:`~repro.service.spec.QuerySpec`s and may :meth:`pause`,
+  :meth:`resume`, and :meth:`deregister` them at runtime; deregistration
+  flows through :meth:`RedoopRuntime.deregister_query`, purging the
+  tenant's caches and re-deriving shared GCD panes;
+* **ingest** — producers :meth:`offer` sealed batches into per-source
+  :class:`~repro.service.ingest.IngestChannel`s; the event loop delivers
+  them into the runtime in time order, under explicit admission control;
+* **the event loop** — :meth:`run_until` advances virtual time,
+  interleaving batch delivery with due recurrences deterministically:
+  at each step the earliest actionable item wins (ties prefer firing the
+  recurrence), so the same schedule produces the same outputs no matter
+  how the driver slices its calls;
+* **fault tolerance** — :meth:`checkpoint` snapshots the whole server
+  between recurrences (see :mod:`repro.service.checkpoint`);
+  :meth:`QueryServer.restore` brings a killed server back mid-stream.
+
+Everything the server does is observable: admission verdicts and
+lifecycle transitions land as ``service.*`` counters on the runtime's
+counter bag and as instant events (category ``service``) on the shared
+trace spine, so ``repro report`` and the Perfetto export see service
+behaviour next to task execution.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import replace
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.query import RecurringQuery
+from ..core.runtime import RecurrenceResult, RedoopRuntime
+from ..hadoop.catalog import BatchFile
+from ..hadoop.counters import Counters
+from ..hadoop.types import Record
+from ..trace import CAT_SERVICE, Tracer
+from .checkpoint import CheckpointError, load_checkpoint, save_checkpoint
+from .ingest import SHED, IngestChannel
+from .spec import QuerySpec, build_query
+
+__all__ = ["RUNNING", "PAUSED", "QueryServer", "latest_checkpoint"]
+
+#: Tenant lifecycle states.
+RUNNING = "running"
+PAUSED = "paused"
+
+_EPS = 1e-9
+
+
+class QueryServer:
+    """Long-running multi-tenant front end over one shared runtime.
+
+    Parameters
+    ----------
+    runtime:
+        The runtime (and through it, the cluster and clock) the server
+        owns. Queries must be managed exclusively through the server.
+    channel_capacity, admission_policy:
+        Defaults for newly created ingest channels (see
+        :class:`~repro.service.ingest.IngestChannel`).
+    deadline_grace:
+        A recurrence firing more than this many virtual seconds after
+        its due time counts a ``service.deadline_misses`` — the server
+        fell behind (data arrived late, or execution queued).
+    checkpoint_dir, checkpoint_every:
+        When both are set, the server snapshots itself into
+        ``checkpoint_dir`` after every ``checkpoint_every`` completed
+        recurrences (files named ``ckpt-r<n>.bin``).
+    """
+
+    def __init__(
+        self,
+        runtime: RedoopRuntime,
+        *,
+        channel_capacity: int = 16,
+        admission_policy: str = "defer",
+        deadline_grace: float = 0.0,
+        checkpoint_dir: Optional[os.PathLike] = None,
+        checkpoint_every: int = 0,
+    ) -> None:
+        self.runtime = runtime
+        self.channel_capacity = channel_capacity
+        self.admission_policy = admission_policy
+        self.deadline_grace = deadline_grace
+        self.checkpoint_dir = (
+            Path(checkpoint_dir) if checkpoint_dir is not None else None
+        )
+        self.checkpoint_every = checkpoint_every
+        #: source -> ingest channel (shared by every tenant reading it).
+        self.channels: Dict[str, IngestChannel] = {}
+        #: query name -> durable spec (what checkpoints persist).
+        self._specs: Dict[str, QuerySpec] = {}
+        self._status: Dict[str, str] = {}
+        #: query name -> sources it reads (for channel lifecycle).
+        self._sources: Dict[str, Tuple[str, ...]] = {}
+        #: every recurrence result this server produced, in fire order.
+        self.results: List[RecurrenceResult] = []
+        self._recurrences_fired = 0
+        #: (query, recurrence) stalls already counted, so a stalled
+        #: tenant is reported once per recurrence, not once per tick.
+        self._stalls_seen: Set[Tuple[str, int]] = set()
+        #: Driver scratchpad, persisted inside checkpoints. Replayable
+        #: drivers use it to remember which one-shot schedule steps
+        #: (e.g. churn actions) they already applied.
+        self.notes: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # shared infrastructure accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def counters(self) -> Counters:
+        return self.runtime.counters
+
+    @property
+    def tracer(self) -> Tracer:
+        return self.runtime.tracer
+
+    @property
+    def now(self) -> float:
+        return self.runtime.cluster.clock.now
+
+    def _event(self, name: str, **attrs) -> None:
+        self.tracer.instant(name, CAT_SERVICE, self.now, **attrs)
+
+    # ------------------------------------------------------------------
+    # query lifecycle
+    # ------------------------------------------------------------------
+
+    def submit(self, spec: QuerySpec) -> RecurringQuery:
+        """Register a tenant query from its durable spec.
+
+        Builds the query via the spec's factory, canonicalises its job
+        against already-registered jobs of the same name (so tenants
+        sharing a job share caches), registers it with the runtime, and
+        opens ingest channels for any new sources. The tenant starts
+        ``RUNNING``.
+        """
+        if spec.name in self._specs:
+            raise ValueError(f"query {spec.name!r} is already registered")
+        query = build_query(spec)
+        for other in self._specs:
+            known = self.runtime.query(other).job
+            if known.name == query.job.name and known is not query.job:
+                query = replace(query, job=known)
+                break
+        missing = set(query.sources) - set(spec.rates)
+        if missing:
+            raise ValueError(
+                f"spec {spec.name!r} lacks arrival rates for sources "
+                f"{sorted(missing)}"
+            )
+        self.runtime.register_query(query, dict(spec.rates))
+        # A tenant arriving after its sources started flowing missed the
+        # earlier pane-arrival notifications; replay them.
+        self.runtime.catch_up_query(spec.name)
+        self._specs[spec.name] = spec
+        self._status[spec.name] = RUNNING
+        self._sources[spec.name] = tuple(query.sources)
+        for src in query.sources:
+            if src not in self.channels:
+                self.channels[src] = IngestChannel(
+                    src,
+                    capacity=self.channel_capacity,
+                    policy=self.admission_policy,
+                    counters=self.counters,
+                )
+        self.counters.increment("service.queries_submitted")
+        self._event("submit", query=spec.name, factory=spec.factory)
+        return query
+
+    def pause(self, name: str) -> None:
+        """Stop firing the tenant's recurrences; ingest continues.
+
+        Paused recurrences stay due and fire (in due order) on resume.
+        """
+        self._require(name)
+        if self._status[name] == PAUSED:
+            return
+        self._status[name] = PAUSED
+        self.counters.increment("service.queries_paused")
+        self._event("pause", query=name)
+
+    def resume(self, name: str) -> None:
+        """Re-enable a paused tenant; backlog fires on the next tick."""
+        self._require(name)
+        if self._status[name] == RUNNING:
+            return
+        self._status[name] = RUNNING
+        self.counters.increment("service.queries_resumed")
+        self._event("resume", query=name)
+
+    def deregister(self, name: str) -> None:
+        """Remove a tenant: purge its caches, re-derive shared panes.
+
+        Channels of sources no longer read by anyone are closed; their
+        undelivered batches are dropped and counted (the data has no
+        remaining consumer).
+        """
+        self._require(name)
+        self.runtime.deregister_query(name)
+        sources = self._sources.pop(name)
+        del self._specs[name]
+        del self._status[name]
+        still_read = {s for srcs in self._sources.values() for s in srcs}
+        for src in sources:
+            if src in still_read:
+                continue
+            channel = self.channels.pop(src, None)
+            if channel is not None and len(channel):
+                self.counters.increment(
+                    "service.batches_dropped_on_deregister", len(channel)
+                )
+        self._event("deregister", query=name)
+
+    def status(self, name: str) -> str:
+        self._require(name)
+        return self._status[name]
+
+    def tenants(self) -> Dict[str, str]:
+        """Registered query names and their lifecycle states."""
+        return dict(sorted(self._status.items()))
+
+    def _require(self, name: str) -> None:
+        if name not in self._specs:
+            raise KeyError(f"no registered query named {name!r}")
+
+    # ------------------------------------------------------------------
+    # streaming ingest
+    # ------------------------------------------------------------------
+
+    def offer(self, batch: BatchFile, records: Sequence[Record]) -> str:
+        """Offer a sealed batch to its source's channel; returns verdict."""
+        channel = self.channels.get(batch.source)
+        if channel is None:
+            raise ValueError(
+                f"no registered query reads source {batch.source!r}"
+            )
+        verdict = channel.offer(batch, records)
+        if verdict == SHED:
+            self._event(
+                "shed",
+                source=batch.source,
+                t_start=batch.t_start,
+                t_end=batch.t_end,
+            )
+        return verdict
+
+    # ------------------------------------------------------------------
+    # the event loop
+    # ------------------------------------------------------------------
+
+    def run_until(self, until: float) -> List[RecurrenceResult]:
+        """Advance the server to virtual time ``until``.
+
+        Repeatedly performs the earliest actionable step: deliver the
+        pending batch sealing soonest (ties by source name), or fire the
+        soonest due, data-complete recurrence of a ``RUNNING`` tenant
+        (ties by query name; recurrence wins batch ties). The loop is a
+        pure function of server state and ``until``, so splitting one
+        call into many at any boundaries yields identical execution —
+        the property the checkpoint/restore soak relies on.
+
+        Returns the recurrence results fired by this call (also
+        appended to :attr:`results`). Calling with ``until`` in the
+        past is a no-op.
+        """
+        fired: List[RecurrenceResult] = []
+        while True:
+            batch_at: Optional[Tuple[float, str]] = None
+            for src in sorted(self.channels):
+                t_end = self.channels[src].peek_time()
+                if t_end is not None and t_end <= until + _EPS:
+                    if batch_at is None or (t_end, src) < batch_at:
+                        batch_at = (t_end, src)
+            rec_at: Optional[Tuple[float, str]] = None
+            for name in sorted(self._specs):
+                if self._status[name] != RUNNING:
+                    continue
+                due = self.runtime.next_due(name)
+                if due <= until + _EPS and self.runtime.data_complete(name):
+                    if rec_at is None or (due, name) < rec_at:
+                        rec_at = (due, name)
+            if rec_at is not None and (
+                batch_at is None or rec_at[0] <= batch_at[0] + _EPS
+            ):
+                fired.append(self._fire(rec_at[1]))
+                continue
+            if batch_at is not None:
+                batch, records = self.channels[batch_at[1]].pop()
+                self.runtime.ingest(batch, list(records))
+                continue
+            break
+        self._note_stalls(until)
+        clock = self.runtime.cluster.clock
+        if clock.now < until:
+            clock.advance_to(until)
+        return fired
+
+    def _fire(self, name: str) -> RecurrenceResult:
+        due = self.runtime.next_due(name)
+        recurrence = self.runtime.next_recurrence(name)
+        if self.now > due + self.deadline_grace + _EPS:
+            self.counters.increment("service.deadline_misses")
+            self._event(
+                "deadline-miss",
+                query=name,
+                recurrence=recurrence,
+                due=due,
+                late_by=self.now - due,
+            )
+        result = self.runtime.run_recurrence(name)
+        self.results.append(result)
+        self._recurrences_fired += 1
+        self.counters.increment("service.recurrences_fired")
+        if (
+            self.checkpoint_dir is not None
+            and self.checkpoint_every > 0
+            and self._recurrences_fired % self.checkpoint_every == 0
+        ):
+            self.checkpoint(
+                self.checkpoint_dir / f"ckpt-r{self._recurrences_fired:05d}.bin"
+            )
+        return result
+
+    def _note_stalls(self, until: float) -> None:
+        """Count tenants whose due recurrence is starved of data."""
+        for name in sorted(self._specs):
+            if self._status[name] != RUNNING:
+                continue
+            due = self.runtime.next_due(name)
+            if due <= until + _EPS and not self.runtime.data_complete(name):
+                key = (name, self.runtime.next_recurrence(name))
+                if key not in self._stalls_seen:
+                    self._stalls_seen.add(key)
+                    self.counters.increment("service.data_stalls")
+                    self._event(
+                        "data-stall", query=name, recurrence=key[1], due=due
+                    )
+
+    # ------------------------------------------------------------------
+    # checkpoint / restore
+    # ------------------------------------------------------------------
+
+    def checkpoint(self, path: os.PathLike) -> Path:
+        """Snapshot the whole server to ``path`` (atomic write).
+
+        Safe between recurrences only — a recurrence is atomic, so
+        :meth:`run_until` never leaves one half-executed.
+        """
+        self.counters.increment("service.checkpoints_written")
+        self._event("checkpoint", path=str(path))
+        queries = {name: self.runtime.query(name) for name in self._specs}
+        return save_checkpoint(
+            path, specs=self._specs, queries=queries, graph=self
+        )
+
+    @classmethod
+    def restore(cls, path: os.PathLike) -> "QueryServer":
+        """Rebuild a server from a checkpoint written by :meth:`checkpoint`.
+
+        The restored server resumes exactly where the snapshot was
+        taken: same virtual clock, same tenant states, same caches and
+        pane files, same pending ingest queues. Producers should simply
+        replay their batch schedule — already-covered offers come back
+        ``STALE`` and are skipped.
+        """
+        server = load_checkpoint(path)
+        if not isinstance(server, cls):
+            raise CheckpointError(
+                f"{path} holds a {type(server).__name__}, not a "
+                f"{cls.__name__} snapshot"
+            )
+        server.counters.increment("service.restores")
+        server._event("restore", path=str(path))
+        return server
+
+
+def latest_checkpoint(directory: os.PathLike) -> Optional[Path]:
+    """Newest auto-checkpoint in ``directory`` (by recurrence number)."""
+    candidates = sorted(Path(directory).glob("ckpt-r*.bin"))
+    return candidates[-1] if candidates else None

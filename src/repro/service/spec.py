@@ -1,0 +1,125 @@
+"""Declarative query specs: how tenants describe queries to the server.
+
+A long-running server cannot accept bare :class:`RecurringQuery`
+objects from its tenants: queries carry map/reduce/finalize *code*, and
+code does not survive a checkpoint — a restarted server must be able to
+rebuild every registered query from durable metadata alone. The
+:class:`QuerySpec` therefore names a **factory** (an importable
+``module:callable``) plus plain-data keyword arguments; the server
+invokes the factory at submit time and again at restore time, exactly
+like a real deployment reloads job jars from a code repository while
+the *state* comes from the checkpoint.
+
+Factories must be deterministic: calling the same factory with the same
+kwargs after a restart must produce a query with identical semantics
+(same window constraints, same map/reduce/finalize behaviour, same
+reducer count), or the restored server's outputs will diverge from the
+uninterrupted run's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from importlib import import_module
+from typing import Any, Callable, Dict, Mapping, Tuple
+
+from ..core.query import RecurringQuery
+
+__all__ = ["QuerySpec", "resolve_factory", "build_query"]
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """Durable description of one tenant query.
+
+    Attributes
+    ----------
+    name:
+        The query's unique name within the server; must equal the name
+        of the query the factory builds.
+    factory:
+        Importable constructor as ``"package.module:callable"``. The
+        callable receives ``kwargs`` and returns a
+        :class:`~repro.core.query.RecurringQuery`.
+    kwargs:
+        Plain-data keyword arguments for the factory (numbers, strings,
+        tuples — anything that serialises cleanly into a checkpoint).
+    rates:
+        Per-source arrival rates in bytes per virtual second, as
+        :meth:`~repro.core.runtime.RedoopRuntime.register_query` wants.
+    """
+
+    name: str
+    factory: str
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+    rates: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if ":" not in self.factory:
+            raise ValueError(
+                f"factory {self.factory!r} must be 'module:callable'"
+            )
+        # Freeze the mappings so specs are safely shareable and hashable
+        # state can't drift between checkpoint and restore.
+        object.__setattr__(self, "kwargs", dict(self.kwargs))
+        object.__setattr__(self, "rates", dict(self.rates))
+
+
+def resolve_factory(path: str) -> Callable[..., RecurringQuery]:
+    """Import the ``module:callable`` a spec names."""
+    module_name, _, attr = path.partition(":")
+    if not module_name or not attr:
+        raise ValueError(f"factory {path!r} must be 'module:callable'")
+    try:
+        module = import_module(module_name)
+    except ImportError as exc:
+        raise ValueError(f"cannot import factory module {module_name!r}") from exc
+    try:
+        factory = getattr(module, attr)
+    except AttributeError:
+        raise ValueError(
+            f"module {module_name!r} has no attribute {attr!r}"
+        ) from None
+    if not callable(factory):
+        raise ValueError(f"factory {path!r} is not callable")
+    return factory
+
+
+def build_query(spec: QuerySpec) -> RecurringQuery:
+    """Invoke the spec's factory and validate what it returns."""
+    query = resolve_factory(spec.factory)(**dict(spec.kwargs))
+    if not isinstance(query, RecurringQuery):
+        raise TypeError(
+            f"factory {spec.factory!r} returned {type(query).__name__}, "
+            "expected a RecurringQuery"
+        )
+    if query.name != spec.name:
+        raise ValueError(
+            f"factory {spec.factory!r} built query {query.name!r} but the "
+            f"spec is named {spec.name!r}; they must match"
+        )
+    return query
+
+
+def rebuild_queries(
+    specs: Mapping[str, QuerySpec]
+) -> Tuple[Dict[str, RecurringQuery], Dict[str, Any]]:
+    """Rebuild every spec's query, canonicalising shared jobs by name.
+
+    Two tenants that share a job *name* share cache namespaces
+    (``<job>:<source>`` pids), which the runtime only allows when they
+    share the job *object*. Factories rebuild independent job objects,
+    so restore picks the first as canonical and rewires the rest.
+    Returns ``(queries by name, jobs by name)``.
+    """
+    from dataclasses import replace
+
+    queries: Dict[str, RecurringQuery] = {}
+    jobs: Dict[str, Any] = {}
+    for name in sorted(specs):
+        query = build_query(specs[name])
+        canonical = jobs.setdefault(query.job.name, query.job)
+        if canonical is not query.job:
+            query = replace(query, job=canonical)
+        queries[name] = query
+    return queries, jobs

@@ -6,6 +6,7 @@ schema, and how the exported traces map to the paper's figures.
 
 from .spine import (
     CAT_FAULT,
+    CAT_SERVICE,
     CAT_JOB,
     CAT_PHASE,
     CAT_RECURRENCE,
@@ -40,6 +41,7 @@ __all__ = [
     "CAT_TASK",
     "CAT_SCHED",
     "CAT_FAULT",
+    "CAT_SERVICE",
     "PHASE_NAMES",
     "Span",
     "TraceEvent",

@@ -32,6 +32,7 @@ __all__ = [
     "CAT_TASK",
     "CAT_SCHED",
     "CAT_FAULT",
+    "CAT_SERVICE",
     "PHASE_NAMES",
     "Span",
     "TraceEvent",
@@ -50,6 +51,9 @@ CAT_TASK = "task"
 #: Event categories.
 CAT_SCHED = "sched"
 CAT_FAULT = "fault"
+#: Service-lifecycle instants (submit/pause/deregister/shed/checkpoint)
+#: emitted by :mod:`repro.service`.
+CAT_SERVICE = "service"
 
 #: Phase spans every Redoop recurrence emits, in presentation order.
 PHASE_NAMES = ("map", "shuffle", "pane-reduce", "combine", "post")

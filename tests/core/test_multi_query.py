@@ -184,3 +184,84 @@ class TestRegistrationGuards:
             query_for(other_job, 20.0, 10.0, "qb"), {"S1": RATE}
         )
         assert runtime._states["qb"].spec("S1").pane_seconds == 10.0
+
+
+class TestChurn:
+    """register -> run -> deregister -> re-register on a shared source."""
+
+    def _pair(self, runtime):
+        job_a = wordcount_job(num_reducers=4, name="wc-a")
+        job_b = wordcount_job(num_reducers=4, name="wc-b")
+        runtime.register_query(query_for(job_a, 40.0, 10.0, "qa"), {"S1": RATE})
+        runtime.register_query(query_for(job_b, 30.0, 15.0, "qb"), {"S1": RATE})
+
+    def test_deregister_pre_ingest_rederives_coarser_pane(self):
+        runtime = make_runtime()
+        self._pair(runtime)
+        assert runtime.shared_pane("S1") == 5.0  # GCD(40,10,30,15)
+        runtime.deregister_query("qb")
+        # No data has arrived: the source re-plans at qa's own GCD.
+        assert runtime.shared_pane("S1") == 10.0
+        assert runtime.counters.get("runtime.queries_deregistered") == 1
+
+    def test_deregister_post_ingest_keeps_finer_pane(self):
+        runtime = make_runtime()
+        self._pair(runtime)
+        records = feed(runtime, 20.0)
+        runtime.deregister_query("qb")
+        # Pane files at 5 s already exist; they stay (still valid for qa).
+        assert runtime.shared_pane("S1") == 5.0
+        # And qa still computes the right answer on them.
+        for i in (2, 3):
+            b, more = batch(i, i * 10.0, (i + 1) * 10.0)
+            runtime.ingest(b, more)
+            records.extend(more)
+        result = runtime.run_recurrence("qa", 1)
+        expect = dict(PyCounter(r.value for r in records if r.ts < 40.0))
+        assert dict(result.output) == expect
+
+    def test_last_reader_reset_allows_different_slide(self):
+        runtime = make_runtime()
+        job = wordcount_job(num_reducers=4, name="wc")
+        runtime.register_query(query_for(job, 40.0, 10.0, "qa"), {"S1": RATE})
+        feed(runtime, 20.0)  # pane fixed at 10 s
+        runtime.deregister_query("qa")
+        with pytest.raises(ValueError):
+            runtime.shared_pane("S1")  # no readers left
+        # After a full reset a slide that would have *refined* the old
+        # pane is acceptable: partitioning starts from scratch.
+        job2 = wordcount_job(num_reducers=4, name="wc2")
+        runtime.register_query(query_for(job2, 30.0, 15.0, "qb"), {"S1": RATE})
+        assert runtime.shared_pane("S1") == 15.0
+
+    def test_surviving_tenant_answers_unchanged_by_churn(self):
+        churned = make_runtime()
+        self._pair(churned)
+        control = make_runtime()
+        control.register_query(
+            query_for(wordcount_job(num_reducers=4, name="wc-a"), 40.0, 10.0, "qa"),
+            {"S1": RATE},
+        )
+        feed(churned, 60.0)
+        feed(control, 60.0)
+        churned.run_recurrence("qb", 1)
+        churned.deregister_query("qb")
+        for k in (1, 2, 3):
+            got = churned.run_recurrence("qa", k)
+            want = control.run_recurrence("qa", k)
+            assert got.output == want.output, f"recurrence {k} diverged"
+
+    def test_deregister_purges_last_reader_caches(self):
+        runtime = make_runtime()
+        self._pair(runtime)
+        feed(runtime, 40.0)
+        runtime.run_recurrence("qa", 1)
+        held = lambda: {
+            e.pid
+            for r in runtime.registries().values()
+            for e in r.live_entries()
+        }
+        assert any(pid.startswith("wc-a:") for pid in held())
+        runtime.deregister_query("qa")
+        # qa's job namespace had no other readers: everything reclaimed.
+        assert not any(pid.startswith("wc-a:") for pid in held())

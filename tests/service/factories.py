@@ -1,0 +1,44 @@
+"""Importable query factories for service tests.
+
+Query specs name their factory as ``module:callable``; checkpoint
+restore re-imports it, so test factories must live in a real module
+(not inside a test function).
+"""
+
+from __future__ import annotations
+
+from repro.core import RecurringQuery, WindowSpec, merging_finalizer
+from repro.hadoop import MapReduceJob, Record
+
+
+def _mapper(record: Record):
+    yield record.value, 1
+
+
+def _reducer(key, values):
+    yield key, sum(values)
+
+
+def wordcount_query(
+    win: float,
+    slide: float,
+    *,
+    name: str,
+    source: str = "S1",
+    job_name: str = None,
+    num_reducers: int = 4,
+) -> RecurringQuery:
+    """A deterministic word-count recurring query over one source."""
+    job = MapReduceJob(
+        name=job_name if job_name is not None else name,
+        mapper=_mapper,
+        reducer=_reducer,
+        combiner=_reducer,
+        num_reducers=num_reducers,
+    )
+    return RecurringQuery(
+        name=name,
+        job=job,
+        windows={source: WindowSpec(win=win, slide=slide)},
+        finalize=merging_finalizer(sum),
+    )

@@ -1,0 +1,160 @@
+"""Checkpoint framing, validation errors, and spec/factory round-trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import RecurringQuery
+from repro.service import (
+    CheckpointError,
+    QuerySpec,
+    build_query,
+    load_checkpoint,
+    resolve_factory,
+    save_checkpoint,
+)
+from repro.service.checkpoint import MAGIC, SCHEMA_VERSION
+
+FACTORY = "tests.service.factories:wordcount_query"
+
+
+def make_spec(name="q1", win=40.0, slide=10.0, **extra):
+    kwargs = {"win": win, "slide": slide, "name": name}
+    kwargs.update(extra)
+    return QuerySpec(name=name, factory=FACTORY, kwargs=kwargs, rates={"S1": 1000.0})
+
+
+class TestSpecs:
+    def test_factory_must_have_colon(self):
+        with pytest.raises(ValueError, match="module:callable"):
+            QuerySpec(name="q", factory="not.a.path")
+
+    def test_resolve_unknown_module(self):
+        with pytest.raises(ValueError, match="cannot import"):
+            resolve_factory("no.such.module:thing")
+
+    def test_resolve_unknown_attribute(self):
+        with pytest.raises(ValueError, match="no attribute"):
+            resolve_factory("tests.service.factories:nope")
+
+    def test_build_query_runs_factory(self):
+        query = build_query(make_spec())
+        assert isinstance(query, RecurringQuery)
+        assert query.name == "q1"
+        assert query.spec("S1").win == 40.0
+
+    def test_build_query_name_mismatch_rejected(self):
+        spec = QuerySpec(
+            name="alias",
+            factory=FACTORY,
+            kwargs={"win": 40.0, "slide": 10.0, "name": "other"},
+        )
+        with pytest.raises(ValueError, match="must match"):
+            build_query(spec)
+
+
+class TestRoundTrip:
+    def test_graph_round_trips_with_rebuilt_queries(self, tmp_path):
+        spec_a, spec_b = make_spec("qa"), make_spec("qb", job_name="shared")
+        qa, qb = build_query(spec_a), build_query(spec_b)
+        graph = {"queries": {"qa": qa, "qb": qb}, "cursor": 17}
+        path = save_checkpoint(
+            tmp_path / "ck.bin",
+            specs={"qa": spec_a, "qb": spec_b},
+            queries={"qa": qa, "qb": qb},
+            graph=graph,
+        )
+        restored = load_checkpoint(path)
+        assert restored["cursor"] == 17
+        rqa = restored["queries"]["qa"]
+        # The query was rebuilt by the factory, not unpickled.
+        assert rqa is not qa
+        assert rqa.name == "qa"
+        assert rqa.spec("S1").win == qa.spec("S1").win
+        # Its map function is live code again.
+        from repro.hadoop import Record
+
+        assert list(rqa.job.mapper(Record(ts=0.0, value="x"))) == [("x", 1)]
+
+    def test_shared_job_objects_stay_shared(self, tmp_path):
+        spec_a = make_spec("qa", job_name="wc-shared")
+        spec_b = make_spec("qb", win=20.0, job_name="wc-shared")
+        qa, qb = build_query(spec_a), build_query(spec_b)
+        graph = [qa, qb]
+        path = save_checkpoint(
+            tmp_path / "ck.bin",
+            specs={"qa": spec_a, "qb": spec_b},
+            queries={"qa": qa, "qb": qb},
+            graph=graph,
+        )
+        ra, rb = load_checkpoint(path)
+        # Restore canonicalises jobs by name: one shared object.
+        assert ra.job is rb.job
+
+
+class TestValidation:
+    def _write(self, tmp_path, mutate):
+        spec = make_spec()
+        query = build_query(spec)
+        path = save_checkpoint(
+            tmp_path / "ck.bin",
+            specs={"q1": spec},
+            queries={"q1": query},
+            graph={"q": query},
+        )
+        data = bytearray(path.read_bytes())
+        mutate(data)
+        path.write_bytes(bytes(data))
+        return path
+
+    def test_bad_magic(self, tmp_path):
+        path = self._write(tmp_path, lambda d: d.__setitem__(0, ord("X")))
+        with pytest.raises(CheckpointError, match="not a service checkpoint"):
+            load_checkpoint(path)
+
+    def test_truncation(self, tmp_path):
+        path = self._write(tmp_path, lambda d: d.__delitem__(slice(-40, None)))
+        with pytest.raises(CheckpointError, match="truncated"):
+            load_checkpoint(path)
+
+    def test_corruption_fails_digest(self, tmp_path):
+        def flip_last(d):
+            d[-1] ^= 0xFF
+
+        path = self._write(tmp_path, flip_last)
+        with pytest.raises(CheckpointError, match="integrity"):
+            load_checkpoint(path)
+
+    def test_schema_version_mismatch(self, tmp_path):
+        path = self._write(tmp_path, lambda d: None)
+        data = path.read_bytes()
+        rest = data[len(MAGIC):]
+        newline = rest.find(b"\n")
+        header = json.loads(rest[:newline])
+        assert header["schema_version"] == SCHEMA_VERSION
+        header["schema_version"] = SCHEMA_VERSION + 99
+        path.write_bytes(
+            MAGIC
+            + json.dumps(header, sort_keys=True).encode()
+            + b"\n"
+            + rest[newline + 1:]
+        )
+        with pytest.raises(CheckpointError, match="schema version"):
+            load_checkpoint(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot read"):
+            load_checkpoint(tmp_path / "absent.bin")
+
+    def test_unsnapshottable_graph_rejected(self, tmp_path):
+        spec = make_spec()
+        query = build_query(spec)
+        with pytest.raises(CheckpointError, match="not snapshottable"):
+            save_checkpoint(
+                tmp_path / "ck.bin",
+                specs={"q1": spec},
+                queries={"q1": query},
+                graph={"bad": lambda: None},  # a stray closure
+            )

@@ -1,0 +1,110 @@
+"""Admission-control behaviour of per-source ingest channels."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hadoop import BatchFile, Counters, Record
+from repro.service import ACCEPTED, DEFERRED, SHED, STALE, IngestChannel
+
+
+def make_batch(i: int, t0: float, t1: float, source: str = "S1"):
+    records = [Record(ts=t0, value="w", size=100)]
+    return (
+        BatchFile(path=f"/b/{source}/{i}", source=source, t_start=t0, t_end=t1),
+        records,
+    )
+
+
+class TestAdmission:
+    def test_accept_advances_horizon_in_order(self):
+        ch = IngestChannel("S1", counters=Counters())
+        b0, r0 = make_batch(0, 0.0, 5.0)
+        b1, r1 = make_batch(1, 5.0, 10.0)
+        assert ch.offer(b0, r0) == ACCEPTED
+        assert ch.offer(b1, r1) == ACCEPTED
+        assert ch.accepted_until == 10.0
+        assert len(ch) == 2
+        assert ch.counters.get("service.batches_accepted") == 2
+
+    def test_reoffer_is_stale(self):
+        ch = IngestChannel("S1", counters=Counters())
+        b0, r0 = make_batch(0, 0.0, 5.0)
+        assert ch.offer(b0, r0) == ACCEPTED
+        assert ch.offer(b0, r0) == STALE
+        assert len(ch) == 1  # not enqueued twice
+        assert ch.counters.get("service.batches_stale") == 1
+
+    def test_straddling_batch_rejected(self):
+        ch = IngestChannel("S1", counters=Counters())
+        b0, r0 = make_batch(0, 0.0, 5.0)
+        ch.offer(b0, r0)
+        bad, records = make_batch(1, 2.5, 7.5)
+        with pytest.raises(ValueError, match="straddles"):
+            ch.offer(bad, records)
+
+    def test_wrong_source_rejected(self):
+        ch = IngestChannel("S1", counters=Counters())
+        b, r = make_batch(0, 0.0, 5.0, source="S2")
+        with pytest.raises(ValueError, match="S2"):
+            ch.offer(b, r)
+
+    def test_defer_policy_backpressures_without_loss(self):
+        ch = IngestChannel("S1", capacity=2, policy="defer", counters=Counters())
+        for i in range(2):
+            ch.offer(*make_batch(i, i * 5.0, (i + 1) * 5.0))
+        b2, r2 = make_batch(2, 10.0, 15.0)
+        assert ch.offer(b2, r2) == DEFERRED
+        # Horizon untouched: the producer still owns the batch.
+        assert ch.accepted_until == 10.0
+        assert ch.counters.get("service.batches_deferred") == 1
+        ch.pop()
+        assert ch.offer(b2, r2) == ACCEPTED
+        assert ch.accepted_until == 15.0
+
+    def test_shed_policy_drops_and_advances(self):
+        ch = IngestChannel("S1", capacity=1, policy="shed", counters=Counters())
+        ch.offer(*make_batch(0, 0.0, 5.0))
+        b1, r1 = make_batch(1, 5.0, 10.0)
+        assert ch.offer(b1, r1) == SHED
+        assert ch.accepted_until == 10.0  # range is gone for good
+        assert ch.shed_ranges == [(5.0, 10.0)]
+        assert ch.counters.get("service.batches_shed") == 1
+        assert ch.counters.get("service.bytes_shed") == sum(r.size for r in r1)
+        # The shed range never comes back: re-offering it is stale.
+        assert ch.offer(b1, r1) == STALE
+
+    def test_peak_depth_tracks_high_water(self):
+        ch = IngestChannel("S1", capacity=8, counters=Counters())
+        for i in range(3):
+            ch.offer(*make_batch(i, i * 5.0, (i + 1) * 5.0))
+        ch.pop()
+        ch.pop()
+        assert ch.peak_depth == 3
+        assert len(ch) == 1
+
+
+class TestConsumerSide:
+    def test_pop_in_time_order(self):
+        ch = IngestChannel("S1", counters=Counters())
+        for i in range(3):
+            ch.offer(*make_batch(i, i * 5.0, (i + 1) * 5.0))
+        assert ch.peek_time() == 5.0
+        popped = [ch.pop()[0].t_end for _ in range(3)]
+        assert popped == [5.0, 10.0, 15.0]
+        assert ch.peek_time() is None
+
+    def test_pop_empty_raises(self):
+        ch = IngestChannel("S1", counters=Counters())
+        with pytest.raises(IndexError):
+            ch.pop()
+
+
+class TestConstruction:
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            IngestChannel("S1", capacity=0)
+
+    def test_bad_policy(self):
+        with pytest.raises(ValueError):
+            IngestChannel("S1", policy="drop-newest")

@@ -1,0 +1,300 @@
+"""QueryServer lifecycle, event loop, and checkpoint/restore behaviour."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter as PyCounter
+
+import pytest
+
+from repro.core import RedoopRuntime
+from repro.hadoop import BatchFile, Cluster, Record, small_test_config
+from repro.service import (
+    ACCEPTED,
+    PAUSED,
+    RUNNING,
+    STALE,
+    CheckpointError,
+    QuerySpec,
+    QueryServer,
+)
+from repro.trace import CAT_SERVICE
+
+FACTORY = "tests.service.factories:wordcount_query"
+RATE = 500_000.0  # oversize-pane regime, like tests/core/test_runtime.py
+
+
+def spec_for(name, win=40.0, slide=10.0, source="S1", job_name=None):
+    kwargs = {"win": win, "slide": slide, "name": name, "source": source}
+    if job_name is not None:
+        kwargs["job_name"] = job_name
+    return QuerySpec(
+        name=name, factory=FACTORY, kwargs=kwargs, rates={source: RATE}
+    )
+
+
+def make_server(**kwargs) -> QueryServer:
+    cluster = Cluster(small_test_config(), seed=3)
+    return QueryServer(RedoopRuntime(cluster), **kwargs)
+
+
+def batch(i, t0, t1, source="S1", n=20, key_space=5):
+    rng = random.Random(i)
+    dt = (t1 - t0) / n
+    records = [
+        Record(ts=t0 + j * dt, value=f"w{rng.randrange(key_space)}", size=100)
+        for j in range(n)
+    ]
+    return (
+        BatchFile(path=f"/b/{source}/{i}", source=source, t_start=t0, t_end=t1),
+        records,
+    )
+
+
+def feed(server, upto, batch_seconds=10.0, source="S1"):
+    """Offer consecutive batches covering [0, upto); returns records."""
+    fed = []
+    i, t = 0, 0.0
+    while t < upto - 1e-9:
+        b, records = batch(i, t, t + batch_seconds, source=source)
+        if server.offer(b, records) == ACCEPTED:
+            fed.extend(records)
+        i += 1
+        t += batch_seconds
+    return fed
+
+
+def expect_counts(records, start, end):
+    return dict(PyCounter(r.value for r in records if start <= r.ts < end))
+
+
+class TestLifecycle:
+    def test_submit_registers_and_opens_channel(self):
+        server = make_server()
+        query = server.submit(spec_for("q1"))
+        assert query.name == "q1"
+        assert server.status("q1") == RUNNING
+        assert "S1" in server.channels
+        assert server.runtime.queries() == ["q1"]
+        assert server.counters.get("service.queries_submitted") == 1
+
+    def test_duplicate_submit_rejected(self):
+        server = make_server()
+        server.submit(spec_for("q1"))
+        with pytest.raises(ValueError, match="already registered"):
+            server.submit(spec_for("q1"))
+
+    def test_missing_rates_rejected(self):
+        server = make_server()
+        bad = QuerySpec(
+            name="q1",
+            factory=FACTORY,
+            kwargs={"win": 40.0, "slide": 10.0, "name": "q1"},
+            rates={},
+        )
+        with pytest.raises(ValueError, match="rates"):
+            server.submit(bad)
+
+    def test_pause_resume_cycle(self):
+        server = make_server()
+        server.submit(spec_for("q1"))
+        server.pause("q1")
+        assert server.status("q1") == PAUSED
+        server.pause("q1")  # idempotent
+        assert server.counters.get("service.queries_paused") == 1
+        server.resume("q1")
+        assert server.status("q1") == RUNNING
+
+    def test_deregister_closes_orphan_channel(self):
+        server = make_server()
+        server.submit(spec_for("q1"))
+        server.submit(spec_for("q2", source="S2"))
+        server.deregister("q1")
+        assert "S1" not in server.channels
+        assert "S2" in server.channels
+        assert server.tenants() == {"q2": "running"}
+        with pytest.raises(KeyError):
+            server.status("q1")
+
+    def test_shared_channel_survives_one_tenant_leaving(self):
+        server = make_server()
+        server.submit(spec_for("q1"))
+        server.submit(spec_for("q2", win=20.0))
+        server.deregister("q1")
+        assert "S1" in server.channels
+
+    def test_unknown_names_raise(self):
+        server = make_server()
+        for method in (server.pause, server.resume, server.deregister):
+            with pytest.raises(KeyError):
+                method("ghost")
+
+    def test_lifecycle_events_on_spine(self):
+        server = make_server()
+        server.submit(spec_for("q1"))
+        server.pause("q1")
+        server.resume("q1")
+        server.deregister("q1")
+        names = [e.name for e in server.tracer.events(category=CAT_SERVICE)]
+        assert names == ["submit", "pause", "resume", "deregister"]
+
+
+class TestEventLoop:
+    def test_recurrences_fire_with_correct_output(self):
+        server = make_server()
+        server.submit(spec_for("q1"))
+        records = feed(server, 60.0)
+        fired = server.run_until(60.0)
+        assert [(r.query, r.recurrence) for r in fired] == [("q1", 1), ("q1", 2), ("q1", 3)]
+        assert dict(fired[0].output) == expect_counts(records, 0.0, 40.0)
+        assert dict(fired[1].output) == expect_counts(records, 10.0, 50.0)
+        assert server.now >= 60.0
+
+    def test_multi_tenant_due_order(self):
+        server = make_server()
+        server.submit(spec_for("qa", win=20.0, slide=10.0))
+        server.submit(spec_for("qb", win=30.0, slide=15.0))
+        feed(server, 60.0)
+        fired = server.run_until(60.0)
+        dues = [(r.due_time, r.query) for r in fired]
+        assert dues == sorted(dues)
+
+    def test_run_until_past_is_noop(self):
+        server = make_server()
+        server.submit(spec_for("q1"))
+        feed(server, 40.0)
+        server.run_until(40.0)
+        before = server.now
+        assert server.run_until(10.0) == []
+        assert server.now == before
+
+    def test_granularity_independence(self):
+        """Many small ticks produce exactly one big tick's outputs."""
+
+        def run(tick):
+            server = make_server()
+            server.submit(spec_for("qa", win=20.0, slide=10.0))
+            server.submit(spec_for("qb", win=40.0, slide=20.0))
+            i, t = 0, 0.0
+            while t < 80.0 - 1e-9:
+                b, records = batch(i, t, t + 10.0)
+                server.offer(b, records)
+                i += 1
+                t += 10.0
+                boundary = t
+                while tick < 10.0 and boundary - tick > server.now:
+                    server.run_until(server.now + tick)
+                server.run_until(boundary)
+            return [(r.query, r.recurrence, r.output) for r in server.results]
+
+        assert run(10.0) == run(3.0)
+
+    def test_paused_tenant_backlog_fires_on_resume(self):
+        server = make_server()
+        server.submit(spec_for("q1"))
+        feed(server, 40.0)
+        server.pause("q1")
+        assert server.run_until(40.0) == []
+        server.resume("q1")
+        fired = server.run_until(40.0)
+        assert [r.recurrence for r in fired] == [1]
+
+    def test_late_fire_counts_deadline_miss(self):
+        server = make_server()
+        server.submit(spec_for("q1"))
+        server.pause("q1")
+        feed(server, 60.0)
+        server.run_until(60.0)  # clock reaches 60 with nothing fired
+        server.resume("q1")
+        server.run_until(60.0)
+        assert server.counters.get("service.deadline_misses") >= 1
+
+    def test_starved_tenant_counts_data_stall_once(self):
+        server = make_server()
+        server.submit(spec_for("q1"))
+        feed(server, 30.0)  # window 1 needs data through 40
+        server.run_until(50.0)
+        server.run_until(55.0)
+        assert server.counters.get("service.data_stalls") == 1
+        stalls = [
+            e for e in server.tracer.events(category=CAT_SERVICE)
+            if e.name == "data-stall"
+        ]
+        assert len(stalls) == 1
+
+    def test_late_submit_catches_up_on_old_panes(self):
+        server = make_server()
+        server.submit(spec_for("q1"))
+        records = feed(server, 40.0)
+        server.run_until(40.0)
+        server.submit(spec_for("q2", win=20.0, slide=20.0, job_name="wc2"))
+        fired = server.run_until(40.0)
+        assert [(r.query, r.recurrence) for r in fired] == [("q2", 1), ("q2", 2)]
+        assert dict(fired[1].output) == expect_counts(records, 20.0, 40.0)
+        assert server.counters.get("runtime.panes_caught_up") >= 2
+
+
+class TestCheckpointRestore:
+    def test_restore_resumes_mid_stream(self, tmp_path):
+        server = make_server()
+        server.submit(spec_for("q1"))
+        all_records = []
+        for i in range(6):
+            b, records = batch(i, i * 10.0, (i + 1) * 10.0)
+            all_records.extend(records)
+
+        def drive(srv, upto):
+            for i in range(6):
+                b, records = batch(i, i * 10.0, (i + 1) * 10.0)
+                if b.t_end <= upto:
+                    srv.offer(b, records)
+                    srv.run_until(b.t_end)
+
+        def fingerprints(srv):
+            return [
+                (r.query, r.recurrence, r.due_time, r.finish_time, r.output)
+                for r in srv.results
+            ]
+
+        drive(server, 50.0)
+        assert len(server.results) == 2
+        path = server.checkpoint(tmp_path / "ck.bin")
+        dead_results = fingerprints(server)
+        del server
+
+        restored = QueryServer.restore(path)
+        assert restored.tenants() == {"q1": "running"}
+        assert fingerprints(restored) == dead_results
+        # Replaying the full schedule: covered offers are stale.
+        b0, r0 = batch(0, 0.0, 10.0)
+        assert restored.offer(b0, r0) == STALE
+        drive(restored, 60.0)
+        restored.run_until(60.0)
+        outputs = {r.recurrence: dict(r.output) for r in restored.results}
+        assert outputs[3] == expect_counts(all_records, 20.0, 60.0)
+        assert restored.counters.get("service.restores") == 1
+
+    def test_restore_rejects_foreign_pickle(self, tmp_path):
+        from repro.service import save_checkpoint
+        from .factories import wordcount_query
+
+        spec = spec_for("q1")
+        query = wordcount_query(40.0, 10.0, name="q1")
+        path = save_checkpoint(
+            tmp_path / "ck.bin",
+            specs={"q1": spec},
+            queries={"q1": query},
+            graph={"not": "a server"},
+        )
+        with pytest.raises(CheckpointError, match="QueryServer"):
+            QueryServer.restore(path)
+
+    def test_pending_channel_batches_survive(self, tmp_path):
+        server = make_server()
+        server.submit(spec_for("q1"))
+        b0, r0 = batch(0, 0.0, 10.0)
+        server.offer(b0, r0)  # never delivered
+        path = server.checkpoint(tmp_path / "ck.bin")
+        restored = QueryServer.restore(path)
+        assert len(restored.channels["S1"]) == 1
+        assert restored.channels["S1"].peek_time() == 10.0
