@@ -195,6 +195,7 @@ def fig9_fault_tolerance(
     scale: float = 1.0,
     num_windows: int = 10,
     cache_loss_fraction: float = 0.5,
+    cache_corruption_fraction: float = 0.0,
     cluster_config: ClusterConfig = DEFAULT_CONFIG,
     seed: int = 7,
     node_failure_window: Optional[int] = None,
@@ -204,6 +205,12 @@ def fig9_fault_tolerance(
     The paper uses an FFG aggregation at overlap 0.5 and compares
     Hadoop and Redoop with (f) and without injected failures. Series
     are plotted as cumulative running time.
+
+    ``cache_corruption_fraction`` > 0 adds a ``redoop(c)`` series in
+    which that fraction of live caches is *silently corrupted* (not
+    destroyed) before each window — the integrity complement of the
+    loss experiment: no metadata changes, so the runtime must catch the
+    checksum mismatch on read and funnel it through the same rollback.
 
     ``node_failure_window`` additionally runs a ``redoop(node-f)``
     series in which one whole slave node is killed right before that
@@ -243,6 +250,16 @@ def fig9_fault_tolerance(
             workload=workload,
         ),
     }
+    if cache_corruption_fraction > 0:
+        results["redoop(c)"] = run_redoop_series(
+            config,
+            label="redoop(c)",
+            cache_corruption_injector=FaultInjector(
+                cache_corruption_fraction=cache_corruption_fraction,
+                seed=seed,
+            ),
+            workload=workload,
+        )
     if node_failure_window is not None:
         if not 1 <= node_failure_window <= num_windows:
             raise ValueError(

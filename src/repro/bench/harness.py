@@ -289,6 +289,7 @@ def run_redoop_series(
     enable_output_cache: bool = True,
     use_pane_headers: bool = True,
     cache_failure_injector: Optional[FaultInjector] = None,
+    cache_corruption_injector: Optional[FaultInjector] = None,
     node_failure_window: Optional[int] = None,
     node_failure_injector: Optional[FaultInjector] = None,
     workload: Optional[Mapping[str, List[Tuple[BatchFile, List[Record]]]]] = None,
@@ -298,12 +299,16 @@ def run_redoop_series(
 
     ``cache_failure_injector`` reproduces Fig. 9: before each window's
     execution the injector destroys a fraction of live caches.
-    ``node_failure_window`` kills one whole node (picked by
-    ``node_failure_injector``, or a seeded default) right before that
-    recurrence executes and brings it back before the next one — the
-    end-to-end slave-failure scenario of Sec. 5. ``tracer`` supplies
-    the span spine (one is created per run otherwise); it is returned
-    on the series for export.
+    ``cache_corruption_injector`` is the integrity variant: before each
+    window a fraction of live caches is silently tampered instead of
+    destroyed — the runtime must detect the checksum mismatch on read
+    and recover, so this series measures the cost of detection plus
+    rebuild rather than of plain loss. ``node_failure_window`` kills
+    one whole node (picked by ``node_failure_injector``, or a seeded
+    default) right before that recurrence executes and brings it back
+    before the next one — the end-to-end slave-failure scenario of
+    Sec. 5. ``tracer`` supplies the span spine (one is created per run
+    otherwise); it is returned on the series for export.
     """
     workload = workload or build_workload(config)
     cluster = Cluster(config.cluster_config, seed=config.seed)
@@ -342,6 +347,8 @@ def run_redoop_series(
             recovery.fail_node(failed_node)
         if cache_failure_injector is not None and recurrence > 1:
             recovery.inject_pane_cache_failures(cache_failure_injector)
+        if cache_corruption_injector is not None and recurrence > 1:
+            recovery.inject_cache_corruption(cache_corruption_injector)
         results.append(runtime.run_recurrence(query.name, recurrence))
     if failed_node is not None:
         recovery.recover_node(failed_node)

@@ -1,0 +1,261 @@
+"""Execute a workload under a :class:`~repro.chaos.schedule.ChaosSchedule`.
+
+:func:`run_chaos_series` mirrors the benchmark harness's
+``run_redoop_series`` loop — same workload construction, same
+ingest/execute interleaving, same per-window metrics — but threads a
+fault schedule through it: events fire *between ingest steps* as soon
+as virtual time passes their ``at``, not merely at window boundaries.
+After every injection (and every recurrence) the structural invariants
+are checked, so a rollback bug is pinned to the event that exposed it
+rather than to a wrong digest three windows later.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Mapping, Optional, Tuple
+
+from ..bench.harness import (
+    ExperimentConfig,
+    SeriesResult,
+    WindowMetrics,
+    build_workload,
+)
+from ..core.recovery import RecoveryManager
+from ..core.runtime import RecurrenceResult, RedoopRuntime
+from ..hadoop.cluster import Cluster
+from ..hadoop.faults import FaultInjector
+from ..trace import CAT_CHAOS, Tracer
+from .invariants import check_invariants
+from .schedule import ChaosEvent, ChaosSchedule
+
+__all__ = ["ChaosReport", "run_chaos_series"]
+
+
+@dataclass(slots=True)
+class ChaosReport:
+    """Everything a chaos run produced, for the oracle and the CLI."""
+
+    schedule: ChaosSchedule
+    series: SeriesResult
+    #: ``describe()`` strings of events actually applied, in order.
+    events_applied: List[str] = field(default_factory=list)
+    #: Recurrences that ended degraded (attempt exhaustion).
+    degraded_windows: List[int] = field(default_factory=list)
+    #: Invariant violations, prefixed with the checkpoint that saw them.
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no structural invariant was ever violated."""
+        return not self.violations
+
+
+class _ChaosRun:
+    """One chaos execution; holds the mutable mid-run state."""
+
+    def __init__(
+        self,
+        config: ExperimentConfig,
+        schedule: ChaosSchedule,
+        *,
+        label: str,
+        workload,
+        check: bool,
+        tracer: Optional[Tracer],
+    ) -> None:
+        self.config = config
+        self.schedule = schedule
+        self.check = check
+        self.workload = workload or build_workload(config)
+        self.cluster = Cluster(config.cluster_config, seed=config.seed)
+        self.injector = FaultInjector(seed=schedule.seed)
+        self.runtime = RedoopRuntime(
+            self.cluster, fault_injector=self.injector, tracer=tracer
+        )
+        self.query = config.build_query()
+        self.runtime.register_query(
+            self.query, {src: config.rate for src in config.sources}
+        )
+        self.recovery = RecoveryManager(self.runtime)
+        self.pending: List[tuple] = sorted(
+            (item for items in self.workload.values() for item in items),
+            key=lambda bw: (bw[0].t_end, bw[0].source),
+        )
+        self.cursor = 0
+        self.label = label
+        #: Nodes currently down, oldest failure first (node-recover
+        #: with no explicit node_id revives the longest-dead one).
+        self.down_nodes: List[int] = []
+        self.report = ChaosReport(schedule=schedule, series=None)  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    # event application
+    # ------------------------------------------------------------------
+
+    def apply(self, event: ChaosEvent) -> None:
+        when = max(self.cluster.clock.now, event.at)
+        applied = True
+        if event.kind == "task-kill":
+            self.injector.task_failure_prob = event.prob
+        elif event.kind == "task-exhaust":
+            self.injector.doom(event.doom)
+        elif event.kind == "node-kill":
+            live = self.cluster.live_node_ids()
+            if len(live) <= 1:
+                applied = False  # never kill the last node
+            else:
+                node_id = (
+                    event.node_id
+                    if event.node_id is not None
+                    else self.injector.pick_node_victim(live)
+                )
+                if self.cluster.node(node_id).alive:
+                    self.recovery.fail_node(node_id)
+                    self.down_nodes.append(node_id)
+                else:
+                    applied = False
+        elif event.kind == "node-recover":
+            node_id = event.node_id
+            if node_id is None:
+                node_id = self.down_nodes[0] if self.down_nodes else None
+            if node_id is None or self.cluster.node(node_id).alive:
+                applied = False
+            else:
+                self.recovery.recover_node(node_id)
+                self.down_nodes.remove(node_id)
+        elif event.kind == "cache-loss":
+            self.recovery.inject_cache_failures(
+                self.injector,
+                cache_type=event.cache_type,
+                fraction=event.fraction,
+            )
+        elif event.kind == "cache-corrupt":
+            self.recovery.inject_cache_corruption(
+                self.injector,
+                cache_type=event.cache_type,
+                fraction=event.fraction,
+            )
+        elif event.kind == "slow-node":
+            if self.cluster.node(event.node_id).alive:
+                self.cluster.set_node_speed(event.node_id, event.speed)
+            else:
+                applied = False
+        elif event.kind == "ingest-burst":
+            burst = 0
+            while burst < event.count and self.cursor < len(self.pending):
+                self.runtime.ingest(*self.pending[self.cursor])
+                self.cursor += 1
+                burst += 1
+            applied = burst > 0
+
+        if not applied:
+            return
+        self.runtime.counters.increment("chaos.events_injected")
+        self.runtime.tracer.instant(
+            "chaos.event",
+            CAT_CHAOS,
+            time=when,
+            node_id=event.node_id,
+            kind=event.kind,
+            detail=event.describe(),
+        )
+        self.report.events_applied.append(event.describe())
+        self.check_now(f"after {event.describe()}")
+
+    def check_now(self, where: str) -> None:
+        if not self.check:
+            return
+        for violation in check_invariants(self.runtime):
+            self.report.violations.append(f"{where}: {violation}")
+
+    # ------------------------------------------------------------------
+    # the run loop (mirrors run_redoop_series, plus event interleaving)
+    # ------------------------------------------------------------------
+
+    def run(self) -> ChaosReport:
+        events = list(self.schedule.events)
+        ei = 0
+        results: List[RecurrenceResult] = []
+        for recurrence in range(1, self.config.num_windows + 1):
+            due = self.query.execution_time(recurrence)
+            while (
+                self.cursor < len(self.pending)
+                and self.pending[self.cursor][0].t_end <= due + 1e-9
+            ):
+                t_next = self.pending[self.cursor][0].t_end
+                if ei < len(events) and events[ei].at <= t_next + 1e-9:
+                    self.apply(events[ei])
+                    ei += 1
+                    # Re-evaluate: an ingest-burst may have moved the cursor.
+                    continue
+                self.runtime.ingest(*self.pending[self.cursor])
+                self.cursor += 1
+            while ei < len(events) and events[ei].at <= due + 1e-9:
+                self.apply(events[ei])
+                ei += 1
+            result = self.runtime.run_recurrence(self.query.name, recurrence)
+            results.append(result)
+            if result.degraded:
+                self.report.degraded_windows.append(recurrence)
+            self.check_now(f"after window {recurrence}")
+        # Leftover events (e.g. the recover half of a late kill).
+        while ei < len(events):
+            self.apply(events[ei])
+            ei += 1
+
+        self.report.series = SeriesResult(
+            label=self.label,
+            tracer=self.runtime.tracer,
+            windows=[
+                WindowMetrics(
+                    recurrence=r.recurrence,
+                    due_time=r.due_time,
+                    finish_time=r.finish_time,
+                    response_time=r.response_time,
+                    phases=r.phase_times,
+                    output_pairs=len(r.output),
+                )
+                for r in results
+            ],
+            output_digests=[
+                tuple(sorted(map(repr, r.output))) for r in results
+            ],
+        )
+        return self.report
+
+
+def run_chaos_series(
+    config: ExperimentConfig,
+    schedule: ChaosSchedule,
+    *,
+    label: str = "chaos",
+    workload: Optional[Mapping] = None,
+    check: bool = True,
+    tracer: Optional[Tracer] = None,
+) -> ChaosReport:
+    """Run ``config``'s workload on Redoop under a chaos schedule.
+
+    Parameters
+    ----------
+    config:
+        The experiment (same type the benchmark harness uses).
+    schedule:
+        The fault composition; its seed drives every random choice the
+        injections make, so a run replays exactly.
+    workload:
+        Pre-built batches (share one workload across the fault-free and
+        chaos runs of a differential comparison).
+    check:
+        Run the structural invariant checker after every injection and
+        every recurrence (on by default; the cost is trivial).
+    """
+    run = _ChaosRun(
+        config,
+        schedule,
+        label=label,
+        workload=workload,
+        check=check,
+        tracer=tracer,
+    )
+    return run.run()

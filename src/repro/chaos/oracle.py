@@ -1,0 +1,114 @@
+"""The differential recovery oracle: fault-free run vs. chaos run.
+
+Redoop's recovery contract (paper Sec. 5) is *output neutrality*: for
+every recoverable fault, metadata rollback plus re-execution yields the
+same per-window answers the fault-free run produced — faults may cost
+time, never correctness. The oracle makes the contract executable:
+
+1. build one workload;
+2. run it fault-free (the benchmark harness's ``run_redoop_series``);
+3. run it again under a :class:`~repro.chaos.schedule.ChaosSchedule`
+   on an independent but identically-seeded cluster;
+4. compare the per-window output digests.
+
+Digests are placement- and timing-independent (sorted reprs of the
+final output pairs), so retries, node kills, cache loss/corruption and
+stragglers must not move them. The one sanctioned divergence is a
+*degraded* window — attempt exhaustion, the non-recoverable fault —
+whose output is empty by design; the oracle checks instead that every
+window *after* it converges back to the fault-free answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..bench.harness import ExperimentConfig, SeriesResult, build_workload, run_redoop_series
+from .driver import ChaosReport, run_chaos_series
+from .schedule import ChaosSchedule
+
+__all__ = ["DifferentialReport", "run_differential"]
+
+
+@dataclass(slots=True)
+class DifferentialReport:
+    """Outcome of one fault-free-vs-chaos comparison."""
+
+    schedule: ChaosSchedule
+    baseline: SeriesResult
+    chaos: ChaosReport
+    #: Non-degraded windows whose digests differ from the baseline.
+    mismatched_windows: List[int] = field(default_factory=list)
+
+    @property
+    def degraded_windows(self) -> List[int]:
+        return self.chaos.degraded_windows
+
+    @property
+    def violations(self) -> List[str]:
+        return self.chaos.violations
+
+    @property
+    def ok(self) -> bool:
+        """Recovery held: digests match everywhere they must, and the
+        structural invariants never broke."""
+        return not self.mismatched_windows and not self.chaos.violations
+
+    def summary(self) -> str:
+        """One paragraph for CLI output / CI logs."""
+        lines = [
+            f"seed={self.schedule.seed} events={len(self.schedule)} "
+            f"applied={len(self.chaos.events_applied)} "
+            f"windows={len(self.baseline.windows)}",
+        ]
+        for desc in self.chaos.events_applied:
+            lines.append(f"  injected {desc}")
+        if self.degraded_windows:
+            lines.append(
+                "  degraded windows (empty output, by design): "
+                + ", ".join(map(str, self.degraded_windows))
+            )
+        if self.mismatched_windows:
+            lines.append(
+                "  DIGEST MISMATCH in windows: "
+                + ", ".join(map(str, self.mismatched_windows))
+            )
+        for violation in self.chaos.violations:
+            lines.append(f"  INVARIANT VIOLATION {violation}")
+        lines.append("  verdict: " + ("OK" if self.ok else "FAILED"))
+        return "\n".join(lines)
+
+
+def run_differential(
+    config: ExperimentConfig,
+    schedule: ChaosSchedule,
+    *,
+    check: bool = True,
+) -> DifferentialReport:
+    """Run the differential oracle for one ``(config, schedule)`` pair.
+
+    Both runs share one generated workload but execute on independent,
+    identically-seeded clusters, so the only difference between them is
+    the injected faults — any digest divergence outside degraded
+    windows is a recovery bug, not noise.
+    """
+    workload = build_workload(config)
+    baseline = run_redoop_series(config, label="fault-free", workload=workload)
+    chaos = run_chaos_series(
+        config, schedule, label="chaos", workload=workload, check=check
+    )
+    degraded = set(chaos.degraded_windows)
+    mismatched = [
+        i + 1
+        for i, (want, got) in enumerate(
+            zip(baseline.output_digests, chaos.series.output_digests)
+        )
+        if (i + 1) not in degraded and want != got
+    ]
+    return DifferentialReport(
+        schedule=schedule,
+        baseline=baseline,
+        chaos=chaos,
+        mismatched_windows=mismatched,
+    )

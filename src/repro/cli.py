@@ -52,6 +52,7 @@ _EXPERIMENTS = {
     "fig7": "join response times + phase split per overlap",
     "fig8": "adaptive partitioning under 2x load spikes",
     "fig9": "fault tolerance (cumulative time, cache removals)",
+    "chaos": "differential recovery oracle under seeded fault schedules",
     "headline": "the 'up to 9x' best-case speedups",
     "ablations": "pane headers / cache levels / Eq.4 scheduling",
     "report": "per-window phase/cache/task report from a --trace-out JSON",
@@ -110,6 +111,65 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="W",
         help="also run redoop(node-f): kill one node before window W, "
         "recover it before window W+1",
+    )
+    fig9.add_argument(
+        "--cache-corruption",
+        type=float,
+        default=0.0,
+        metavar="FRACTION",
+        help="also run redoop(c): silently corrupt this fraction of live "
+        "caches before each window (checksums must catch it)",
+    )
+    chaos = sub.add_parser("chaos", help=_EXPERIMENTS["chaos"])
+    chaos.add_argument(
+        "--seed", type=int, default=1, help="first schedule seed (default 1)"
+    )
+    chaos.add_argument(
+        "--seeds",
+        type=int,
+        default=1,
+        metavar="N",
+        help="sweep N consecutive seeds starting at --seed (default 1)",
+    )
+    chaos.add_argument(
+        "--scale",
+        type=float,
+        default=0.05,
+        help="fraction of paper-scale data volume (default 0.05)",
+    )
+    chaos.add_argument(
+        "--windows", type=int, default=5, help="windows per run (default 5)"
+    )
+    chaos.add_argument(
+        "--events-per-window",
+        type=float,
+        default=1.5,
+        help="average injected events per window (default 1.5)",
+    )
+    chaos.add_argument(
+        "--exhaust-window",
+        type=int,
+        default=None,
+        metavar="W",
+        help="also doom window W's combine task to attempt exhaustion "
+        "(expects a degraded window, not a wrong answer)",
+    )
+    chaos.add_argument(
+        "--schedule-in",
+        metavar="FILE",
+        help="replay this schedule JSON (ignores --seeds and the "
+        "generator knobs)",
+    )
+    chaos.add_argument(
+        "--schedule-out",
+        metavar="FILE",
+        help="write the first failing schedule (else the last one run) "
+        "as JSON here",
+    )
+    chaos.add_argument(
+        "--trace-out",
+        help="write Chrome-trace/Perfetto JSON of the last fault-free + "
+        "chaos pair here",
     )
     headline = sub.add_parser("headline", help=_EXPERIMENTS["headline"])
     headline.add_argument("--scale", type=float, default=0.5)
@@ -320,6 +380,67 @@ def _run_serve(args) -> int:
     return 0
 
 
+def _run_chaos(args) -> int:
+    """The differential recovery oracle (fig7 join workload, overlap 0.5).
+
+    Exit status 0 means every seed's chaos run matched the fault-free
+    run on all non-degraded windows with zero invariant violations;
+    1 means recovery broke somewhere — the offending schedule is
+    written to ``--schedule-out`` (when given) for replay.
+    """
+    from pathlib import Path
+
+    from .bench import join_config
+    from .chaos import ChaosSchedule, run_differential
+
+    config = join_config(0.5, scale=args.scale, num_windows=args.windows)
+    seeds = [args.seed] if args.schedule_in else list(
+        range(args.seed, args.seed + args.seeds)
+    )
+    failing_schedule: Optional[ChaosSchedule] = None
+    last_schedule: Optional[ChaosSchedule] = None
+    last_report = None
+    failures = 0
+    for seed in seeds:
+        if args.schedule_in:
+            schedule = ChaosSchedule.from_json(
+                Path(args.schedule_in).read_text()
+            )
+        else:
+            schedule = ChaosSchedule.random(
+                seed,
+                horizon=config.horizon,
+                num_nodes=config.cluster_config.num_nodes,
+                num_windows=config.num_windows,
+                slide=config.slide,
+                events_per_window=args.events_per_window,
+                exhaust_window=args.exhaust_window,
+            )
+        report = run_differential(config, schedule)
+        print(report.summary())
+        last_schedule, last_report = schedule, report
+        if not report.ok:
+            failures += 1
+            if failing_schedule is None:
+                failing_schedule = schedule
+    print(f"chaos: {len(seeds) - failures}/{len(seeds)} seed(s) ok")
+    if args.schedule_out and last_schedule is not None:
+        dumped = failing_schedule or last_schedule
+        Path(args.schedule_out).write_text(dumped.to_json() + "\n")
+        kind = "failing" if failing_schedule else "last"
+        print(f"wrote {kind} schedule to {args.schedule_out}")
+    if args.trace_out and last_report is not None:
+        count = export_chrome_trace(
+            {
+                "fault-free": last_report.baseline.tracer,
+                "chaos": last_report.chaos.series.tracer,
+            },
+            args.trace_out,
+        )
+        print(f"wrote {count} trace events to {args.trace_out}")
+    return 1 if failures else 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
@@ -330,6 +451,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.command == "serve":
         return _run_serve(args)
+
+    if args.command == "chaos":
+        return _run_chaos(args)
 
     if args.command == "report":
         document = load_chrome_trace(args.trace)
@@ -360,6 +484,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         series = fig9_fault_tolerance(
             scale=args.scale,
             num_windows=args.windows,
+            cache_corruption_fraction=args.cache_corruption,
             node_failure_window=args.node_failure_window,
         )
         print(format_cumulative_table(series, title="Fig 9 cumulative time"))

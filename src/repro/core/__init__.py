@@ -28,9 +28,11 @@ from .cache_controller import (
 from .cache_registry import (
     REDUCE_INPUT,
     REDUCE_OUTPUT,
+    CacheCorruptionError,
     CacheEntry,
     LocalCacheRegistry,
     cache_file_name,
+    payload_checksum,
 )
 from .data_packer import DynamicDataPacker, PackedPane, PaneFileHeader, PaneLocator
 from .panes import (
@@ -52,6 +54,7 @@ from .status_matrix import CacheStatusMatrix
 __all__ = [
     "CACHE_AVAILABLE",
     "CacheAwareTaskScheduler",
+    "CacheCorruptionError",
     "CacheEntry",
     "CacheSignature",
     "CacheStatusMatrix",
@@ -91,4 +94,5 @@ __all__ = [
     "pane_file_name",
     "pane_name",
     "parse_pane_name",
+    "payload_checksum",
 ]

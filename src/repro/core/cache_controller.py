@@ -164,6 +164,15 @@ class WindowAwareCacheController:
         """The pane's ready bit (0, 1, or 2)."""
         return self._pane_ready.get(pid, NOT_AVAILABLE)
 
+    def ready_states(self) -> List[Tuple[str, int]]:
+        """Snapshot of every pane's ready bit, sorted by pid.
+
+        Used by the chaos invariant checker (ready bits vs. registry
+        entries) and by degraded-window rollback to restore the
+        runtime's map-eligible set.
+        """
+        return sorted(self._pane_ready.items())
+
     def pane_arrived(self, pid: str) -> None:
         """A pane file landed in HDFS: ready becomes HDFS_AVAILABLE."""
         if self._pane_ready.get(pid, NOT_AVAILABLE) < HDFS_AVAILABLE:

@@ -18,6 +18,7 @@ about to run out of space.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
@@ -26,8 +27,10 @@ from ..hadoop.node import TaskNode
 __all__ = [
     "REDUCE_INPUT",
     "REDUCE_OUTPUT",
+    "CacheCorruptionError",
     "CacheEntry",
     "LocalCacheRegistry",
+    "payload_checksum",
 ]
 
 #: Cache type codes, matching the paper's Table 1 domain.
@@ -35,6 +38,36 @@ REDUCE_INPUT = 1
 REDUCE_OUTPUT = 2
 
 _VALID_TYPES = (REDUCE_INPUT, REDUCE_OUTPUT)
+
+
+class CacheCorruptionError(Exception):
+    """A cache file's content no longer matches its recorded checksum.
+
+    Caches live on node-local disks outside HDFS's protection (paper
+    Sec. 5), so bit rot or partial writes would otherwise flow silently
+    into window outputs. The registry detects the mismatch on read; the
+    runtime funnels it through the same rollback path as cache loss.
+    """
+
+    def __init__(self, node_id: int, pid: str, cache_type: int, partition: int):
+        super().__init__(
+            f"cache pid={pid!r} type={cache_type} partition={partition} "
+            f"on node {node_id} failed its checksum"
+        )
+        self.node_id = node_id
+        self.pid = pid
+        self.cache_type = cache_type
+        self.partition = partition
+
+
+def payload_checksum(payload: Any) -> str:
+    """Content digest of a cache payload (truncated sha256 over repr).
+
+    The simulation stores payloads as Python objects rather than bytes,
+    so the digest covers the canonical ``repr`` — deterministic for the
+    list/tuple/scalar data that flows through reduce caches.
+    """
+    return hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()[:16]
 
 
 @dataclass(slots=True)
@@ -46,6 +79,8 @@ class CacheEntry:
     partition: int
     size: int
     expiration: bool = False
+    #: Content digest recorded at write time; ``None`` on legacy entries.
+    checksum: Optional[str] = None
 
     @property
     def local_name(self) -> str:
@@ -116,7 +151,11 @@ class LocalCacheRegistry:
         if partition < 0:
             raise ValueError("partition indices are non-negative")
         entry = CacheEntry(
-            pid=pid, cache_type=cache_type, partition=partition, size=size
+            pid=pid,
+            cache_type=cache_type,
+            partition=partition,
+            size=size,
+            checksum=payload_checksum(payload),
         )
         self.node.store_local(entry.local_name, size, payload, created_at=now)
         self._entries[(pid, cache_type, partition)] = entry
@@ -148,7 +187,30 @@ class LocalCacheRegistry:
             )
         entry = self._entries[(pid, cache_type, partition)]
         lf = self.node.read_local(entry.local_name)
+        if (
+            entry.checksum is not None
+            and payload_checksum(lf.payload) != entry.checksum
+        ):
+            raise CacheCorruptionError(
+                self.node.node_id, pid, cache_type, partition
+            )
         return lf.payload, lf.size
+
+    def verify(self, pid: str, cache_type: int, partition: int) -> bool:
+        """``True`` iff the entry is live *and* its content checks out.
+
+        Non-raising companion to :meth:`read` for pre-window integrity
+        probes (``_pane_caches_intact``): a corrupt entry simply reads
+        as absent so planning falls back to re-execution.
+        """
+        if not self.has(pid, cache_type, partition):
+            return False
+        entry = self._entries[(pid, cache_type, partition)]
+        lf = self.node.read_local(entry.local_name)
+        return (
+            entry.checksum is None
+            or payload_checksum(lf.payload) == entry.checksum
+        )
 
     def entries(self) -> List[CacheEntry]:
         """Snapshot of all registry rows (live and expired)."""

@@ -89,31 +89,54 @@ class RecoveryManager:
         the runtime re-marks the pane map-eligible), and any scheduled
         reduce task that depended on the cache leaves the reduce task
         list ("the scheduled tasks, using this cache, must be removed
-        from the ReduceTaskList immediately").
+        from the ReduceTaskList immediately"). The rollback itself is
+        :meth:`~repro.core.runtime.RedoopRuntime.discard_cache` — the
+        same path corruption detection and degraded windows take.
+        """
+        self.runtime.discard_cache(
+            victim.node_id, victim.pid, victim.cache_type, victim.partition
+        )
+
+    def corrupt_cache(self, victim: LostCache) -> None:
+        """Silently tamper with one cache partition's content.
+
+        Unlike :meth:`destroy_cache`, no metadata changes: the registry
+        row, controller ready bit, and placement all still claim the
+        cache is good. The tampering only surfaces when the runtime
+        reads the entry and its checksum fails — which must then funnel
+        through the same rollback as a lost cache instead of leaking a
+        wrong window.
         """
         runtime = self.runtime
-        registries = runtime.registries()
-        registry = registries.get(victim.node_id)
+        registry = runtime.registries().get(victim.node_id)
         if registry is None:
             raise ValueError(f"node {victim.node_id} holds no caches")
         name = cache_file_name(victim.pid, victim.cache_type, victim.partition)
-        if registry.node.has_local(name):
-            registry.node.delete_local(name)
-        registry.drop_lost(victim.pid, victim.cache_type, victim.partition)
-        runtime.controller.cache_lost(
-            victim.pid, victim.cache_type, victim.partition
-        )
-        runtime.scheduler.drop_reduce_tasks_using(victim.pid)
-        runtime.counters.increment("faults.caches_destroyed")
+        node = registry.node
+        if not node.has_local(name):
+            raise ValueError(f"node {victim.node_id} holds no file {name!r}")
+        lf = node.read_local(name)
+        poisoned = self._tamper(lf.payload)
+        node.store_local(name, lf.size, poisoned, created_at=lf.created_at)
+        runtime.counters.increment("faults.caches_corrupted")
         runtime.tracer.instant(
-            "cache.lost",
-            "fault",
+            "chaos.cache_corrupted",
+            "chaos",
             time=runtime.cluster.clock.now,
             node_id=victim.node_id,
             pid=victim.pid,
             cache_type=victim.cache_type,
             partition=victim.partition,
         )
+
+    @staticmethod
+    def _tamper(payload: object) -> object:
+        """A minimal content mutation that defeats the repr checksum."""
+        if isinstance(payload, list):
+            return payload + [("__corrupt__", -1)]
+        if isinstance(payload, tuple):
+            return payload + (("__corrupt__", -1),)
+        return ("__corrupt__", payload)
 
     def inject_pane_cache_failures(
         self, injector: FaultInjector
@@ -136,7 +159,11 @@ class RecoveryManager:
         return destroyed
 
     def inject_cache_failures(
-        self, injector: FaultInjector, *, cache_type: Optional[int] = None
+        self,
+        injector: FaultInjector,
+        *,
+        cache_type: Optional[int] = None,
+        fraction: Optional[float] = None,
     ) -> List[LostCache]:
         """Destroy a random fraction of live caches (Fig. 9 experiment).
 
@@ -147,16 +174,43 @@ class RecoveryManager:
         cache_type:
             Restrict victims to one cache type (e.g. only reduce-output
             caches); ``None`` targets both types.
+        fraction:
+            Override the injector's ``cache_loss_fraction`` for this
+            round (chaos events carry their own fractions).
         """
         pool = self.live_caches()
         if cache_type is not None:
             pool = [c for c in pool if c.cache_type == cache_type]
         by_key = {c.key: c for c in pool}
-        victims = injector.pick_cache_victims(sorted(by_key))
+        victims = injector.pick_cache_victims(sorted(by_key), fraction=fraction)
         destroyed = [by_key[k] for k in victims]
         for victim in destroyed:
             self.destroy_cache(victim)
         return destroyed
+
+    def inject_cache_corruption(
+        self,
+        injector: FaultInjector,
+        *,
+        cache_type: Optional[int] = None,
+        fraction: Optional[float] = None,
+    ) -> List[LostCache]:
+        """Silently corrupt a random fraction of live caches.
+
+        The complement of :meth:`inject_cache_failures`: nothing is
+        rolled back here — detection is the runtime's job, via the
+        content checksums, when (and only when) the poisoned entry is
+        next read.
+        """
+        pool = self.live_caches()
+        if cache_type is not None:
+            pool = [c for c in pool if c.cache_type == cache_type]
+        by_key = {c.key: c for c in pool}
+        victims = injector.pick_corruption_victims(sorted(by_key), fraction=fraction)
+        corrupted = [by_key[k] for k in victims]
+        for victim in corrupted:
+            self.corrupt_cache(victim)
+        return corrupted
 
     # ------------------------------------------------------------------
     # node failures
@@ -179,8 +233,23 @@ class RecoveryManager:
         for pid, _cache_type, _partition in lost:
             runtime.scheduler.drop_reduce_tasks_using(pid)
         runtime.counters.increment("faults.nodes_failed")
+        runtime.tracer.instant(
+            "node.lost",
+            "fault",
+            time=runtime.cluster.clock.now,
+            node_id=node_id,
+            caches_lost=len(lost),
+        )
         return lost
 
     def recover_node(self, node_id: int) -> None:
         """Bring a failed node back with empty local state."""
-        self.runtime.cluster.recover_node(node_id)
+        runtime = self.runtime
+        runtime.cluster.recover_node(node_id)
+        runtime.counters.increment("faults.nodes_recovered")
+        runtime.tracer.instant(
+            "node.rejoined",
+            "fault",
+            time=runtime.cluster.clock.now,
+            node_id=node_id,
+        )

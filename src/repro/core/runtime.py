@@ -48,7 +48,7 @@ from typing import (
 from ..hadoop.catalog import BatchFile
 from ..hadoop.cluster import Cluster
 from ..hadoop.counters import Counters, PhaseTimes
-from ..hadoop.faults import FaultInjector
+from ..hadoop.faults import FaultInjector, TaskAttemptsExhaustedError
 from ..hadoop.node import MAP_SLOT, REDUCE_SLOT, TaskNode
 from ..hadoop.shuffle import group_sorted, sort_pairs
 from ..hadoop.task import execute_map
@@ -72,7 +72,9 @@ from .cache_controller import (
 from .cache_registry import (
     REDUCE_INPUT,
     REDUCE_OUTPUT,
+    CacheCorruptionError,
     LocalCacheRegistry,
+    cache_file_name,
 )
 from .data_packer import DynamicDataPacker
 from .panes import WindowSpec, pane_name
@@ -108,6 +110,9 @@ class RecurrenceResult:
     phase_times: PhaseTimes
     output: List[KeyValue]
     counters: Counters
+    #: The window was abandoned after attempt exhaustion: its caches
+    #: were rolled back, its output is empty, later windows proceed.
+    degraded: bool = False
 
     @property
     def response_time(self) -> float:
@@ -274,6 +279,13 @@ class RedoopRuntime:
         #: pids whose ready bit says HDFS_AVAILABLE: their map task is
         #: schedulable (Sec. 4.3 — fed by controller transitions).
         self._map_eligible: Set[str] = set()
+        #: Caches published by the recurrence currently executing, as
+        #: ``(node_id, pid, cache_type, partition)`` — ``None`` outside
+        #: a recurrence. A degraded window rolls these back so partial
+        #: results never leak into later recurrences.
+        self._recurrence_cache_log: Optional[
+            List[Tuple[int, str, int, int]]
+        ] = None
         self.controller.add_ready_listener(self._on_ready_transition)
 
     def _on_ready_transition(self, pid: str, old: int, new: int) -> None:
@@ -806,6 +818,8 @@ class RedoopRuntime:
             name: self.tracer.begin(name, CAT_PHASE, t0, parent=rec_span)
             for name in PHASE_NAMES
         }
+        degraded = False
+        self._recurrence_cache_log = []
         try:
             # ----- map + pane-reduce for panes lacking caches ----------
             map_finishes: List[float] = []
@@ -853,8 +867,19 @@ class RedoopRuntime:
             self._close_phase_spans(
                 t0, maps_done, first_map_done, shuffle_done, finish
             )
+        except TaskAttemptsExhaustedError as exc:
+            # Graceful degradation: a task burned every attempt. Plain
+            # Hadoop fails the job; Redoop abandons only this window —
+            # roll back its published caches, flush its pending tasks,
+            # record the degradation, and let later recurrences proceed.
+            degraded = True
+            finish = max(self.cluster.clock.now, t0)
+            outputs = {}
+            phases = PhaseTimes(map=0.0, shuffle=0.0, reduce=0.0)
+            self._degrade_recurrence(state, recurrence, exc, counters, finish)
         finally:
             self._phase_spans = None
+            self._recurrence_cache_log = None
         self.tracer.end(
             rec_span,
             finish,
@@ -865,6 +890,7 @@ class RedoopRuntime:
                 "reduce": phases.reduce,
             },
             counters=counters.as_dict(),
+            degraded=degraded,
         )
         self.tracer.extend(self._run_span, finish)
 
@@ -882,10 +908,61 @@ class RedoopRuntime:
             phase_times=phases,
             output=output_pairs,
             counters=counters,
+            degraded=degraded,
         )
         self._after_recurrence(state, result)
         state.next_recurrence = recurrence + 1
         return result
+
+    def _degrade_recurrence(
+        self,
+        state: _QueryState,
+        recurrence: int,
+        exc: TaskAttemptsExhaustedError,
+        counters: Counters,
+        finish: float,
+    ) -> None:
+        """Abandon the current window after attempt exhaustion.
+
+        Sec. 5's rollback, applied to a *window* instead of a cache:
+        every cache the doomed recurrence published is discarded (their
+        pids roll back to HDFS-available, so the next window re-maps
+        them from the pane files that still sit safely in HDFS), the
+        scheduler's task lists are flushed, and the pane bookkeeping is
+        reset so nothing half-finished is mistaken for done.
+        """
+        logged = self._recurrence_cache_log or []
+        for node_id, pid, ctype, part in dict.fromkeys(logged):
+            self.discard_cache(
+                node_id, pid, ctype, part, reason="degraded", at=finish
+            )
+        aborted = self.scheduler.abort_pending()
+        # Half-processed panes must be re-examined from scratch next
+        # window; their HDFS pane files are intact.
+        state.pane_work.clear()
+        # _process_pane retires a pid from the map-eligible set before
+        # mapping it; if the exhaustion struck before the pane's caches
+        # were published, the ready bit still says HDFS_AVAILABLE and
+        # the pid must become eligible again.
+        for pid, ready in self.controller.ready_states():
+            if ready == HDFS_AVAILABLE:
+                self._map_eligible.add(pid)
+        counters.increment("faults.windows_degraded")
+        self.counters.increment("faults.windows_degraded")
+        self.tracer.instant(
+            "window.degraded",
+            CAT_FAULT,
+            time=finish,
+            query=state.query.name,
+            window=recurrence,
+            task=exc.task_key,
+            node_id=exc.node_id,
+            caches_rolled_back=len(set(logged)),
+            tasks_aborted=aborted,
+        )
+        if self._phase_spans is not None:
+            for span in self._phase_spans.values():
+                self.tracer.end(span, max(finish, span.start), degraded=True)
 
     # ------------------------------------------------------------------
     # task-list draining: the only path from a request to a slot
@@ -1043,7 +1120,13 @@ class RedoopRuntime:
         return self._process_pane(state, source, idx, start, counters)
 
     def _pane_caches_intact(self, state: _QueryState, pid: str) -> bool:
-        """Are the pane's reduce-input caches live on every partition?"""
+        """Are the pane's reduce-input caches live — and uncorrupted —
+        on every partition?
+
+        The integrity probe means a pane whose cache was tampered with
+        between windows simply reads as uncached: the planner re-maps
+        it from HDFS instead of feeding poisoned input to the window.
+        """
         if self.controller.pane_ready(pid) != CACHE_AVAILABLE:
             return False
         for partition in range(state.query.job.num_reducers):
@@ -1051,7 +1134,9 @@ class RedoopRuntime:
             if node_id is None:
                 return False
             registry = self._registries.get(node_id)
-            if registry is None or not registry.has(pid, REDUCE_INPUT, partition):
+            if registry is None or not registry.verify(
+                pid, REDUCE_INPUT, partition
+            ):
                 return False
         return True
 
@@ -1279,7 +1364,7 @@ class RedoopRuntime:
         node_id = state.partition_nodes.get(request.partition)
         if node_id is not None:
             node = self.cluster.node(node_id)
-            if node.alive:
+            if node.alive and not self.scheduler.is_blacklisted(node_id, now):
                 self.counters.increment("sched.sticky_reuses")
                 return node
         node = self.scheduler.select_reduce_node(request, now)
@@ -1404,30 +1489,24 @@ class RedoopRuntime:
         job = query.job
         pid = state.qpid(source, idx)
         if self.enable_output_cache:
-            node_id = self.controller.placement(pid, REDUCE_OUTPUT, partition)
-            if node_id is not None:
-                registry = self._registries.get(node_id)
-                if registry is not None and registry.has(
-                    pid, REDUCE_OUTPUT, partition
-                ):
-                    payload, nbytes = registry.read(pid, REDUCE_OUTPUT, partition)
-                    counters.increment("cache.rout_hits")
-                    return payload, nbytes, node_id
+            cached = self._read_cache_verified(pid, REDUCE_OUTPUT, partition)
+            if cached is not None:
+                payload, nbytes, node_id = cached
+                counters.increment("cache.rout_hits")
+                return payload, nbytes, node_id
         # Rebuild from the reduce-input cache.
-        node_id = self.controller.placement(pid, REDUCE_INPUT, partition)
-        if node_id is not None:
-            registry = self._registries.get(node_id)
-            if registry is not None and registry.has(pid, REDUCE_INPUT, partition):
-                payload, nbytes = registry.read(pid, REDUCE_INPUT, partition)
-                counters.increment("cache.rin_rebuilds")
-                pairs = self._reduce_group(job, payload)
-                if self.enable_output_cache:
-                    self._store_cache(
-                        state, node_id, pid, REDUCE_OUTPUT, partition, pairs,
-                        len(pairs) * job.output_pair_size,
-                        self.cluster.clock.now,
-                    )
-                return pairs, nbytes, node_id
+        cached = self._read_cache_verified(pid, REDUCE_INPUT, partition)
+        if cached is not None:
+            payload, nbytes, node_id = cached
+            counters.increment("cache.rin_rebuilds")
+            pairs = self._reduce_group(job, payload)
+            if self.enable_output_cache:
+                self._store_cache(
+                    state, node_id, pid, REDUCE_OUTPUT, partition, pairs,
+                    len(pairs) * job.output_pair_size,
+                    self.cluster.clock.now,
+                )
+            return pairs, nbytes, node_id
         # Caching disabled: read the temporary shuffled run.
         for node in self.cluster.live_nodes():
             name = f"tmp/{query.name}/{pid}/p{partition}"
@@ -1592,15 +1671,11 @@ class RedoopRuntime:
             {state.qsource(src): idx for src, idx in combo.items()}
         )
         if self.enable_output_cache:
-            node_id = self.controller.placement(pid, REDUCE_OUTPUT, partition)
-            if node_id is not None:
-                registry = self._registries.get(node_id)
-                if registry is not None and registry.has(
-                    pid, REDUCE_OUTPUT, partition
-                ):
-                    payload, nbytes = registry.read(pid, REDUCE_OUTPUT, partition)
-                    counters.increment("cache.rout_hits")
-                    return payload, nbytes, node_id
+            cached = self._read_cache_verified(pid, REDUCE_OUTPUT, partition)
+            if cached is not None:
+                payload, nbytes, node_id = cached
+                counters.increment("cache.rout_hits")
+                return payload, nbytes, node_id
         # Compute the combination from the panes' reduce-input runs.
         merged: List[KeyValue] = []
         read_bytes = 0
@@ -1651,11 +1726,10 @@ class RedoopRuntime:
     def _read_rin(
         self, state: _QueryState, pid: str, partition: int
     ) -> Tuple[List[KeyValue], int]:
-        node_id = self.controller.placement(pid, REDUCE_INPUT, partition)
-        if node_id is not None:
-            registry = self._registries.get(node_id)
-            if registry is not None and registry.has(pid, REDUCE_INPUT, partition):
-                return registry.read(pid, REDUCE_INPUT, partition)
+        cached = self._read_cache_verified(pid, REDUCE_INPUT, partition)
+        if cached is not None:
+            payload, nbytes, _node_id = cached
+            return payload, nbytes
         name = f"tmp/{state.query.name}/{pid}/p{partition}"
         for node in self.cluster.live_nodes():
             if node.has_local(name):
@@ -1668,13 +1742,10 @@ class RedoopRuntime:
     def _cache_size(
         self, pid: str, cache_type: int, partition: int
     ) -> Tuple[int, Optional[int]]:
-        node_id = self.controller.placement(pid, cache_type, partition)
-        if node_id is None:
+        cached = self._read_cache_verified(pid, cache_type, partition)
+        if cached is None:
             return 0, None
-        registry = self._registries.get(node_id)
-        if registry is None or not registry.has(pid, cache_type, partition):
-            return 0, None
-        _payload, nbytes = registry.read(pid, cache_type, partition)
+        _payload, nbytes, node_id = cached
         return nbytes, node_id
 
     # ------------------------------------------------------------------
@@ -1711,6 +1782,91 @@ class RedoopRuntime:
         )
         self.controller.cache_created(pid, cache_type, partition, node_id)
         self.counters.increment("cache.bytes_written", nbytes)
+        if self._recurrence_cache_log is not None:
+            self._recurrence_cache_log.append(
+                (node_id, pid, cache_type, partition)
+            )
+
+    def discard_cache(
+        self,
+        node_id: int,
+        pid: str,
+        cache_type: int,
+        partition: int,
+        *,
+        reason: str = "lost",
+        at: Optional[float] = None,
+        drop_tasks: bool = True,
+    ) -> None:
+        """Destroy one cache partition and roll back its metadata.
+
+        The single Sec. 5 rollback path shared by injected cache loss
+        (:class:`~repro.core.recovery.RecoveryManager`), corruption
+        detected on read, and degraded-window cleanup: delete the data,
+        forget the registry row, revert the controller's ready bit when
+        no copies remain (ready listeners re-mark the pane
+        map-eligible), and drop scheduled reduce tasks that relied on
+        the cache.
+
+        ``drop_tasks=False`` skips the task-list purge. Required when
+        the discard fires *during* a recurrence's reduce drain (a
+        checksum failure surfaces on read, mid-execution): the queued
+        requests are that recurrence's own plan — each re-verifies the
+        caches it touches and recomputes from reduce input, so removing
+        them would desync the drain, not protect it.
+        """
+        registry = self._registries.get(node_id)
+        if registry is None:
+            raise ValueError(f"node {node_id} holds no caches")
+        name = cache_file_name(pid, cache_type, partition)
+        if registry.node.has_local(name):
+            registry.node.delete_local(name)
+        registry.drop_lost(pid, cache_type, partition)
+        self.controller.cache_lost(pid, cache_type, partition)
+        if drop_tasks:
+            self.scheduler.drop_reduce_tasks_using(pid)
+        if reason == "degraded":
+            self.counters.increment("faults.caches_rolled_back")
+        else:
+            self.counters.increment("faults.caches_destroyed")
+        self.tracer.instant(
+            "cache.lost",
+            CAT_FAULT,
+            time=self.cluster.clock.now if at is None else at,
+            node_id=node_id,
+            pid=pid,
+            cache_type=cache_type,
+            partition=partition,
+            reason=reason,
+        )
+
+    def _read_cache_verified(
+        self, pid: str, cache_type: int, partition: int
+    ) -> Optional[Tuple[Any, int, int]]:
+        """Read a cache through its checksum; quarantine on corruption.
+
+        Returns ``(payload, nbytes, node_id)``, or ``None`` when the
+        cache is absent *or* failed its integrity check — in the latter
+        case the entry is discarded through the Sec. 5 rollback first,
+        so callers' fallback paths (rebuild from reduce input, re-map
+        from HDFS) see a consistent world.
+        """
+        node_id = self.controller.placement(pid, cache_type, partition)
+        if node_id is None:
+            return None
+        registry = self._registries.get(node_id)
+        if registry is None or not registry.has(pid, cache_type, partition):
+            return None
+        try:
+            payload, nbytes = registry.read(pid, cache_type, partition)
+        except CacheCorruptionError:
+            self.counters.increment("cache.corruptions_detected")
+            self.discard_cache(
+                node_id, pid, cache_type, partition,
+                reason="corrupt", drop_tasks=False,
+            )
+            return None
+        return payload, nbytes, node_id
 
     def registries(self) -> Dict[int, LocalCacheRegistry]:
         """Per-node cache registries created so far (testing/monitoring)."""
@@ -1820,9 +1976,34 @@ class RedoopRuntime:
     ) -> float:
         if self.faults is None:
             return duration
-        effective, retries = self.faults.attempt_duration(task_key, duration)
+        when = self.cluster.clock.now if at is None else at
+        try:
+            effective, retries = self.faults.attempt_duration(task_key, duration)
+        except TaskAttemptsExhaustedError as exc:
+            exc.node_id = node_id
+            counters.increment("task.exhausted")
+            if node_id is not None:
+                # An exhausted task charges all of its attempts against
+                # the node — enough to trip the blacklist on its own
+                # when the threshold allows.
+                self.scheduler.record_task_failure(
+                    node_id, when, failures=float(exc.attempts)
+                )
+            self.tracer.instant(
+                "task.exhausted",
+                CAT_FAULT,
+                time=when,
+                node_id=node_id,
+                task=task_key,
+                attempts=exc.attempts,
+            )
+            raise
         if retries:
             counters.increment("task.retries", retries)
+            if node_id is not None:
+                self.scheduler.record_task_failure(
+                    node_id, when, failures=float(retries)
+                )
             self.tracer.instant(
                 "task.retry",
                 CAT_FAULT,

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from ..hadoop.cluster import Cluster
 from ..hadoop.counters import Counters
@@ -104,6 +104,10 @@ class CacheAwareTaskScheduler:
         self.counters = counters
         self.map_task_list: Deque[MapTaskRequest] = deque()
         self.reduce_task_list: Deque[ReduceTaskRequest] = deque()
+        #: node id -> accumulated task-failure score.
+        self._failure_scores: Dict[int, float] = {}
+        #: node id -> virtual time the blacklist expires.
+        self._blacklisted_until: Dict[int, float] = {}
 
     # ------------------------------------------------------------------
     # task lists (Algorithm 2 bookkeeping)
@@ -229,6 +233,78 @@ class CacheAwareTaskScheduler:
                     )
         return removed
 
+    def abort_pending(self) -> int:
+        """Flush both task lists (degraded-window rollback).
+
+        When a window is abandoned after attempt exhaustion, any tasks
+        it already enqueued must not leak into the next recurrence.
+        Returns the number of requests discarded.
+        """
+        aborted = len(self.map_task_list) + len(self.reduce_task_list)
+        if aborted:
+            self.map_task_list.clear()
+            self.reduce_task_list.clear()
+            self._count("sched.tasks_aborted", aborted)
+        return aborted
+
+    # ------------------------------------------------------------------
+    # per-node failure scoring and blacklisting
+    # ------------------------------------------------------------------
+
+    def record_task_failure(
+        self, node_id: int, now: float, *, failures: float = 1.0
+    ) -> None:
+        """Charge ``failures`` task failures against a node.
+
+        Crossing ``config.blacklist_threshold`` blacklists the node for
+        ``config.blacklist_cooldown`` virtual seconds: Eq. 4 treats it
+        as infinite-cost (it is filtered from the candidate set) until
+        the cooldown expires, at which point its score resets.
+        """
+        score = self._failure_scores.get(node_id, 0.0) + failures
+        self._failure_scores[node_id] = score
+        if (
+            score >= self.cluster.config.blacklist_threshold
+            and node_id not in self._blacklisted_until
+        ):
+            until = now + self.cluster.config.blacklist_cooldown
+            self._blacklisted_until[node_id] = until
+            self._count("sched.nodes_blacklisted")
+            if self.trace is not None and self.trace.spine is not None:
+                self.trace.spine.instant(
+                    "node.blacklisted",
+                    "fault",
+                    time=now,
+                    node_id=node_id,
+                    score=score,
+                    until=until,
+                )
+
+    def is_blacklisted(self, node_id: int, now: float) -> bool:
+        """Whether Eq. 4 currently excludes the node (lazily expiring)."""
+        until = self._blacklisted_until.get(node_id)
+        if until is None:
+            return False
+        if now < until:
+            return True
+        del self._blacklisted_until[node_id]
+        self._failure_scores.pop(node_id, None)
+        self._count("sched.nodes_unblacklisted")
+        if self.trace is not None and self.trace.spine is not None:
+            self.trace.spine.instant(
+                "node.unblacklisted",
+                "fault",
+                time=now,
+                node_id=node_id,
+            )
+        return False
+
+    def blacklisted_nodes(self, now: float) -> List[int]:
+        """Currently blacklisted node ids (for monitoring/invariants)."""
+        return sorted(
+            n for n in list(self._blacklisted_until) if self.is_blacklisted(n, now)
+        )
+
     # ------------------------------------------------------------------
     # Eq. 4 node selection
     # ------------------------------------------------------------------
@@ -300,12 +376,19 @@ class CacheAwareTaskScheduler:
         live = self.cluster.live_nodes()
         if not live:
             raise RuntimeError("no live nodes to schedule on")
+        # Blacklisted nodes carry infinite Eq. 4 cost — equivalently,
+        # they leave the candidate set. If *every* live node is
+        # blacklisted the cluster must still make progress, so the
+        # filter degrades to "pick among all live nodes".
+        candidates = [n for n in live if not self.is_blacklisted(n.node_id, now)]
+        if not candidates:
+            candidates = live
 
         def objective(node: TaskNode) -> Tuple[float, int]:
             load = node.load_at(now)
             return (load + io_cost(node), node.node_id)
 
-        return min(live, key=objective)
+        return min(candidates, key=objective)
 
     # ------------------------------------------------------------------
     # helpers

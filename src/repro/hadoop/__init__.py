@@ -13,7 +13,7 @@ from .cluster import Cluster
 from .config import DEFAULT_CONFIG, ClusterConfig, small_test_config
 from .costmodel import CostModel
 from .counters import Counters, PhaseTimes
-from .faults import FaultInjector
+from .faults import FaultInjector, TaskAttemptsExhaustedError
 from .hdfs import Block, FileSplit, HDFSError, HDFSFile, SimulatedHDFS
 from .job import MapReduceJob, default_partitioner, stable_hash
 from .jobtracker import FIFOScheduler, JobResult, JobTracker
@@ -57,6 +57,7 @@ __all__ = [
     "ReduceExecution",
     "SimClock",
     "SimulatedHDFS",
+    "TaskAttemptsExhaustedError",
     "TaskInterval",
     "TaskNode",
     "Timeline",

@@ -134,6 +134,25 @@ class Cluster:
                 node_id=node_id,
             )
 
+    def set_node_speed(self, node_id: int, speed: float) -> None:
+        """Slow down (or restore) a live node mid-simulation.
+
+        Chaos straggler injection: subsequent tasks on the node stretch
+        by ``1/speed``. Emits a ``node.slowed`` instant so traces show
+        when the degradation started.
+        """
+        node = self.node(node_id)
+        node.set_speed(speed)
+        self.counters.increment("cluster.node_slowdowns")
+        if self.tracer is not None:
+            self.tracer.instant(
+                "node.slowed",
+                "fault",
+                time=self.clock.now,
+                node_id=node_id,
+                speed=speed,
+            )
+
     # ------------------------------------------------------------------
     # housekeeping
     # ------------------------------------------------------------------

@@ -86,6 +86,15 @@ class ClusterConfig:
     #: multiple of the phase's median finish time.
     speculative_slowness: float = 1.5
 
+    #: Task failures a node may accumulate before the scheduler
+    #: blacklists it (Hadoop's ``mapred.max.tracker.failures`` idea).
+    #: Blacklisted nodes are treated as infinite-cost in Eq. 4.
+    blacklist_threshold: int = 3
+
+    #: Virtual seconds a blacklisted node sits out before it is given
+    #: another chance (its failure score resets on un-blacklist).
+    blacklist_cooldown: float = 300.0
+
     def __post_init__(self) -> None:
         if self.num_nodes < 1:
             raise ValueError("a cluster needs at least one task node")
@@ -99,6 +108,10 @@ class ClusterConfig:
             raise ValueError("bandwidths must be positive")
         if self.default_num_reducers < 1:
             raise ValueError("jobs need at least one reducer")
+        if self.blacklist_threshold < 1:
+            raise ValueError("blacklist_threshold must be at least 1")
+        if self.blacklist_cooldown < 0:
+            raise ValueError("blacklist_cooldown cannot be negative")
 
     @property
     def total_map_slots(self) -> int:

@@ -27,7 +27,7 @@ from repro.trace import CAT_JOB, CAT_PHASE, CAT_RUN, CAT_TASK, Span, Tracer
 
 from .cluster import Cluster
 from .counters import Counters, PhaseTimes
-from .faults import FaultInjector
+from .faults import FaultInjector, TaskAttemptsExhaustedError
 from .hdfs import FileSplit
 from .job import MapReduceJob
 from .node import MAP_SLOT, REDUCE_SLOT, SlotKind, TaskNode
@@ -467,10 +467,29 @@ class JobTracker:
         at: Optional[float] = None,
         node_id: Optional[int] = None,
     ) -> float:
-        """Inflate ``duration`` by any injected failed attempts."""
+        """Inflate ``duration`` by any injected failed attempts.
+
+        Attempt exhaustion propagates: plain Hadoop has no degraded-
+        window notion, so an exhausted task fails the whole job (the
+        Redoop runtime, by contrast, catches the typed error and
+        degrades only the affected window).
+        """
         if self.faults is None:
             return duration
-        effective, retries = self.faults.attempt_duration(task_key, duration)
+        try:
+            effective, retries = self.faults.attempt_duration(task_key, duration)
+        except TaskAttemptsExhaustedError as exc:
+            exc.node_id = node_id
+            counters.increment("task.exhausted")
+            self.tracer.instant(
+                "task.exhausted",
+                "fault",
+                time=at,
+                node_id=node_id,
+                task=task_key,
+                attempts=exc.attempts,
+            )
+            raise
         if retries:
             counters.increment("task.retries", retries)
             self.tracer.instant(

@@ -102,6 +102,20 @@ class TaskNode:
             self.slot_observer(self.node_id, kind, begin, finish)
         return finish
 
+    def set_speed(self, speed: float) -> None:
+        """Change the node's relative speed mid-simulation.
+
+        Used by the chaos harness to model stragglers: a node slowed to
+        0.25x stretches every subsequent task placed on it. Already
+        placed tasks keep their original finish times (the slowdown
+        strikes between placements, as real degradation would between
+        heartbeats).
+        """
+        if speed <= 0:
+            raise ValueError("node speed must be positive")
+        self._ensure_alive()
+        self.speed = speed
+
     def load_at(self, now: float) -> float:
         """Pending busy seconds across all slots at time ``now`` (Eq. 4 term)."""
         self._ensure_alive()

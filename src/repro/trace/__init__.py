@@ -5,6 +5,7 @@ schema, and how the exported traces map to the paper's figures.
 """
 
 from .spine import (
+    CAT_CHAOS,
     CAT_FAULT,
     CAT_SERVICE,
     CAT_JOB,
@@ -42,6 +43,7 @@ __all__ = [
     "CAT_SCHED",
     "CAT_FAULT",
     "CAT_SERVICE",
+    "CAT_CHAOS",
     "PHASE_NAMES",
     "Span",
     "TraceEvent",

@@ -33,6 +33,7 @@ __all__ = [
     "CAT_SCHED",
     "CAT_FAULT",
     "CAT_SERVICE",
+    "CAT_CHAOS",
     "PHASE_NAMES",
     "Span",
     "TraceEvent",
@@ -54,6 +55,10 @@ CAT_FAULT = "fault"
 #: Service-lifecycle instants (submit/pause/deregister/shed/checkpoint)
 #: emitted by :mod:`repro.service`.
 CAT_SERVICE = "service"
+#: Chaos-harness injections (``chaos.*`` instants from
+#: :mod:`repro.chaos`): deliberate mid-flight events, distinct from the
+#: ``fault``-category *consequences* the runtime records.
+CAT_CHAOS = "chaos"
 
 #: Phase spans every Redoop recurrence emits, in presentation order.
 PHASE_NAMES = ("map", "shuffle", "pane-reduce", "combine", "post")

@@ -1,0 +1,28 @@
+"""Shared mini-workload configs for the chaos tests.
+
+Tiny windows (win=40s, slide=20s) and low rates keep each differential
+comparison — two full multi-window runs — inside the fast lane's
+budget; the CLI-scale sweeps live behind ``@pytest.mark.slow``.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import ExperimentConfig
+from repro.hadoop import small_test_config
+
+
+def mini_config(kind: str = "aggregation", **overrides) -> ExperimentConfig:
+    defaults = dict(
+        kind=kind,
+        win=40.0,
+        overlap=0.5,
+        num_windows=5,
+        rate=2_000_000.0 if kind == "aggregation" else 1_500_000.0,
+        record_size=200_000 if kind == "aggregation" else 150_000,
+        num_reducers=4,
+        cluster_config=small_test_config(),
+        seed=11,
+        batches_per_pane=2,
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)

@@ -1,0 +1,114 @@
+"""The chaos driver: event application, bookkeeping, and trace output."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import build_workload, run_redoop_series
+from repro.chaos import ChaosEvent, ChaosSchedule, run_chaos_series
+from repro.hadoop import small_test_config
+from repro.trace import CAT_CHAOS
+
+from .conftest import mini_config
+
+
+class TestEventApplication:
+    def test_events_recorded_in_order(self):
+        cfg = mini_config()
+        sched = ChaosSchedule(
+            seed=2,
+            events=(
+                ChaosEvent(at=45.0, kind="cache-loss", fraction=0.3),
+                ChaosEvent(at=65.0, kind="cache-corrupt", fraction=0.3),
+            ),
+        )
+        report = run_chaos_series(cfg, sched)
+        assert len(report.events_applied) == 2
+        assert "cache-loss" in report.events_applied[0]
+        assert "cache-corrupt" in report.events_applied[1]
+        assert report.series.tracer is not None
+        counters = {
+            e.attrs.get("kind")
+            for e in report.series.tracer.events(category=CAT_CHAOS)
+            if e.name == "chaos.event"
+        }
+        assert {"cache-loss", "cache-corrupt"} <= counters
+
+    def test_injection_counter_matches_applied(self):
+        cfg = mini_config()
+        sched = ChaosSchedule(
+            seed=2,
+            events=(
+                ChaosEvent(at=45.0, kind="task-kill", prob=0.2),
+                ChaosEvent(at=55.0, kind="task-kill", prob=0.0),
+                ChaosEvent(at=62.0, kind="node-kill"),
+                ChaosEvent(at=78.0, kind="node-recover"),
+            ),
+        )
+        report = run_chaos_series(cfg, sched)
+        # One sample of the runtime counters suffices: the driver
+        # increments chaos.events_injected once per applied event.
+        assert len(report.events_applied) == 4
+        assert report.ok, report.violations
+
+    def test_never_kills_the_last_node(self):
+        cfg = mini_config(
+            cluster_config=small_test_config(num_nodes=1), num_reducers=2
+        )
+        sched = ChaosSchedule(
+            seed=2, events=(ChaosEvent(at=45.0, kind="node-kill"),)
+        )
+        report = run_chaos_series(cfg, sched)
+        assert report.events_applied == []  # skipped, run completed
+        assert len(report.series.windows) == cfg.num_windows
+
+    def test_node_recover_without_outage_is_noop(self):
+        cfg = mini_config()
+        sched = ChaosSchedule(
+            seed=2, events=(ChaosEvent(at=45.0, kind="node-recover"),)
+        )
+        report = run_chaos_series(cfg, sched)
+        assert report.events_applied == []
+        assert report.ok
+
+    def test_ingest_burst_is_output_neutral(self):
+        cfg = mini_config()
+        workload = build_workload(cfg)
+        baseline = run_redoop_series(cfg, workload=workload)
+        sched = ChaosSchedule(
+            seed=2,
+            events=(ChaosEvent(at=30.0, kind="ingest-burst", count=3),),
+        )
+        report = run_chaos_series(cfg, sched, workload=workload)
+        assert len(report.events_applied) == 1
+        assert report.series.output_digests == baseline.output_digests
+        assert report.ok
+
+    def test_straggler_slows_but_does_not_change_output(self):
+        cfg = mini_config()
+        workload = build_workload(cfg)
+        baseline = run_redoop_series(cfg, workload=workload)
+        sched = ChaosSchedule(
+            seed=2,
+            events=(
+                ChaosEvent(at=45.0, kind="slow-node", node_id=0, speed=0.25),
+            ),
+        )
+        report = run_chaos_series(cfg, sched, workload=workload)
+        assert report.series.output_digests == baseline.output_digests
+        assert report.ok
+
+
+class TestDegradedBookkeeping:
+    def test_exhaustion_surfaces_as_degraded_window(self):
+        cfg = mini_config()
+        sched = ChaosSchedule(
+            seed=2,
+            events=(ChaosEvent(at=45.0, kind="task-exhaust", doom="/w3/"),),
+        )
+        report = run_chaos_series(cfg, sched)
+        assert report.degraded_windows == [3]
+        assert report.series.output_digests[2] == ()
+        # Later windows still produce output.
+        assert report.series.output_digests[3] != ()
+        assert report.ok, report.violations

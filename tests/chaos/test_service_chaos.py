@@ -1,0 +1,58 @@
+"""Ingest bursts at the service layer leave query output unchanged."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import ACCEPTED, SHED
+
+from tests.service.test_server import batch, make_server, spec_for
+
+
+def digests(results):
+    return {
+        r.recurrence: tuple(sorted(map(repr, r.output))) for r in results
+    }
+
+
+def make_batches(upto, batch_seconds=10.0):
+    out = []
+    i, t = 0, 0.0
+    while t < upto - 1e-9:
+        out.append(batch(i, t, t + batch_seconds))
+        i += 1
+        t += batch_seconds
+    return out
+
+
+class TestBurstNeutrality:
+    def test_bursty_offer_matches_smooth_offer(self):
+        batches = make_batches(90.0)
+
+        # Smooth: offer each batch, then advance past its seal time —
+        # the server never sees more than one undelivered batch.
+        smooth = make_server()
+        smooth.submit(spec_for("q1", slide=20.0))
+        smooth_results = []
+        for b, records in batches:
+            assert smooth.offer(b, records) == ACCEPTED
+            smooth_results.extend(smooth.run_until(b.t_end))
+        smooth_results.extend(smooth.run_until(90.0))
+
+        # Bursty: dump everything upfront (an ingest burst), then run.
+        bursty = make_server(channel_capacity=len(batches))
+        bursty.submit(spec_for("q1", slide=20.0))
+        for b, records in batches:
+            assert bursty.offer(b, records) == ACCEPTED
+        bursty_results = bursty.run_until(90.0)
+
+        assert digests(smooth_results) == digests(bursty_results)
+        assert digests(bursty_results)  # the run actually fired windows
+
+    def test_overflow_sheds_instead_of_crashing(self):
+        server = make_server(channel_capacity=2, admission_policy="shed")
+        server.submit(spec_for("q1", slide=20.0))
+        verdicts = [server.offer(b, r) for b, r in make_batches(60.0)]
+        assert verdicts.count(ACCEPTED) == 2
+        assert verdicts.count(SHED) == len(verdicts) - 2
+        assert server.counters.get("service.batches_shed") == len(verdicts) - 2

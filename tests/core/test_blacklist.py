@@ -1,0 +1,114 @@
+"""Per-node failure scoring and scheduler blacklisting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.scheduler import CacheAwareTaskScheduler, MapTaskRequest
+from repro.hadoop import Cluster, small_test_config
+from repro.hadoop.counters import Counters
+from repro.hadoop.types import MEGABYTE
+
+
+THRESHOLD = 3  # small_test_config default blacklist_threshold
+COOLDOWN = 300.0  # small_test_config default blacklist_cooldown
+
+
+@pytest.fixture
+def cluster() -> Cluster:
+    config = small_test_config()
+    assert config.blacklist_threshold == THRESHOLD
+    assert config.blacklist_cooldown == COOLDOWN
+    return Cluster(config, seed=5)
+
+
+@pytest.fixture
+def counters() -> Counters:
+    return Counters()
+
+
+@pytest.fixture
+def scheduler(cluster, counters) -> CacheAwareTaskScheduler:
+    return CacheAwareTaskScheduler(cluster, counters=counters)
+
+
+def map_request(locations=()):
+    return MapTaskRequest(
+        query="q",
+        pid="S1P0",
+        input_bytes=8 * MEGABYTE,
+        locations=tuple(locations),
+    )
+
+
+class TestScoring:
+    def test_below_threshold_not_blacklisted(self, scheduler):
+        for _ in range(THRESHOLD - 1):
+            scheduler.record_task_failure(1, now=10.0)
+        assert not scheduler.is_blacklisted(1, now=10.0)
+        assert scheduler.blacklisted_nodes(now=10.0) == []
+
+    def test_crossing_threshold_blacklists(self, scheduler, counters):
+        for _ in range(THRESHOLD):
+            scheduler.record_task_failure(1, now=10.0)
+        assert scheduler.is_blacklisted(1, now=10.0)
+        assert scheduler.blacklisted_nodes(now=10.0) == [1]
+        assert counters.get("sched.nodes_blacklisted") == 1
+
+    def test_fractional_failures_accumulate(self, scheduler):
+        scheduler.record_task_failure(2, now=0.0, failures=1.5)
+        assert not scheduler.is_blacklisted(2, now=0.0)
+        scheduler.record_task_failure(2, now=0.0, failures=1.5)
+        assert scheduler.is_blacklisted(2, now=0.0)
+
+    def test_scores_are_per_node(self, scheduler):
+        for _ in range(THRESHOLD):
+            scheduler.record_task_failure(1, now=0.0)
+        assert scheduler.is_blacklisted(1, now=0.0)
+        assert not scheduler.is_blacklisted(2, now=0.0)
+
+
+class TestEq4Interaction:
+    def test_selection_avoids_blacklisted_node(self, scheduler):
+        # Node 2 holds the data, so Eq. 4 would pick it absent failures.
+        assert (
+            scheduler.select_map_node(map_request(locations=[2]), now=0.0)
+            .node_id
+            == 2
+        )
+        for _ in range(THRESHOLD):
+            scheduler.record_task_failure(2, now=0.0)
+        node = scheduler.select_map_node(map_request(locations=[2]), now=0.0)
+        assert node.node_id != 2
+
+    def test_all_blacklisted_degrades_to_all_live(self, scheduler, cluster):
+        for node in cluster.live_nodes():
+            for _ in range(THRESHOLD):
+                scheduler.record_task_failure(node.node_id, now=0.0)
+        # Every node excluded would deadlock the cluster; selection
+        # must still return something.
+        node = scheduler.select_map_node(map_request(), now=0.0)
+        assert node.node_id in {n.node_id for n in cluster.live_nodes()}
+
+
+class TestCooldown:
+    def test_cooldown_expiry_unblacklists_and_resets(
+        self, scheduler, counters
+    ):
+        for _ in range(THRESHOLD):
+            scheduler.record_task_failure(1, now=0.0)
+        assert scheduler.is_blacklisted(1, now=COOLDOWN - 1.0)
+        assert not scheduler.is_blacklisted(1, now=COOLDOWN + 1.0)
+        assert counters.get("sched.nodes_unblacklisted") == 1
+        # The score reset with the expiry: one new failure is not
+        # enough to re-blacklist.
+        scheduler.record_task_failure(1, now=COOLDOWN + 2.0)
+        assert not scheduler.is_blacklisted(1, now=COOLDOWN + 2.0)
+
+    def test_reoffending_node_can_be_blacklisted_again(self, scheduler):
+        for _ in range(THRESHOLD):
+            scheduler.record_task_failure(1, now=0.0)
+        assert not scheduler.is_blacklisted(1, now=COOLDOWN + 1.0)
+        for _ in range(THRESHOLD):
+            scheduler.record_task_failure(1, now=COOLDOWN + 5.0)
+        assert scheduler.is_blacklisted(1, now=COOLDOWN + 5.0)

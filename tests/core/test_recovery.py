@@ -249,3 +249,51 @@ class TestNodeFailureRecovery:
                 assert not registry.live_entries()
         for signature in runtime.controller.signatures():
             assert victim not in signature.nodes
+
+
+class TestSeededInjection:
+    def test_same_seed_same_victims(self):
+        # Two identical runtimes + same-seed injectors pick byte-identical
+        # victim lists: chaos schedules replay deterministically.
+        def victims(seed):
+            runtime = make_runtime()
+            feed(runtime, 70.0)
+            runtime.run_recurrence("wc", 1)
+            recovery = RecoveryManager(runtime)
+            injector = FaultInjector(cache_loss_fraction=0.5, seed=seed)
+            return [c.key for c in recovery.inject_cache_failures(injector)]
+
+        assert victims(7) == victims(7)
+        assert victims(7) != victims(8)
+
+    def test_corruption_victims_deterministic(self):
+        def victims(seed):
+            runtime = make_runtime()
+            feed(runtime, 70.0)
+            runtime.run_recurrence("wc", 1)
+            recovery = RecoveryManager(runtime)
+            injector = FaultInjector(cache_corruption_fraction=0.5, seed=seed)
+            return [c.key for c in recovery.inject_cache_corruption(injector)]
+
+        assert victims(7) == victims(7)
+
+    def test_fraction_override_wins(self, warm_runtime):
+        runtime, _ = warm_runtime
+        recovery = RecoveryManager(runtime)
+        # Injector says "lose nothing"; the per-event fraction says 100%.
+        injector = FaultInjector(cache_loss_fraction=0.0, seed=1)
+        destroyed = recovery.inject_cache_failures(injector, fraction=1.0)
+        assert len(destroyed) == 32
+
+    def test_same_seed_same_digest_after_recovery(self):
+        def digest(seed):
+            runtime = make_runtime()
+            feed(runtime, 90.0)
+            runtime.run_recurrence("wc", 1)
+            recovery = RecoveryManager(runtime)
+            injector = FaultInjector(cache_loss_fraction=0.5, seed=seed)
+            recovery.inject_cache_failures(injector)
+            result = runtime.run_recurrence("wc", 2)
+            return tuple(sorted(map(repr, result.output)))
+
+        assert digest(7) == digest(7)

@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+import pickle
+
 import pytest
 
-from repro.hadoop.faults import FaultInjector
+from repro.hadoop.faults import FaultInjector, TaskAttemptsExhaustedError
 
 
 class TestValidation:
@@ -12,8 +14,9 @@ class TestValidation:
         "kwargs",
         [
             {"task_failure_prob": -0.1},
-            {"task_failure_prob": 1.0},
+            {"task_failure_prob": 1.1},
             {"cache_loss_fraction": 1.5},
+            {"cache_corruption_fraction": -0.2},
             {"max_attempts": 0},
             {"failed_attempt_fraction": 0.0},
             {"failed_attempt_fraction": 1.5},
@@ -22,6 +25,13 @@ class TestValidation:
     def test_bad_parameters_rejected(self, kwargs):
         with pytest.raises(ValueError):
             FaultInjector(**kwargs)
+
+    def test_probability_one_is_valid(self):
+        # The docstring always promised [0, 1]; the validator used to
+        # enforce [0, 1). prob=1 is the deterministic-exhaustion knob.
+        inj = FaultInjector(task_failure_prob=1.0, max_attempts=2)
+        with pytest.raises(TaskAttemptsExhaustedError):
+            inj.attempt_duration("t", 1.0)
 
 
 class TestTaskFailures:
@@ -50,6 +60,47 @@ class TestTaskFailures:
             for i in range(1000):
                 inj.attempt_duration(f"t{i}", 1.0)
 
+    def test_exhaustion_error_is_typed(self):
+        inj = FaultInjector(task_failure_prob=1.0, max_attempts=3)
+        with pytest.raises(TaskAttemptsExhaustedError) as exc_info:
+            inj.attempt_duration("q/map/p0#1", 1.0)
+        assert exc_info.value.task_key == "q/map/p0#1"
+        assert exc_info.value.attempts == 3
+
+    def test_doom_is_one_shot_and_matches_substring(self):
+        inj = FaultInjector(seed=0)
+        inj.doom("w2/")
+        # Non-matching tasks are untouched even with prob == 0.
+        assert inj.attempt_duration("q/merge/w1/0", 5.0) == (5.0, 0)
+        with pytest.raises(TaskAttemptsExhaustedError):
+            inj.attempt_duration("q/merge/w2/0", 5.0)
+        # The doom was consumed: re-execution succeeds.
+        assert inj.attempt_duration("q/merge/w2/0", 5.0) == (5.0, 0)
+        assert inj.doomed() == []
+
+    def test_doom_rejects_empty_marker(self):
+        with pytest.raises(ValueError):
+            FaultInjector().doom("")
+
+
+class TestPickling:
+    def test_round_trip_preserves_rng_position(self):
+        inj = FaultInjector(task_failure_prob=0.5, seed=11, max_attempts=50)
+        for i in range(10):
+            inj.attempt_duration(f"warm{i}", 1.0)
+        clone = pickle.loads(pickle.dumps(inj))
+        draws = [inj.attempt_duration(f"t{i}", 1.0) for i in range(20)]
+        cloned = [clone.attempt_duration(f"t{i}", 1.0) for i in range(20)]
+        assert draws == cloned
+
+    def test_round_trip_preserves_dooms(self):
+        inj = FaultInjector(seed=0)
+        inj.doom("w3/")
+        clone = pickle.loads(pickle.dumps(inj))
+        assert clone.doomed() == ["w3/"]
+        with pytest.raises(TaskAttemptsExhaustedError):
+            clone.attempt_duration("q/join/w3/1", 1.0)
+
 
 class TestCacheFailures:
     def test_zero_fraction_picks_nothing(self):
@@ -74,6 +125,19 @@ class TestCacheFailures:
     def test_full_fraction_takes_all(self):
         inj = FaultInjector(cache_loss_fraction=1.0, seed=1)
         assert inj.pick_cache_victims(["a", "b"]) == ["a", "b"]
+
+    def test_fraction_override(self):
+        inj = FaultInjector(cache_loss_fraction=0.0, seed=1)
+        pool = [f"c{i}" for i in range(10)]
+        assert len(inj.pick_cache_victims(pool, fraction=0.3)) == 3
+
+    def test_corruption_victims_use_their_own_fraction(self):
+        inj = FaultInjector(cache_corruption_fraction=0.5, seed=2)
+        pool = [f"c{i}" for i in range(8)]
+        victims = inj.pick_corruption_victims(pool)
+        assert len(victims) == 4
+        assert set(victims) <= set(pool)
+        assert FaultInjector(seed=2).pick_corruption_victims(pool) == []
 
 
 class TestNodeVictim:

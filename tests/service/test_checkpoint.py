@@ -158,3 +158,66 @@ class TestValidation:
                 queries={"q1": query},
                 graph={"bad": lambda: None},  # a stray closure
             )
+
+
+class TestFaultStateRoundTrip:
+    def test_injector_rng_survives_checkpoint(self, tmp_path):
+        """A mid-stream FaultInjector resumes its RNG exactly.
+
+        Chaos runs checkpoint alongside the tenant graph; on restore the
+        injector must continue the identical random sequence, or a
+        replayed schedule would diverge from the original run.
+        """
+        from repro.hadoop import FaultInjector
+
+        spec = make_spec()
+        query = build_query(spec)
+        injector = FaultInjector(
+            task_failure_prob=0.1, cache_loss_fraction=0.5, seed=13
+        )
+        injector.doom("/w4/")
+        # Warm the RNG so the saved state is mid-stream, not initial.
+        for i in range(5):
+            injector.attempt_duration(f"q1/map/p{i}#0", 10.0)
+        caches = [f"cache-{i}" for i in range(12)]
+        path = save_checkpoint(
+            tmp_path / "ck.bin",
+            specs={"q1": spec},
+            queries={"q1": query},
+            graph={"queries": {"q1": query}, "faults": injector},
+        )
+        restored = load_checkpoint(path)["faults"]
+        assert restored is not injector
+        assert restored.doomed() == ["/w4/"]
+        assert restored.task_failure_prob == 0.1
+        # Identical continuation on both sides.
+        for i in range(5, 10):
+            key = f"q1/map/p{i}#0"
+            assert restored.attempt_duration(key, 10.0) == (
+                injector.attempt_duration(key, 10.0)
+            )
+        assert restored.pick_cache_victims(caches) == (
+            injector.pick_cache_victims(caches)
+        )
+
+    def test_chaos_schedule_round_trips_in_graph(self, tmp_path):
+        from repro.chaos import ChaosEvent, ChaosSchedule
+
+        sched = ChaosSchedule(
+            seed=5,
+            events=(
+                ChaosEvent(at=45.0, kind="cache-loss", fraction=0.4),
+                ChaosEvent(at=60.0, kind="task-exhaust", doom="/w3/"),
+            ),
+        )
+        spec = make_spec()
+        query = build_query(spec)
+        path = save_checkpoint(
+            tmp_path / "ck.bin",
+            specs={"q1": spec},
+            queries={"q1": query},
+            graph={"queries": {"q1": query}, "schedule": sched, "next": 1},
+        )
+        restored = load_checkpoint(path)
+        assert restored["schedule"] == sched
+        assert restored["next"] == 1
