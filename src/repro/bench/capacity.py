@@ -1,0 +1,220 @@
+"""Bounded-cache benchmarks: hit rate vs capacity, fig7 under budget.
+
+The paper's experiments assume node-local disks big enough that caches
+only ever leave through window expiration. These benches ask the
+production question instead: *how much budget does Redoop's caching
+actually need, and how gracefully does it degrade below that?*
+
+Two entry points:
+
+* :func:`sweep_hit_rate_vs_capacity` — run the fig7 join workload
+  unbounded once to measure the peak per-node cached working set, then
+  re-run it at descending budget fractions under each eviction policy,
+  reporting hit rate, evictions, admission rejections, and average
+  response time per point. Output digests are cross-checked against
+  the unbounded run: a budget may cost time, never correctness.
+* :func:`fig7_under_budget` — the acceptance scenario: the fig7
+  comparison with the Redoop series capped at ``capacity_fraction`` of
+  its own unbounded peak. Redoop must still beat the no-cache baseline
+  on virtual runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .experiments import join_config
+from .harness import ExperimentConfig, SeriesResult, build_workload, run_redoop_series
+
+__all__ = [
+    "CapacityPoint",
+    "CapacitySweep",
+    "fig7_under_budget",
+    "format_capacity_table",
+    "sweep_hit_rate_vs_capacity",
+]
+
+
+@dataclass(slots=True)
+class CapacityPoint:
+    """One (policy, budget fraction) cell of the capacity sweep."""
+
+    policy: str
+    fraction: float
+    capacity_bytes: int
+    hits: int
+    misses: int
+    evicted: int
+    bytes_evicted: int
+    admission_rejected: int
+    avg_response: float
+    #: Window outputs byte-identical to the unbounded run's.
+    outputs_match: bool
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "policy": self.policy,
+            "fraction": self.fraction,
+            "capacity_bytes": self.capacity_bytes,
+            "hit_rate": round(self.hit_rate, 4),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evicted": self.evicted,
+            "bytes_evicted": self.bytes_evicted,
+            "admission_rejected": self.admission_rejected,
+            "avg_response": round(self.avg_response, 2),
+            "outputs_match": self.outputs_match,
+        }
+
+
+@dataclass(slots=True)
+class CapacitySweep:
+    """Full sweep result: the unbounded reference plus every point."""
+
+    peak_cached_bytes: int
+    unbounded_avg_response: float
+    points: List[CapacityPoint] = field(default_factory=list)
+
+    def as_report(self) -> Dict[str, object]:
+        return {
+            "peak_cached_bytes": self.peak_cached_bytes,
+            "unbounded_avg_response": round(self.unbounded_avg_response, 2),
+            "points": [p.as_row() for p in self.points],
+        }
+
+
+def _bounded_point(
+    config: ExperimentConfig,
+    workload,
+    reference: SeriesResult,
+    *,
+    policy: str,
+    fraction: float,
+    capacity: int,
+) -> CapacityPoint:
+    series = run_redoop_series(
+        config,
+        label=f"redoop[{policy}@{fraction:g}]",
+        workload=workload,
+        cache_capacity_bytes=capacity,
+        eviction_policy=policy,
+    )
+    counters = series.runtime_counters
+    return CapacityPoint(
+        policy=policy,
+        fraction=fraction,
+        capacity_bytes=capacity,
+        hits=int(counters.get("cache.hits", 0)),
+        misses=int(counters.get("cache.misses", 0)),
+        evicted=int(counters.get("cache.evicted", 0)),
+        bytes_evicted=int(counters.get("cache.bytes_evicted", 0)),
+        admission_rejected=int(counters.get("cache.admission_rejected", 0)),
+        avg_response=series.avg_response(),
+        outputs_match=series.output_digests == reference.output_digests,
+    )
+
+
+def sweep_hit_rate_vs_capacity(
+    *,
+    scale: float = 0.1,
+    overlap: float = 0.5,
+    num_windows: int = 6,
+    fractions: Sequence[float] = (1.0, 0.75, 0.5, 0.25),
+    policies: Sequence[str] = ("lru", "lifespan"),
+    config: Optional[ExperimentConfig] = None,
+) -> CapacitySweep:
+    """Hit rate and cost at descending budget fractions of the peak."""
+    if config is None:
+        config = join_config(overlap, scale=scale, num_windows=num_windows)
+    workload = build_workload(config)
+    unbounded = run_redoop_series(config, label="redoop", workload=workload)
+    peak = unbounded.peak_cached_bytes
+    sweep = CapacitySweep(
+        peak_cached_bytes=peak,
+        unbounded_avg_response=unbounded.avg_response(),
+    )
+    for policy in policies:
+        for fraction in fractions:
+            capacity = max(1, int(peak * fraction))
+            sweep.points.append(
+                _bounded_point(
+                    config,
+                    workload,
+                    unbounded,
+                    policy=policy,
+                    fraction=fraction,
+                    capacity=capacity,
+                )
+            )
+    return sweep
+
+
+def fig7_under_budget(
+    *,
+    scale: float = 0.1,
+    overlap: float = 0.5,
+    num_windows: int = 6,
+    capacity_fraction: float = 0.5,
+    policies: Sequence[str] = ("lru", "lifespan"),
+    config: Optional[ExperimentConfig] = None,
+) -> Tuple[Dict[str, SeriesResult], int]:
+    """The fig7 join comparison with budget-capped Redoop variants.
+
+    Returns the series dict — ``no-caching`` baseline, unbounded
+    ``redoop``, and one ``redoop[<policy>]`` per policy capped at
+    ``capacity_fraction`` of the unbounded peak — plus the measured
+    peak itself. All Redoop variants must produce byte-identical
+    window outputs; a mismatch raises.
+    """
+    if config is None:
+        config = join_config(overlap, scale=scale, num_windows=num_windows)
+    workload = build_workload(config)
+    series: Dict[str, SeriesResult] = {
+        "no-caching": run_redoop_series(
+            config, label="no-caching", enable_caching=False, workload=workload
+        ),
+        "redoop": run_redoop_series(config, label="redoop", workload=workload),
+    }
+    peak = series["redoop"].peak_cached_bytes
+    capacity = max(1, int(peak * capacity_fraction))
+    for policy in policies:
+        label = f"redoop[{policy}]"
+        series[label] = run_redoop_series(
+            config,
+            label=label,
+            workload=workload,
+            cache_capacity_bytes=capacity,
+            eviction_policy=policy,
+        )
+    reference = series["redoop"].output_digests
+    for label, result in series.items():
+        if result.output_digests != reference:
+            raise AssertionError(
+                f"series {label!r} diverges from the unbounded outputs "
+                f"under budget {capacity} ({capacity_fraction:g} of peak "
+                f"{peak})"
+            )
+    return series, peak
+
+
+def format_capacity_table(sweep: CapacitySweep) -> str:
+    """Plain-text table of the sweep (CLI + nightly artifact)."""
+    lines = [
+        f"peak cached working set: {sweep.peak_cached_bytes} B "
+        f"(unbounded avg response {sweep.unbounded_avg_response:.2f}s)",
+        f"{'policy':<10} {'frac':>5} {'hit rate':>9} {'evicted':>8} "
+        f"{'rejected':>9} {'avg resp':>9} {'outputs':>8}",
+    ]
+    for p in sweep.points:
+        lines.append(
+            f"{p.policy:<10} {p.fraction:>5.2f} {p.hit_rate:>9.3f} "
+            f"{p.evicted:>8d} {p.admission_rejected:>9d} "
+            f"{p.avg_response:>9.2f} {'ok' if p.outputs_match else 'DIVERGED':>8}"
+        )
+    return "\n".join(lines)

@@ -168,6 +168,12 @@ class SeriesResult:
     #: The run's span spine (``None`` for averaged/synthetic series);
     #: export with :func:`repro.trace.export_chrome_trace`.
     tracer: Optional[Tracer] = None
+    #: Highest per-node cached working set observed (Redoop runs only);
+    #: the capacity bench sizes budgets as a fraction of this.
+    peak_cached_bytes: int = 0
+    #: Snapshot of the runtime's lifetime counters (Redoop runs only):
+    #: cache hits/misses/evictions for hit-rate-vs-capacity reporting.
+    runtime_counters: Dict[str, float] = field(default_factory=dict)
 
     def response_times(self) -> List[float]:
         return [w.response_time for w in self.windows]
@@ -294,6 +300,8 @@ def run_redoop_series(
     node_failure_injector: Optional[FaultInjector] = None,
     workload: Optional[Mapping[str, List[Tuple[BatchFile, List[Record]]]]] = None,
     tracer: Optional[Tracer] = None,
+    cache_capacity_bytes: Optional[int] = None,
+    eviction_policy: Optional[str] = None,
 ) -> SeriesResult:
     """Run the experiment on Redoop and collect per-window metrics.
 
@@ -319,6 +327,8 @@ def run_redoop_series(
         enable_output_cache=enable_output_cache,
         use_pane_headers=use_pane_headers,
         tracer=tracer,
+        cache_capacity_bytes=cache_capacity_bytes,
+        eviction_policy=eviction_policy,
     )
     query = config.build_query()
     runtime.register_query(query, {src: config.rate for src in config.sources})
@@ -356,6 +366,11 @@ def run_redoop_series(
     return SeriesResult(
         label=label,
         tracer=runtime.tracer,
+        peak_cached_bytes=max(
+            (r.peak_cached_bytes for r in runtime.registries().values()),
+            default=0,
+        ),
+        runtime_counters=runtime.counters.as_dict(),
         windows=[
             WindowMetrics(
                 recurrence=r.recurrence,

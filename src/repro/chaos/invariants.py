@@ -130,4 +130,18 @@ def check_invariants(runtime) -> List[str]:
                     f"but the file is gone"
                 )
 
+    # 7. Budget: a bounded registry never holds more cached bytes than
+    #    its capacity — admission control and eviction must keep every
+    #    node at or under budget at every step, not just eventually.
+    for node_id, registry in sorted(registries.items()):
+        cap = registry.capacity_bytes
+        if cap is None or not registry.node.alive:
+            continue
+        held = registry.cached_bytes
+        if held > cap:
+            violations.append(
+                f"node {node_id} holds {held} cached bytes over its "
+                f"budget of {cap}"
+            )
+
     return violations

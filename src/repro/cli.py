@@ -36,6 +36,8 @@ from .bench import (
 )
 from .bench.plots import plot_series, plot_speedups
 from .bench.reporting import write_series_csv
+from .core import EVICTION_POLICIES
+from .hadoop.config import DEFAULT_CONFIG, ClusterConfig
 from .trace import (
     Tracer,
     export_chrome_trace,
@@ -53,6 +55,7 @@ _EXPERIMENTS = {
     "fig8": "adaptive partitioning under 2x load spikes",
     "fig9": "fault tolerance (cumulative time, cache removals)",
     "chaos": "differential recovery oracle under seeded fault schedules",
+    "capacity": "cache hit rate / cost sweep at descending byte budgets",
     "headline": "the 'up to 9x' best-case speedups",
     "ablations": "pane headers / cache levels / Eq.4 scheduling",
     "report": "per-window phase/cache/task report from a --trace-out JSON",
@@ -90,6 +93,21 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--trace-out",
             help="write a Chrome-trace/Perfetto JSON of every series here",
+        )
+        p.add_argument(
+            "--cache-capacity-mb",
+            type=float,
+            default=None,
+            metavar="MB",
+            help="cap each node's cache at this many megabytes "
+            "(default: unbounded)",
+        )
+        p.add_argument(
+            "--eviction-policy",
+            choices=list(EVICTION_POLICIES),
+            default=None,
+            help="victim ranking when a write would exceed the budget "
+            "(default: lru)",
         )
         if overlaps:
             p.add_argument(
@@ -155,6 +173,21 @@ def build_parser() -> argparse.ArgumentParser:
         "(expects a degraded window, not a wrong answer)",
     )
     chaos.add_argument(
+        "--capacity-fraction",
+        type=float,
+        default=None,
+        metavar="F",
+        help="bound each node's cache at F x the peak cached working "
+        "set of a fault-free unbounded probe run (exercises eviction "
+        "under faults; default: unbounded)",
+    )
+    chaos.add_argument(
+        "--eviction-policy",
+        choices=list(EVICTION_POLICIES),
+        default=None,
+        help="victim ranking used with --capacity-fraction (default: lru)",
+    )
+    chaos.add_argument(
         "--schedule-in",
         metavar="FILE",
         help="replay this schedule JSON (ignores --seeds and the "
@@ -170,6 +203,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-out",
         help="write Chrome-trace/Perfetto JSON of the last fault-free + "
         "chaos pair here",
+    )
+    capacity = sub.add_parser("capacity", help=_EXPERIMENTS["capacity"])
+    capacity.add_argument(
+        "--scale",
+        type=float,
+        default=0.1,
+        help="fraction of paper-scale data volume (default 0.1)",
+    )
+    capacity.add_argument(
+        "--windows", type=int, default=6, help="windows per run (default 6)"
+    )
+    capacity.add_argument(
+        "--overlap",
+        type=float,
+        default=0.5,
+        help="window overlap factor of the join workload (default 0.5)",
+    )
+    capacity.add_argument(
+        "--fractions",
+        type=float,
+        nargs="+",
+        default=[1.0, 0.75, 0.5, 0.25],
+        metavar="F",
+        help="budget fractions of the measured peak to sweep "
+        "(default: 1.0 0.75 0.5 0.25)",
+    )
+    capacity.add_argument(
+        "--policies",
+        nargs="+",
+        choices=list(EVICTION_POLICIES),
+        default=list(EVICTION_POLICIES),
+        help="eviction policies to sweep (default: all)",
+    )
+    capacity.add_argument(
+        "--json-out",
+        metavar="FILE",
+        help="also write the sweep report as JSON here",
     )
     headline = sub.add_parser("headline", help=_EXPERIMENTS["headline"])
     headline.add_argument("--scale", type=float, default=0.5)
@@ -263,6 +333,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the report as JSON instead of text",
     )
     return parser
+
+
+def _cluster_config_from(args) -> ClusterConfig:
+    """``DEFAULT_CONFIG`` with any budget knobs from the command line."""
+    overrides: Dict[str, object] = {}
+    capacity_mb = getattr(args, "cache_capacity_mb", None)
+    if capacity_mb is not None:
+        overrides["cache_capacity_bytes"] = max(1, int(capacity_mb * 2**20))
+    policy = getattr(args, "eviction_policy", None)
+    if policy is not None:
+        overrides["cache_eviction_policy"] = policy
+    return DEFAULT_CONFIG.with_overrides(**overrides) if overrides else DEFAULT_CONFIG
 
 
 def _gather_tracers(series_by_key: Dict[str, object]) -> Dict[str, Tracer]:
@@ -388,12 +470,34 @@ def _run_chaos(args) -> int:
     1 means recovery broke somewhere — the offending schedule is
     written to ``--schedule-out`` (when given) for replay.
     """
+    import dataclasses
     from pathlib import Path
 
-    from .bench import join_config
+    from .bench import build_workload, join_config, run_redoop_series
     from .chaos import ChaosSchedule, run_differential
 
     config = join_config(0.5, scale=args.scale, num_windows=args.windows)
+    if args.capacity_fraction is not None:
+        # Probe a fault-free unbounded run for the peak cached working
+        # set, then re-arm the whole differential (baseline + chaos) at
+        # the requested fraction of it: the oracle's digest comparison
+        # now also proves eviction never changes an answer under faults.
+        probe = run_redoop_series(
+            config, label="probe", workload=build_workload(config)
+        )
+        capacity = max(
+            1, int(probe.peak_cached_bytes * args.capacity_fraction)
+        )
+        cluster_config = config.cluster_config.with_overrides(
+            cache_capacity_bytes=capacity,
+            cache_eviction_policy=args.eviction_policy or "lru",
+        )
+        config = dataclasses.replace(config, cluster_config=cluster_config)
+        print(
+            f"capacity: {capacity} B/node "
+            f"({args.capacity_fraction:g} x peak {probe.peak_cached_bytes} B, "
+            f"policy {cluster_config.cache_eviction_policy})"
+        )
     seeds = [args.seed] if args.schedule_in else list(
         range(args.seed, args.seed + args.seeds)
     )
@@ -441,6 +545,41 @@ def _run_chaos(args) -> int:
     return 1 if failures else 0
 
 
+def _run_capacity(args) -> int:
+    """Hit-rate-vs-capacity sweep (fig7 join workload under budgets).
+
+    Exit status 0 means every bounded point reproduced the unbounded
+    run's window outputs byte-for-byte; 1 means some budget changed an
+    answer — which is a cache-lifecycle bug, not a tuning problem.
+    """
+    from pathlib import Path
+
+    from .bench import format_capacity_table, sweep_hit_rate_vs_capacity
+
+    sweep = sweep_hit_rate_vs_capacity(
+        scale=args.scale,
+        overlap=args.overlap,
+        num_windows=args.windows,
+        fractions=tuple(args.fractions),
+        policies=tuple(args.policies),
+    )
+    print(format_capacity_table(sweep))
+    if args.json_out:
+        Path(args.json_out).write_text(
+            json.dumps(sweep.as_report(), indent=2) + "\n"
+        )
+        print(f"wrote sweep report to {args.json_out}")
+    diverged = [p for p in sweep.points if not p.outputs_match]
+    if diverged:
+        print(
+            f"capacity: {len(diverged)} point(s) DIVERGED from the "
+            f"unbounded outputs",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
@@ -455,6 +594,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "chaos":
         return _run_chaos(args)
 
+    if args.command == "capacity":
+        return _run_capacity(args)
+
     if args.command == "report":
         document = load_chrome_trace(args.trace)
         reports = window_reports_from_document(document)
@@ -467,17 +609,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     csv_series: Dict[str, object] = {}
     if args.command == "fig6":
         results = fig6_aggregation(
-            scale=args.scale, overlaps=args.overlaps, num_windows=args.windows
+            scale=args.scale,
+            overlaps=args.overlaps,
+            num_windows=args.windows,
+            cluster_config=_cluster_config_from(args),
         )
         csv_series = _print_overlap_sweep(results, plot=args.plot)
     elif args.command == "fig7":
         results = fig7_join(
-            scale=args.scale, overlaps=args.overlaps, num_windows=args.windows
+            scale=args.scale,
+            overlaps=args.overlaps,
+            num_windows=args.windows,
+            cluster_config=_cluster_config_from(args),
         )
         csv_series = _print_overlap_sweep(results, plot=args.plot)
     elif args.command == "fig8":
         results = fig8_adaptive(
-            scale=args.scale, overlaps=args.overlaps, num_windows=args.windows
+            scale=args.scale,
+            overlaps=args.overlaps,
+            num_windows=args.windows,
+            cluster_config=_cluster_config_from(args),
         )
         csv_series = _print_overlap_sweep(results, plot=args.plot)
     elif args.command == "fig9":
@@ -486,6 +637,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             num_windows=args.windows,
             cache_corruption_fraction=args.cache_corruption,
             node_failure_window=args.node_failure_window,
+            cluster_config=_cluster_config_from(args),
         )
         print(format_cumulative_table(series, title="Fig 9 cumulative time"))
         if args.plot:

@@ -35,6 +35,13 @@ from .cache_registry import (
     payload_checksum,
 )
 from .data_packer import DynamicDataPacker, PackedPane, PaneFileHeader, PaneLocator
+from .eviction import (
+    EVICTION_POLICIES,
+    EvictionPolicy,
+    LifespanPolicy,
+    LruPolicy,
+    make_policy,
+)
 from .panes import (
     Pane,
     PaneRange,
@@ -60,10 +67,14 @@ __all__ = [
     "CacheStatusMatrix",
     "CountingIngest",
     "DynamicDataPacker",
+    "EVICTION_POLICIES",
+    "EvictionPolicy",
     "ExecutionProfiler",
     "HDFS_AVAILABLE",
+    "LifespanPolicy",
     "LocalCacheRegistry",
     "LostCache",
+    "LruPolicy",
     "MapTaskRequest",
     "NOT_AVAILABLE",
     "Observation",
@@ -89,6 +100,7 @@ __all__ = [
     "cache_file_name",
     "concat_finalizer",
     "count_window_spec",
+    "make_policy",
     "merging_finalizer",
     "pair_pid",
     "pane_file_name",

@@ -214,6 +214,42 @@ class WindowAwareCacheController:
     # reduce-completion bookkeeping and expiration
     # ------------------------------------------------------------------
 
+    def remaining_uses(self, pid: str) -> int:
+        """Unreduced status-matrix cells this cache still serves.
+
+        Aggregated over every registered query that reads the pid's
+        source(s) — the residual lifespan behind the ``doneQueryMask``:
+        once every query's cells are done the count hits zero and the
+        cache is purge-bait. Pane caches sum
+        :meth:`CacheStatusMatrix.remaining_uses` per query; combination
+        caches (join reduce outputs, ``AxB`` pids) serve exactly one
+        cell, so they count 1 per query that has not reduced it yet.
+        The window-aware eviction policy ranks victims by
+        ``bytes x remaining_uses`` (:mod:`repro.core.eviction`).
+        """
+        parts = pid.split("x") if "x" in pid else [pid]
+        panes = []
+        for part in parts:
+            try:
+                panes.append(parse_pane_name(part))
+            except ValueError:
+                return 0
+        total = 0
+        for info in self._queries.values():
+            if not self._query_uses_pid(info, pid):
+                continue
+            if len(panes) == 1:
+                total += info.matrix.remaining_uses(
+                    panes[0].source, panes[0].index
+                )
+                continue
+            coords = {pane.source: pane.index for pane in panes}
+            if set(coords) != set(info.matrix.sources):
+                continue
+            if not info.matrix.is_done(coords):
+                total += 1
+        return total
+
     def record_reduce_done(self, query: str, panes: Mapping[str, int]) -> None:
         """A reduce task over this pane combination completed (Fig. 4(b))."""
         self._info(query).matrix.mark_done(panes)

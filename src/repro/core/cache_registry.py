@@ -81,6 +81,11 @@ class CacheEntry:
     expiration: bool = False
     #: Content digest recorded at write time; ``None`` on legacy entries.
     checksum: Optional[str] = None
+    #: Registry use-sequence number of the last write or read. A
+    #: monotonic counter rather than virtual time: several cache
+    #: operations can share one clock instant, and LRU victim order
+    #: must stay deterministic regardless.
+    last_used: int = 0
 
     @property
     def local_name(self) -> str:
@@ -104,8 +109,13 @@ class LocalCacheRegistry:
     purge_cycle:
         Seconds between periodic purge sweeps (paper's ``PurgeCycle``).
     capacity_bytes:
-        Local-FS budget; exceeding it triggers on-demand purging.
-        ``None`` means unbounded (the default for experiments).
+        Cache byte budget; exceeding it triggers on-demand purging,
+        and the runtime's admission/eviction machinery keeps
+        ``cached_bytes`` at or below it. ``None`` means unbounded
+        (the default for experiments).
+    counters:
+        Optional counter bag (typically the runtime's) the registry
+        reports purge outcomes into.
     """
 
     def __init__(
@@ -114,6 +124,7 @@ class LocalCacheRegistry:
         *,
         purge_cycle: float = 3600.0,
         capacity_bytes: Optional[int] = None,
+        counters: Optional[Any] = None,
     ) -> None:
         if purge_cycle <= 0:
             raise ValueError("purge_cycle must be positive")
@@ -122,8 +133,21 @@ class LocalCacheRegistry:
         self.node = node
         self.purge_cycle = purge_cycle
         self.capacity_bytes = capacity_bytes
+        self.counters = counters
         self._entries: Dict[Tuple[str, int, int], CacheEntry] = {}
         self._last_periodic_purge = 0.0
+        self._use_clock = 0
+        #: High-water mark of ``cached_bytes`` (the registry's working
+        #: set); lets a bench size budgets as a fraction of the peak.
+        self.peak_cached_bytes = 0
+
+    def _count(self, name: str, amount: float = 1) -> None:
+        if self.counters is not None:
+            self.counters.increment(name, amount)
+
+    def _next_use(self) -> int:
+        self._use_clock += 1
+        return self._use_clock
 
     # ------------------------------------------------------------------
     # adding entries (Sec. 4.1 "Adding New Entry")
@@ -156,9 +180,11 @@ class LocalCacheRegistry:
             partition=partition,
             size=size,
             checksum=payload_checksum(payload),
+            last_used=self._next_use(),
         )
         self.node.store_local(entry.local_name, size, payload, created_at=now)
         self._entries[(pid, cache_type, partition)] = entry
+        self.peak_cached_bytes = max(self.peak_cached_bytes, self.cached_bytes)
         return entry
 
     # ------------------------------------------------------------------
@@ -194,6 +220,7 @@ class LocalCacheRegistry:
             raise CacheCorruptionError(
                 self.node.node_id, pid, cache_type, partition
             )
+        entry.last_used = self._next_use()
         return lf.payload, lf.size
 
     def verify(self, pid: str, cache_type: int, partition: int) -> bool:
@@ -221,12 +248,36 @@ class LocalCacheRegistry:
 
     @property
     def cached_bytes(self) -> int:
-        """Bytes attributable to registered cache entries."""
+        """Bytes attributable to registered cache entries.
+
+        Deliberately *not* ``node.local_bytes``: the local FS also
+        holds spills and unregistered tmp runs that are no business of
+        the cache budget.
+        """
         return sum(
             e.size
             for e in self._entries.values()
             if self.node.has_local(e.local_name)
         )
+
+    def entry_size(self, pid: str, cache_type: int, partition: int) -> int:
+        """Bytes an existing backed entry holds (0 when absent).
+
+        Admission control credits this back when a write overwrites an
+        existing key (cache re-construction after failures).
+        """
+        entry = self._entries.get((pid, cache_type, partition))
+        if entry is None or not self.node.has_local(entry.local_name):
+            return 0
+        return entry.size
+
+    def eviction_candidates(self) -> List[CacheEntry]:
+        """Live, backed entries a replacement policy may evict."""
+        return [
+            e
+            for e in self.live_entries()
+            if self.node.has_local(e.local_name)
+        ]
 
     # ------------------------------------------------------------------
     # expiration (Sec. 4.1 "Updating Existing Entry")
@@ -275,12 +326,23 @@ class LocalCacheRegistry:
         return self._purge_expired()
 
     def maybe_purge(self, now: float) -> List[CacheEntry]:
-        """Apply the appropriate policy: on-demand if over budget, else periodic."""
+        """Apply the appropriate policy: on-demand if over budget, else periodic.
+
+        The budget is compared against ``cached_bytes`` — measuring
+        ``node.local_bytes`` would let unrelated local files (spills,
+        tmp runs) trigger emergency sweeps of perfectly healthy caches.
+        An over-budget sweep that reclaims nothing (no expired entries
+        left) is reported via the ``cache.purge_noop`` counter instead
+        of silently returning empty.
+        """
         if (
             self.capacity_bytes is not None
-            and self.node.local_bytes > self.capacity_bytes
+            and self.cached_bytes > self.capacity_bytes
         ):
-            return self.on_demand_purge()
+            purged = self.on_demand_purge()
+            if not purged:
+                self._count("cache.purge_noop")
+            return purged
         return self.periodic_purge(now)
 
     def _purge_expired(self) -> List[CacheEntry]:

@@ -1,0 +1,128 @@
+"""Cache eviction policies for budget-bounded registries.
+
+The paper assumes node-local disks large enough that caches only leave
+through window expiration (Sec. 4.1's purging). Under a byte budget
+(``ClusterConfig.cache_capacity_bytes``) that is not enough: a write
+that would exceed the budget must *evict* live entries. Eviction is a
+planned invalidation, not a fault — the runtime routes every victim
+through :meth:`~repro.core.runtime.RedoopRuntime.discard_cache` so
+controller signatures, ready bits, and queued tasks stay consistent,
+and the evicted pane is simply recomputed from HDFS if needed again.
+
+Two policies are provided:
+
+``lru``
+    Evict the least recently used entry first (classic H-SVM-LRU-style
+    replacement). Recency is a per-registry monotonic use counter, so
+    victim order is deterministic even when virtual time stands still.
+
+``lifespan``
+    Window-aware: score each entry by ``bytes x remaining uses``, where
+    the remaining uses come from the Cache Status Matrix — the number
+    of not-yet-reduced cells the pane still participates in across all
+    registered queries (the pane's residual lifespan, Sec. 4.2). Cheap
+    entries about to expire anyway go first; large panes the next
+    windows still need go last. Ties break by recency, then key.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+from .cache_registry import CacheEntry
+
+__all__ = [
+    "EVICTION_POLICIES",
+    "EvictionPolicy",
+    "LifespanPolicy",
+    "LruPolicy",
+    "make_policy",
+    "select_victims",
+]
+
+#: Looks up a pid's remaining doneQueryMask uses (supplied by the
+#: runtime from the cache controller's status matrices).
+RemainingUses = Callable[[str], int]
+
+_entry_key = lambda e: (e.pid, e.cache_type, e.partition)  # noqa: E731
+
+
+class EvictionPolicy:
+    """Orders live cache entries from first-evicted to last."""
+
+    name = "abstract"
+    #: Whether :meth:`rank` consults remaining uses (lets the runtime
+    #: skip the status-matrix walk for policies that ignore it).
+    needs_remaining_uses = False
+
+    def rank(
+        self,
+        entries: Sequence[CacheEntry],
+        remaining_uses: RemainingUses,
+    ) -> List[CacheEntry]:
+        raise NotImplementedError
+
+
+class LruPolicy(EvictionPolicy):
+    """Least-recently-used first."""
+
+    name = "lru"
+
+    def rank(
+        self,
+        entries: Sequence[CacheEntry],
+        remaining_uses: RemainingUses,
+    ) -> List[CacheEntry]:
+        return sorted(entries, key=lambda e: (e.last_used, _entry_key(e)))
+
+
+class LifespanPolicy(EvictionPolicy):
+    """Smallest ``bytes x remaining uses`` first (window-aware)."""
+
+    name = "lifespan"
+    needs_remaining_uses = True
+
+    def rank(
+        self,
+        entries: Sequence[CacheEntry],
+        remaining_uses: RemainingUses,
+    ) -> List[CacheEntry]:
+        def score(e: CacheEntry) -> Tuple[int, int, Tuple[str, int, int]]:
+            return (e.size * remaining_uses(e.pid), e.last_used, _entry_key(e))
+
+        return sorted(entries, key=score)
+
+
+EVICTION_POLICIES = ("lru", "lifespan")
+
+
+def make_policy(name: str) -> EvictionPolicy:
+    if name == "lru":
+        return LruPolicy()
+    if name == "lifespan":
+        return LifespanPolicy()
+    raise ValueError(
+        f"unknown eviction policy {name!r}; expected one of {EVICTION_POLICIES}"
+    )
+
+
+def select_victims(
+    policy: EvictionPolicy,
+    entries: Sequence[CacheEntry],
+    need_bytes: int,
+    remaining_uses: RemainingUses,
+) -> List[CacheEntry]:
+    """The prefix of ``policy``'s ranking that frees ``need_bytes``.
+
+    Returns victims in eviction order; the total may fall short when
+    the candidate set itself is too small (the caller then rejects the
+    incoming write instead).
+    """
+    victims: List[CacheEntry] = []
+    freed = 0
+    for entry in policy.rank(entries, remaining_uses):
+        if freed >= need_bytes:
+            break
+        victims.append(entry)
+        freed += entry.size
+    return victims

@@ -77,6 +77,7 @@ from .cache_registry import (
     cache_file_name,
 )
 from .data_packer import DynamicDataPacker
+from .eviction import make_policy, select_victims
 from .panes import WindowSpec, pane_name
 from .profiler import ExecutionProfiler
 from .query import RecurringQuery
@@ -220,6 +221,15 @@ class RedoopRuntime:
         query's slide at registration (the paper's default).
     fault_injector:
         Optional deterministic fault source for task retries.
+    cache_capacity_bytes:
+        Per-node cache budget; defaults to the cluster config's
+        ``cache_capacity_bytes`` (``None`` = unbounded). When set,
+        writes that would exceed it evict live entries via the
+        eviction policy, or are refused outright when nothing
+        evictable can make room.
+    eviction_policy:
+        ``"lru"`` or ``"lifespan"``; defaults to the cluster config's
+        ``cache_eviction_policy``.
     """
 
     def __init__(
@@ -233,6 +243,8 @@ class RedoopRuntime:
         fault_injector: Optional[FaultInjector] = None,
         use_pane_headers: bool = True,
         tracer: Optional[Tracer] = None,
+        cache_capacity_bytes: Optional[int] = None,
+        eviction_policy: Optional[str] = None,
     ) -> None:
         self.cluster = cluster
         self.counters = Counters()
@@ -264,6 +276,16 @@ class RedoopRuntime:
         self.faults = fault_injector
         self.use_pane_headers = use_pane_headers
         self._purge_cycle = purge_cycle
+        if cache_capacity_bytes is not None and cache_capacity_bytes <= 0:
+            raise ValueError("cache_capacity_bytes must be positive when set")
+        self.cache_capacity_bytes = (
+            cache_capacity_bytes
+            if cache_capacity_bytes is not None
+            else cluster.config.cache_capacity_bytes
+        )
+        self.eviction_policy = make_policy(
+            eviction_policy or cluster.config.cache_eviction_policy
+        )
         self._states: Dict[str, _QueryState] = {}
         self._registries: Dict[int, LocalCacheRegistry] = {}
         #: source -> the one packer shared by every query reading it.
@@ -368,6 +390,9 @@ class RedoopRuntime:
         # A finer shared pane may have invalidated the effective specs of
         # earlier queries on the same sources: refresh them.
         self._refresh_effective_specs(query.sources, except_query=query.name)
+        # The default purge cycle is the minimum registered slide, which
+        # this registration may have just lowered.
+        self._refresh_purge_cycles()
 
     def _shared_pane(self, source: str) -> float:
         from .semantic_analyzer import shared_pane_seconds
@@ -496,6 +521,7 @@ class RedoopRuntime:
                 # it divides every surviving window constraint.
         if rebuilt_sources:
             self._refresh_effective_specs(rebuilt_sources, except_query=name)
+        self._refresh_purge_cycles()
         self.counters.increment("runtime.queries_deregistered")
 
     def catch_up_query(self, name: str) -> int:
@@ -936,7 +962,7 @@ class RedoopRuntime:
             self.discard_cache(
                 node_id, pid, ctype, part, reason="degraded", at=finish
             )
-        aborted = self.scheduler.abort_pending()
+        aborted = self.scheduler.abort_pending(query=state.query.name)
         # Half-processed panes must be re-examined from scratch next
         # window; their HDFS pane files are intact.
         state.pane_work.clear()
@@ -1758,6 +1784,8 @@ class RedoopRuntime:
             registry = LocalCacheRegistry(
                 self.cluster.node(node_id),
                 purge_cycle=self._purge_cycle or self._default_purge_cycle(),
+                capacity_bytes=self.cache_capacity_bytes,
+                counters=self.counters,
             )
             self._registries[node_id] = registry
         return registry
@@ -1765,6 +1793,106 @@ class RedoopRuntime:
     def _default_purge_cycle(self) -> float:
         slides = [s.query.slide for s in self._states.values()]
         return min(slides) if slides else 3600.0
+
+    def _refresh_purge_cycles(self) -> None:
+        """Re-derive registry purge cycles after query churn.
+
+        The default cycle is the minimum registered slide, but it is
+        copied into each registry at first touch — without this hook,
+        serve-mode churn (queries registered or removed later) would
+        leave existing registries sweeping on the stale frozen cycle.
+        An explicit ``purge_cycle`` constructor override stays fixed.
+        """
+        if self._purge_cycle is not None:
+            return
+        cycle = self._default_purge_cycle()
+        for registry in self._registries.values():
+            registry.purge_cycle = cycle
+
+    def _pinned_pids(self) -> Set[str]:
+        """Pane pids whose reduce-input caches eviction must not touch.
+
+        Every registered query's *upcoming* window (``next_recurrence``
+        — the one currently executing, between recurrences the next
+        due) relies on those rin caches: once ``_pane_caches_intact``
+        said a pane is served from cache, the combine phase has no
+        other way to rebuild its input mid-window. Everything else —
+        reduce-output caches, combination caches, panes of past or
+        far-future windows — can always be recomputed from HDFS.
+        """
+        pinned: Set[str] = set()
+        for state in self._states.values():
+            for src in state.query.sources:
+                for idx in state.spec(src).panes_in_window(
+                    state.next_recurrence
+                ):
+                    pinned.add(state.qpid(src, idx))
+        return pinned
+
+    def _make_room(
+        self,
+        registry: LocalCacheRegistry,
+        pid: str,
+        cache_type: int,
+        partition: int,
+        nbytes: int,
+        now: float,
+    ) -> bool:
+        """Admission control: can ``nbytes`` fit under the node budget?
+
+        Reclaims space in escalating order — expired entries first
+        (the paper's on-demand purge), then live entries chosen by the
+        eviction policy — and answers ``False`` only when even evicting
+        every unpinned entry would not make room.
+        """
+        cap = registry.capacity_bytes
+        if cap is None:
+            return True
+        if nbytes > cap:
+            return False
+        # Overwriting an existing key (cache re-construction) frees its
+        # current bytes, so they count against the incoming size.
+        credit = registry.entry_size(pid, cache_type, partition)
+
+        def overflow() -> int:
+            return registry.cached_bytes - credit + nbytes - cap
+
+        if overflow() <= 0:
+            return True
+        purged = registry.on_demand_purge()
+        if purged:
+            self.counters.increment("cache.entries_purged", len(purged))
+        need = overflow()
+        if need <= 0:
+            return True
+        pinned = self._pinned_pids()
+        candidates = [
+            e
+            for e in registry.eviction_candidates()
+            if (e.pid, e.cache_type, e.partition) != (pid, cache_type, partition)
+            and not (e.cache_type == REDUCE_INPUT and e.pid in pinned)
+        ]
+        victims = select_victims(
+            self.eviction_policy, candidates, need, self.controller.remaining_uses
+        )
+        if sum(v.size for v in victims) < need:
+            return False
+        for victim in victims:
+            self.counters.increment("cache.bytes_evicted", victim.size)
+            # drop_tasks=False: eviction fires inside reduce drains; any
+            # queued request touching the victim re-verifies and falls
+            # back (same contract as the corruption path). The pin set
+            # guarantees no current-window rin disappears.
+            self.discard_cache(
+                registry.node.node_id,
+                victim.pid,
+                victim.cache_type,
+                victim.partition,
+                reason="evicted",
+                at=now,
+                drop_tasks=False,
+            )
+        return True
 
     def _store_cache(
         self,
@@ -1777,9 +1905,23 @@ class RedoopRuntime:
         nbytes: int,
         now: float,
     ) -> None:
-        self._registry(node_id).add_entry(
-            pid, cache_type, partition, nbytes, payload, now=now
-        )
+        registry = self._registry(node_id)
+        if not self._make_room(registry, pid, cache_type, partition, nbytes, now):
+            # Budget refusal: the write is dropped, not the window. A
+            # reduce-input run is spilled unregistered (same tmp path
+            # as no-cache mode) so this window's combine phase can
+            # still read it; the ready bit stays HDFS_AVAILABLE and
+            # later windows recompute from the pane files.
+            self.counters.increment("cache.admission_rejected")
+            if cache_type == REDUCE_INPUT:
+                registry.node.store_local(
+                    f"tmp/{state.query.name}/{pid}/p{partition}",
+                    nbytes,
+                    payload,
+                    created_at=now,
+                )
+            return
+        registry.add_entry(pid, cache_type, partition, nbytes, payload, now=now)
         self.controller.cache_created(pid, cache_type, partition, node_id)
         self.counters.increment("cache.bytes_written", nbytes)
         if self._recurrence_cache_log is not None:
@@ -1827,6 +1969,9 @@ class RedoopRuntime:
             self.scheduler.drop_reduce_tasks_using(pid)
         if reason == "degraded":
             self.counters.increment("faults.caches_rolled_back")
+        elif reason == "evicted":
+            # Planned invalidation under the byte budget, not a fault.
+            self.counters.increment("cache.evicted")
         else:
             self.counters.increment("faults.caches_destroyed")
         self.tracer.instant(
@@ -1853,19 +1998,23 @@ class RedoopRuntime:
         """
         node_id = self.controller.placement(pid, cache_type, partition)
         if node_id is None:
+            self.counters.increment("cache.misses")
             return None
         registry = self._registries.get(node_id)
         if registry is None or not registry.has(pid, cache_type, partition):
+            self.counters.increment("cache.misses")
             return None
         try:
             payload, nbytes = registry.read(pid, cache_type, partition)
         except CacheCorruptionError:
             self.counters.increment("cache.corruptions_detected")
+            self.counters.increment("cache.misses")
             self.discard_cache(
                 node_id, pid, cache_type, partition,
                 reason="corrupt", drop_tasks=False,
             )
             return None
+        self.counters.increment("cache.hits")
         return payload, nbytes, node_id
 
     def registries(self) -> Dict[int, LocalCacheRegistry]:
@@ -1908,13 +2057,13 @@ class RedoopRuntime:
             if purged:
                 self.counters.increment("cache.entries_purged", len(purged))
 
-        # Drop unregistered temporary runs (no-cache mode).
-        if not self.enable_caching:
-            prefix = f"tmp/{query.name}/"
-            for node in self.cluster.live_nodes():
-                for name in node.local_files():
-                    if name.startswith(prefix):
-                        node.delete_local(name)
+        # Drop unregistered temporary runs — no-cache mode's shuffled
+        # runs, and admission-rejected spills under a byte budget.
+        prefix = f"tmp/{query.name}/"
+        for node in self.cluster.live_nodes():
+            for name in node.local_files():
+                if name.startswith(prefix):
+                    node.delete_local(name)
 
         # Adaptive mode switch (Sec. 3.3): triggered by a forecast
         # execution-time change or by recent fluctuation, per the paper's

@@ -233,17 +233,37 @@ class CacheAwareTaskScheduler:
                     )
         return removed
 
-    def abort_pending(self) -> int:
-        """Flush both task lists (degraded-window rollback).
+    def abort_pending(self, query: Optional[str] = None) -> int:
+        """Flush pending task requests (degraded-window rollback).
 
         When a window is abandoned after attempt exhaustion, any tasks
         it already enqueued must not leak into the next recurrence.
-        Returns the number of requests discarded.
+        With ``query`` set, only that query's requests are discarded —
+        in multi-tenant serve mode other queries' enqueued work must
+        survive one tenant's degradation. ``None`` flushes everything
+        (full-runtime teardown). Returns the number discarded.
         """
-        aborted = len(self.map_task_list) + len(self.reduce_task_list)
+        if query is None:
+            aborted = len(self.map_task_list) + len(self.reduce_task_list)
+            if aborted:
+                self.map_task_list.clear()
+                self.reduce_task_list.clear()
+        else:
+            kept_maps = deque(
+                r for r in self.map_task_list if r.query != query
+            )
+            kept_reduces = deque(
+                r for r in self.reduce_task_list if r.query != query
+            )
+            aborted = (
+                len(self.map_task_list)
+                - len(kept_maps)
+                + len(self.reduce_task_list)
+                - len(kept_reduces)
+            )
+            self.map_task_list = kept_maps
+            self.reduce_task_list = kept_reduces
         if aborted:
-            self.map_task_list.clear()
-            self.reduce_task_list.clear()
             self._count("sched.tasks_aborted", aborted)
         return aborted
 

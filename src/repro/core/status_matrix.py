@@ -125,6 +125,21 @@ class CacheStatusMatrix:
             cells.update(product(*per_dim))
         return cells
 
+    def remaining_uses(self, source: str, index: int) -> int:
+        """How many of the pane's lifespan cells are still unreduced.
+
+        The count drives the window-aware ``lifespan`` eviction policy
+        (:mod:`repro.core.eviction`): a pane with zero remaining uses
+        is about to expire anyway, while a high count means future
+        windows will reduce it again and again. Cells below the base
+        are implicitly done and never counted.
+        """
+        return sum(
+            1
+            for c in self.required_cells(source, index)
+            if not (self._below_base(c) or c in self._done)
+        )
+
     def pane_expired(
         self, source: str, index: int, current_recurrence: int
     ) -> bool:

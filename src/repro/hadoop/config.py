@@ -95,6 +95,17 @@ class ClusterConfig:
     #: another chance (its failure score resets on un-blacklist).
     blacklist_cooldown: float = 300.0
 
+    #: Per-node cache budget in bytes. ``None`` (the default) keeps the
+    #: registries unbounded, matching the paper's experiments; setting a
+    #: budget turns on admission control and live-entry eviction in
+    #: every :class:`~repro.core.cache_registry.LocalCacheRegistry`.
+    cache_capacity_bytes: Optional[int] = None
+
+    #: Replacement policy used when a cache write would exceed the
+    #: budget: ``"lru"`` or the window-aware ``"lifespan"`` (see
+    #: :mod:`repro.core.eviction`).
+    cache_eviction_policy: str = "lru"
+
     def __post_init__(self) -> None:
         if self.num_nodes < 1:
             raise ValueError("a cluster needs at least one task node")
@@ -112,6 +123,13 @@ class ClusterConfig:
             raise ValueError("blacklist_threshold must be at least 1")
         if self.blacklist_cooldown < 0:
             raise ValueError("blacklist_cooldown cannot be negative")
+        if self.cache_capacity_bytes is not None and self.cache_capacity_bytes <= 0:
+            raise ValueError("cache_capacity_bytes must be positive when set")
+        if self.cache_eviction_policy not in ("lru", "lifespan"):
+            raise ValueError(
+                "cache_eviction_policy must be 'lru' or 'lifespan', "
+                f"got {self.cache_eviction_policy!r}"
+            )
 
     @property
     def total_map_slots(self) -> int:

@@ -7,13 +7,14 @@ See :mod:`repro.service.server` for the event loop,
 """
 
 from .checkpoint import CheckpointError, SCHEMA_VERSION, load_checkpoint, save_checkpoint
-from .ingest import ACCEPTED, DEFERRED, SHED, STALE, IngestChannel
+from .ingest import ACCEPTED, DEFERRED, GAP, SHED, STALE, IngestChannel
 from .server import PAUSED, RUNNING, QueryServer, latest_checkpoint
 from .spec import QuerySpec, build_query, resolve_factory
 
 __all__ = [
     "ACCEPTED",
     "DEFERRED",
+    "GAP",
     "SHED",
     "STALE",
     "PAUSED",

@@ -28,6 +28,12 @@ in time order. Every offer gets an explicit admission verdict:
     accepted (or shed) earlier. Re-offering is a no-op, which makes
     "replay the whole schedule from the start" a correct driver
     strategy after a checkpoint restore.
+``GAP``
+    The batch starts *after* ``accepted_until`` — accepting it would
+    leave an unaccounted hole in the time line, and downstream panes
+    would silently seal with missing data. The producer must offer the
+    intervening range first (or the channel owner must shed it
+    explicitly); the rejection is counted, never silent.
 """
 
 from __future__ import annotations
@@ -43,6 +49,7 @@ from ..hadoop.types import Record
 __all__ = [
     "ACCEPTED",
     "DEFERRED",
+    "GAP",
     "SHED",
     "STALE",
     "IngestChannel",
@@ -53,6 +60,7 @@ ACCEPTED = "accepted"
 DEFERRED = "deferred"
 SHED = "shed"
 STALE = "stale"
+GAP = "gap"
 
 _POLICIES = ("defer", "shed")
 
@@ -101,7 +109,8 @@ class IngestChannel:
         self._queue: Deque[_Pending] = deque()
         #: Data horizon: every instant before this has been accepted
         #: (or deliberately shed). Offers ending at or before it are
-        #: stale; offers must otherwise start exactly here.
+        #: stale; offers must otherwise start exactly here (later
+        #: starts are rejected as gap-leaving, earlier ones raise).
         self.accepted_until = 0.0
         self.peak_depth = 0
         #: ``[t_start, t_end)`` ranges dropped under the shed policy.
@@ -127,6 +136,12 @@ class IngestChannel:
                 f"accepted horizon {self.accepted_until} of source "
                 f"{self.source!r}; batches must not overlap"
             )
+        if batch.t_start > self.accepted_until + 1e-9:
+            # Accepting would jump the horizon over [accepted_until,
+            # t_start) without anyone ever offering that range — an
+            # unaccounted data gap. Push back instead.
+            self.counters.increment("service.batches_gap_rejected")
+            return GAP
         if len(self._queue) >= self.capacity:
             if self.policy == "defer":
                 self.counters.increment("service.batches_deferred")

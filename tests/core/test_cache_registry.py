@@ -146,6 +146,59 @@ class TestPurging:
         assert registry.maybe_purge(now=1.0) == []  # too early, under budget
         assert len(registry.maybe_purge(now=150.0)) == 1
 
+    def test_maybe_purge_compares_cached_not_local_bytes(self, node):
+        """Non-cache local data must not trigger on-demand purging.
+
+        The node also hosts HDFS blocks, shuffle runs, and tmp spills;
+        the budget governs *cache* bytes only. A registry that compared
+        ``node.local_bytes`` would sweep expired caches early whenever
+        unrelated local data pushed the node past the budget.
+        """
+        registry = LocalCacheRegistry(node, purge_cycle=1e9, capacity_bytes=1000)
+        registry.add_entry("a", REDUCE_INPUT, 0, 10, None)
+        registry.mark_expired(["a"])
+        node.store_local("tmp/unrelated", 5000, None, created_at=0.0)
+        assert node.local_bytes > registry.capacity_bytes
+        assert registry.cached_bytes <= registry.capacity_bytes
+        assert registry.maybe_purge(now=1.0) == []  # cycle gates, budget ok
+
+    def test_over_budget_noop_sweep_counted(self, node):
+        from repro.hadoop import Counters
+
+        counters = Counters()
+        registry = LocalCacheRegistry(
+            node, purge_cycle=1e9, capacity_bytes=15, counters=counters
+        )
+        registry.add_entry("a", REDUCE_INPUT, 0, 10, None)
+        registry.add_entry("b", REDUCE_INPUT, 0, 10, None)
+        # Over budget but nothing expired: the sweep reclaims nothing
+        # and says so, instead of silently returning [].
+        assert registry.maybe_purge(now=1.0) == []
+        assert counters.get("cache.purge_noop") == 1
+
+    def test_on_demand_before_periodic_when_both_due(self, node):
+        """Over budget *and* cycle elapsed: the on-demand path wins.
+
+        Expired entries are swept exactly once either way; a follow-up
+        sweep (now under budget, periodic path) finds nothing left.
+        """
+        registry = LocalCacheRegistry(node, purge_cycle=50.0, capacity_bytes=15)
+        registry.add_entry("a", REDUCE_INPUT, 0, 10, None)
+        registry.add_entry("b", REDUCE_INPUT, 0, 10, None)
+        registry.mark_expired(["a"])
+        purged = registry.maybe_purge(now=100.0)
+        assert [e.pid for e in purged] == ["a"]
+        assert registry.maybe_purge(now=101.0) == []
+
+    def test_eviction_candidates_skip_expired_and_unbacked(self, node):
+        registry = LocalCacheRegistry(node, purge_cycle=100.0)
+        registry.add_entry("live", REDUCE_INPUT, 0, 10, None)
+        registry.add_entry("dead", REDUCE_INPUT, 0, 10, None)
+        gone = registry.add_entry("gone", REDUCE_INPUT, 0, 10, None)
+        registry.mark_expired(["dead"])
+        node.delete_local(gone.local_name)
+        assert [e.pid for e in registry.eviction_candidates()] == ["live"]
+
 
 class TestFailureBookkeeping:
     def test_drop_lost_forgets_entry(self, registry):

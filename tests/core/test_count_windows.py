@@ -117,3 +117,54 @@ class TestCountWindowAnswers:
         r2 = runtime.run_recurrence("wc", 2)
         # Window 2 shares 3 of 4 record-count panes with window 1.
         assert r2.counters.get("cache.pane_hits") == 3
+
+
+class TestReadyRecurrenceBoundaries:
+    """Exact window-boundary arithmetic of ``ready_recurrences``."""
+
+    def test_exact_first_window_is_ready(self):
+        runtime, ingest = make_setup(win=40, slide=10)
+        ingest.ingest(
+            BatchFile(path="/b/0", source="S1", t_start=0.0, t_end=1.0),
+            word_records(40, seed=1),
+        )
+        # Window 1 needs exactly win records: 40 seen -> ready, but
+        # window 2 needs win + slide = 50.
+        assert ingest.ready_recurrences("wc") == 1
+
+    def test_one_short_of_boundary_is_not_ready(self):
+        runtime, ingest = make_setup(win=40, slide=10)
+        ingest.ingest(
+            BatchFile(path="/b/0", source="S1", t_start=0.0, t_end=1.0),
+            word_records(39, seed=1),
+        )
+        assert ingest.ready_recurrences("wc") == 0
+
+    def test_each_slide_of_records_readies_one_more(self):
+        runtime, ingest = make_setup(win=40, slide=10)
+        ingest.ingest(
+            BatchFile(path="/b/0", source="S1", t_start=0.0, t_end=1.0),
+            word_records(40, seed=1),
+        )
+        for extra in range(1, 4):
+            ingest.ingest(
+                BatchFile(
+                    path=f"/b/{extra}",
+                    source="S1",
+                    t_start=float(extra),
+                    t_end=extra + 1.0,
+                ),
+                word_records(10, seed=extra),
+            )
+            assert ingest.ready_recurrences("wc") == 1 + extra
+
+    def test_ready_windows_actually_run(self):
+        runtime, ingest = make_setup(win=40, slide=10)
+        ingest.ingest(
+            BatchFile(path="/b/0", source="S1", t_start=0.0, t_end=1.0),
+            word_records(50, seed=9),
+        )
+        assert ingest.ready_recurrences("wc") == 2
+        for k in (1, 2):
+            result = runtime.run_recurrence("wc", k)
+            assert sum(v for _k, v in result.output) == 40

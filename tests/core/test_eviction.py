@@ -1,0 +1,210 @@
+"""Bounded cache budgets: admission control + window-aware eviction.
+
+Policy units run against hand-built registries; the integration tests
+run the wordcount runtime under budgets derived from its own measured
+unbounded peak, asserting the budget holds at every step and that a
+budget may cost recomputation but never changes a window's answer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    EVICTION_POLICIES,
+    LifespanPolicy,
+    LruPolicy,
+    RedoopRuntime,
+    make_policy,
+)
+from repro.core.cache_registry import (
+    REDUCE_INPUT,
+    REDUCE_OUTPUT,
+    LocalCacheRegistry,
+)
+from repro.core.eviction import select_victims
+from repro.hadoop import Cluster, small_test_config
+from repro.hadoop.node import TaskNode
+
+from .test_runtime import RATE, feed, make_query
+
+
+def make_registry(*entries):
+    """Registry holding ``(pid, type, partition, size)`` rows in order.
+
+    ``add_entry`` stamps each row with the next use-sequence number, so
+    insertion order *is* recency order (oldest first).
+    """
+    registry = LocalCacheRegistry(
+        TaskNode(0, map_slots=2, reduce_slots=1), purge_cycle=100.0
+    )
+    for pid, cache_type, partition, size in entries:
+        registry.add_entry(pid, cache_type, partition, size, None)
+    return registry
+
+
+class TestPolicies:
+    def test_factory_covers_every_policy(self):
+        for name in EVICTION_POLICIES:
+            assert make_policy(name).name == name
+
+    def test_factory_rejects_unknown(self):
+        with pytest.raises(ValueError, match="ghost"):
+            make_policy("ghost")
+
+    def test_lru_ranks_least_recently_used_first(self):
+        registry = make_registry(
+            ("a", REDUCE_INPUT, 0, 10),
+            ("b", REDUCE_OUTPUT, 0, 10),
+            ("c", REDUCE_INPUT, 0, 10),
+        )
+        registry.read("a", REDUCE_INPUT, 0)  # refresh "a"
+        ranked = LruPolicy().rank(registry.eviction_candidates(), lambda p: 0)
+        assert [e.pid for e in ranked] == ["b", "c", "a"]
+
+    def test_lifespan_ranks_fewest_remaining_uses_first(self):
+        registry = make_registry(
+            ("hot", REDUCE_INPUT, 0, 10),
+            ("cold", REDUCE_INPUT, 0, 10),
+        )
+        uses = {"hot": 3, "cold": 0}
+        ranked = LifespanPolicy().rank(
+            registry.eviction_candidates(), lambda pid: uses[pid]
+        )
+        # cold scores 0 (no window still needs it) despite equal size
+        # and being older-agnostic; hot scores 30.
+        assert [e.pid for e in ranked] == ["cold", "hot"]
+
+    def test_lifespan_breaks_score_ties_by_recency(self):
+        registry = make_registry(
+            ("a", REDUCE_INPUT, 0, 10),
+            ("b", REDUCE_INPUT, 0, 10),
+        )
+        ranked = LifespanPolicy().rank(
+            registry.eviction_candidates(), lambda pid: 1
+        )
+        assert [e.pid for e in ranked] == ["a", "b"]
+
+    def test_select_victims_takes_minimal_prefix(self):
+        registry = make_registry(
+            ("a", REDUCE_INPUT, 0, 10),
+            ("b", REDUCE_INPUT, 0, 10),
+            ("c", REDUCE_INPUT, 0, 10),
+        )
+        victims = select_victims(
+            LruPolicy(), registry.eviction_candidates(), 15, lambda p: 0
+        )
+        assert [e.pid for e in victims] == ["a", "b"]
+
+    def test_select_victims_may_fall_short(self):
+        registry = make_registry(("a", REDUCE_INPUT, 0, 10))
+        victims = select_victims(
+            LruPolicy(), registry.eviction_candidates(), 100, lambda p: 0
+        )
+        # Caller must check the total and reject the write instead.
+        assert sum(e.size for e in victims) < 100
+
+    def test_rank_is_deterministic(self):
+        registry = make_registry(
+            ("b", REDUCE_INPUT, 1, 10),
+            ("a", REDUCE_OUTPUT, 0, 10),
+        )
+        for policy in (LruPolicy(), LifespanPolicy()):
+            first = policy.rank(registry.eviction_candidates(), lambda p: 1)
+            again = policy.rank(registry.eviction_candidates(), lambda p: 1)
+            assert [(e.pid, e.cache_type) for e in first] == [
+                (e.pid, e.cache_type) for e in again
+            ]
+
+
+def run_windows(cap=None, policy="lru", windows=(1, 2, 3)):
+    """Feed 70 s, run ``windows``, return (runtime, outputs, peak)."""
+    runtime = RedoopRuntime(
+        Cluster(small_test_config(), seed=3),
+        cache_capacity_bytes=cap,
+        eviction_policy=policy,
+    )
+    runtime.register_query(make_query(), {"S1": RATE})
+    feed(runtime, 70.0)
+    outputs = []
+    for k in windows:
+        outputs.append(tuple(runtime.run_recurrence("wc", k).output))
+        if cap is not None:
+            for node_id, registry in runtime.registries().items():
+                assert registry.cached_bytes <= cap, (
+                    f"node {node_id} over budget after window {k}"
+                )
+    peak = max(
+        (r.peak_cached_bytes for r in runtime.registries().values()),
+        default=0,
+    )
+    return runtime, outputs, peak
+
+
+class TestBoundedRuntime:
+    @pytest.fixture(scope="class")
+    def unbounded(self):
+        return run_windows()
+
+    def test_half_budget_evicts_but_answers_match(self, unbounded):
+        _, reference, peak = unbounded
+        cap = peak // 2
+        runtime, outputs, _ = run_windows(cap=cap)
+        assert outputs == reference
+        assert runtime.counters.get("cache.evicted") > 0
+        assert runtime.counters.get("cache.bytes_evicted") > 0
+
+    @pytest.mark.parametrize("policy", list(EVICTION_POLICIES))
+    def test_every_policy_preserves_answers(self, unbounded, policy):
+        _, reference, peak = unbounded
+        _, outputs, _ = run_windows(cap=peak // 2, policy=policy)
+        assert outputs == reference
+
+    def test_tiny_budget_rejects_admissions_but_answers_match(
+        self, unbounded
+    ):
+        _, reference, _ = unbounded
+        runtime, outputs, _ = run_windows(cap=200)
+        assert outputs == reference
+        assert runtime.counters.get("cache.admission_rejected") > 0
+
+    def test_eviction_is_deterministic(self, unbounded):
+        _, _, peak = unbounded
+        first, _, _ = run_windows(cap=peak // 2)
+        again, _, _ = run_windows(cap=peak // 2)
+        assert first.counters.as_dict() == again.counters.as_dict()
+
+    def test_bounded_run_passes_chaos_invariants(self, unbounded):
+        from repro.chaos.invariants import check_invariants
+
+        _, _, peak = unbounded
+        runtime, _, _ = run_windows(cap=peak // 2)
+        assert check_invariants(runtime) == []
+
+    def test_budget_from_cluster_config(self, unbounded):
+        _, reference, peak = unbounded
+        config = small_test_config().with_overrides(
+            cache_capacity_bytes=peak // 2,
+            cache_eviction_policy="lifespan",
+        )
+        runtime = RedoopRuntime(Cluster(config, seed=3))
+        assert runtime.cache_capacity_bytes == peak // 2
+        assert runtime.eviction_policy.name == "lifespan"
+        runtime.register_query(make_query(), {"S1": RATE})
+        feed(runtime, 70.0)
+        outputs = [
+            tuple(runtime.run_recurrence("wc", k).output) for k in (1, 2, 3)
+        ]
+        assert outputs == reference
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RedoopRuntime(
+                Cluster(small_test_config(), seed=3), cache_capacity_bytes=0
+            )
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            RedoopRuntime(
+                Cluster(small_test_config(), seed=3), eviction_policy="fifo"
+            )

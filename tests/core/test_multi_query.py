@@ -265,3 +265,128 @@ class TestChurn:
         runtime.deregister_query("qa")
         # qa's job namespace had no other readers: everything reclaimed.
         assert not any(pid.startswith("wc-a:") for pid in held())
+
+
+class TestAbortIsolation:
+    """One tenant's degraded-window rollback must not flush the others.
+
+    ``abort_pending`` used to clear both whole task lists; in serve
+    mode that silently discarded work other queries had already
+    enqueued, stalling their recurrences.
+    """
+
+    def _scheduler_with_two_tenants(self):
+        from repro.core.scheduler import (
+            CacheAwareTaskScheduler,
+            MapTaskRequest,
+            ReduceTaskRequest,
+        )
+        from repro.hadoop import Cluster, Counters, small_test_config
+
+        sched = CacheAwareTaskScheduler(
+            Cluster(small_test_config(), seed=5), counters=Counters()
+        )
+        for query in ("qa", "qb"):
+            sched.enqueue_map(
+                MapTaskRequest(query=query, pid="S1P0", input_bytes=100)
+            )
+            sched.enqueue_reduce(
+                ReduceTaskRequest(
+                    query=query,
+                    panes=(("S1", 0),),
+                    partition=0,
+                    input_bytes=100,
+                )
+            )
+        return sched
+
+    def test_abort_pending_filters_by_query(self):
+        sched = self._scheduler_with_two_tenants()
+        assert sched.abort_pending(query="qa") == 2
+        assert [r.query for r in sched.map_task_list] == ["qb"]
+        assert [r.query for r in sched.reduce_task_list] == ["qb"]
+        assert sched.counters.get("sched.tasks_aborted") == 2
+
+    def test_abort_pending_without_query_flushes_all(self):
+        sched = self._scheduler_with_two_tenants()
+        assert sched.abort_pending() == 4
+        assert not sched.map_task_list
+        assert not sched.reduce_task_list
+
+    def test_abort_pending_noop_for_unknown_query(self):
+        sched = self._scheduler_with_two_tenants()
+        assert sched.abort_pending(query="ghost") == 0
+        assert len(sched.map_task_list) == 2
+        assert len(sched.reduce_task_list) == 2
+
+
+class TestPurgeCycleChurn:
+    """Registry purge cycles follow query churn (no frozen default).
+
+    The default cycle is the minimum registered slide, but it used to
+    be copied into each registry at first touch and never updated —
+    after churn, long-lived registries kept sweeping on a departed
+    query's cadence.
+    """
+
+    def _two_tenant_runtime(self):
+        runtime = make_runtime()
+        runtime.register_query(
+            query_for(wordcount_job(num_reducers=4, name="wc-a"), 40.0, 10.0, "qa"),
+            {"S1": RATE},
+        )
+        runtime.register_query(
+            query_for(wordcount_job(num_reducers=4, name="wc-b"), 60.0, 20.0, "qb"),
+            {"S1": RATE},
+        )
+        feed(runtime, 60.0)
+        runtime.run_recurrence("qa", 1)
+        assert runtime.registries(), "expected registries to exist"
+        return runtime
+
+    def test_deregister_rederives_cycle_on_existing_registries(self):
+        runtime = self._two_tenant_runtime()
+        assert all(
+            r.purge_cycle == 10.0 for r in runtime.registries().values()
+        )
+        runtime.deregister_query("qa")
+        assert all(
+            r.purge_cycle == 20.0 for r in runtime.registries().values()
+        )
+
+    def test_late_registration_rederives_cycle(self):
+        runtime = make_runtime()
+        runtime.register_query(
+            query_for(wordcount_job(num_reducers=4, name="wc-b"), 60.0, 20.0, "qb"),
+            {"S1": RATE},
+        )
+        feed(runtime, 60.0)
+        runtime.run_recurrence("qb", 1)
+        assert all(
+            r.purge_cycle == 20.0 for r in runtime.registries().values()
+        )
+        # A second tenant with a faster slide tightens every registry.
+        # (Slide 20 keeps the shared pane at 20 s; win 40 = 2 panes.)
+        runtime.deregister_query("qb")
+        runtime.register_query(
+            query_for(wordcount_job(num_reducers=4, name="wc-c"), 40.0, 20.0, "qc"),
+            {"S1": RATE},
+        )
+        assert all(
+            r.purge_cycle == 20.0 for r in runtime.registries().values()
+        )
+
+    def test_explicit_cycle_override_stays_fixed(self):
+        runtime = RedoopRuntime(
+            Cluster(small_test_config(), seed=3), purge_cycle=99.0
+        )
+        runtime.register_query(
+            query_for(wordcount_job(num_reducers=4, name="wc-a"), 40.0, 10.0, "qa"),
+            {"S1": RATE},
+        )
+        feed(runtime, 60.0)
+        runtime.run_recurrence("qa", 1)
+        runtime.deregister_query("qa")
+        assert all(
+            r.purge_cycle == 99.0 for r in runtime.registries().values()
+        )

@@ -108,3 +108,37 @@ class TestConstruction:
     def test_bad_policy(self):
         with pytest.raises(ValueError):
             IngestChannel("S1", policy="drop-newest")
+
+
+class TestGapRejection:
+    def test_gap_leaving_offer_rejected(self):
+        from repro.service import GAP
+
+        ch = IngestChannel("S1", counters=Counters())
+        ch.offer(*make_batch(0, 0.0, 5.0))
+        # [10, 15) would leave [5, 10) permanently unaccounted: the
+        # horizon must not advance past data nobody offered.
+        late, records = make_batch(1, 10.0, 15.0)
+        assert ch.offer(late, records) == GAP
+        assert ch.accepted_until == 5.0
+        assert len(ch) == 1  # not enqueued
+        assert ch.counters.get("service.batches_gap_rejected") == 1
+
+    def test_contiguous_offer_still_accepted_after_gap_attempt(self):
+        from repro.service import GAP
+
+        ch = IngestChannel("S1", counters=Counters())
+        ch.offer(*make_batch(0, 0.0, 5.0))
+        assert ch.offer(*make_batch(1, 10.0, 15.0)) == GAP
+        # The producer retries with the missing range first.
+        assert ch.offer(*make_batch(2, 5.0, 10.0)) == ACCEPTED
+        assert ch.offer(*make_batch(3, 10.0, 15.0)) == ACCEPTED
+        assert ch.accepted_until == 15.0
+
+    def test_first_offer_must_start_at_zero_horizon(self):
+        from repro.service import GAP
+
+        ch = IngestChannel("S1", counters=Counters())
+        b, r = make_batch(0, 5.0, 10.0)
+        assert ch.offer(b, r) == GAP
+        assert ch.accepted_until == 0.0
