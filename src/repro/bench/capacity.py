@@ -97,6 +97,7 @@ def _bounded_point(
     policy: str,
     fraction: float,
     capacity: int,
+    backend=None,
 ) -> CapacityPoint:
     series = run_redoop_series(
         config,
@@ -104,6 +105,7 @@ def _bounded_point(
         workload=workload,
         cache_capacity_bytes=capacity,
         eviction_policy=policy,
+        backend=backend,
     )
     counters = series.runtime_counters
     return CapacityPoint(
@@ -128,12 +130,15 @@ def sweep_hit_rate_vs_capacity(
     fractions: Sequence[float] = (1.0, 0.75, 0.5, 0.25),
     policies: Sequence[str] = ("lru", "lifespan"),
     config: Optional[ExperimentConfig] = None,
+    backend=None,
 ) -> CapacitySweep:
     """Hit rate and cost at descending budget fractions of the peak."""
     if config is None:
         config = join_config(overlap, scale=scale, num_windows=num_windows)
     workload = build_workload(config)
-    unbounded = run_redoop_series(config, label="redoop", workload=workload)
+    unbounded = run_redoop_series(
+        config, label="redoop", workload=workload, backend=backend
+    )
     peak = unbounded.peak_cached_bytes
     sweep = CapacitySweep(
         peak_cached_bytes=peak,
@@ -150,6 +155,7 @@ def sweep_hit_rate_vs_capacity(
                     policy=policy,
                     fraction=fraction,
                     capacity=capacity,
+                    backend=backend,
                 )
             )
     return sweep

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Dict, Iterable, Mapping, Optional, Tuple
 
+from ..exec import ExecBackend
 from ..hadoop.config import DEFAULT_CONFIG, ClusterConfig
 from ..hadoop.faults import FaultInjector
 from ..workloads.batches import paper_spike_windows
@@ -99,11 +100,12 @@ def _compare(
     config: ExperimentConfig,
     *,
     check_outputs: bool = True,
+    backend: Optional[ExecBackend] = None,
 ) -> Dict[str, SeriesResult]:
     """Run Hadoop and Redoop on identical workloads; verify equivalence."""
     workload = build_workload(config)
-    hadoop = run_hadoop_series(config, workload=workload)
-    redoop = run_redoop_series(config, workload=workload)
+    hadoop = run_hadoop_series(config, workload=workload, backend=backend)
+    redoop = run_redoop_series(config, workload=workload, backend=backend)
     if check_outputs and hadoop.output_digests != redoop.output_digests:
         raise AssertionError(
             f"Redoop and Hadoop outputs diverge for {config.kind} "
@@ -118,6 +120,7 @@ def fig6_aggregation(
     overlaps: Iterable[float] = PAPER_OVERLAPS,
     num_windows: int = 10,
     cluster_config: ClusterConfig = DEFAULT_CONFIG,
+    backend: Optional[ExecBackend] = None,
 ) -> Dict[float, Dict[str, SeriesResult]]:
     """Fig. 6: aggregation response time + phase split, per overlap."""
     return {
@@ -127,7 +130,8 @@ def fig6_aggregation(
                 scale=scale,
                 num_windows=num_windows,
                 cluster_config=cluster_config,
-            )
+            ),
+            backend=backend,
         )
         for overlap in overlaps
     }
@@ -139,6 +143,7 @@ def fig7_join(
     overlaps: Iterable[float] = PAPER_OVERLAPS,
     num_windows: int = 10,
     cluster_config: ClusterConfig = DEFAULT_CONFIG,
+    backend: Optional[ExecBackend] = None,
 ) -> Dict[float, Dict[str, SeriesResult]]:
     """Fig. 7: join response time + phase split, per overlap."""
     return {
@@ -148,7 +153,8 @@ def fig7_join(
                 scale=scale,
                 num_windows=num_windows,
                 cluster_config=cluster_config,
-            )
+            ),
+            backend=backend,
         )
         for overlap in overlaps
     }
@@ -160,6 +166,7 @@ def fig8_adaptive(
     overlaps: Iterable[float] = PAPER_OVERLAPS,
     num_windows: int = 10,
     cluster_config: ClusterConfig = DEFAULT_CONFIG,
+    backend: Optional[ExecBackend] = None,
 ) -> Dict[float, Dict[str, SeriesResult]]:
     """Fig. 8: periodic 2x workload spikes; Hadoop vs Redoop vs adaptive.
 
@@ -179,12 +186,22 @@ def fig8_adaptive(
         )
         workload = build_workload(config)
         results[overlap] = {
-            "hadoop": run_hadoop_series(config, workload=workload),
+            "hadoop": run_hadoop_series(
+                config, workload=workload, backend=backend
+            ),
             "redoop": run_redoop_series(
-                config, label="redoop", adaptive=False, workload=workload
+                config,
+                label="redoop",
+                adaptive=False,
+                workload=workload,
+                backend=backend,
             ),
             "adaptive": run_redoop_series(
-                config, label="adaptive", adaptive=True, workload=workload
+                config,
+                label="adaptive",
+                adaptive=True,
+                workload=workload,
+                backend=backend,
             ),
         }
     return results
@@ -199,6 +216,7 @@ def fig9_fault_tolerance(
     cluster_config: ClusterConfig = DEFAULT_CONFIG,
     seed: int = 7,
     node_failure_window: Optional[int] = None,
+    backend: Optional[ExecBackend] = None,
 ) -> Dict[str, SeriesResult]:
     """Fig. 9: cache removals injected at the start of each window.
 
@@ -233,8 +251,12 @@ def fig9_fault_tolerance(
     )
     workload = build_workload(config)
     results = {
-        "hadoop": run_hadoop_series(config, workload=workload),
-        "redoop": run_redoop_series(config, workload=workload),
+        "hadoop": run_hadoop_series(
+            config, workload=workload, backend=backend
+        ),
+        "redoop": run_redoop_series(
+            config, workload=workload, backend=backend
+        ),
         "redoop(f)": run_redoop_series(
             config,
             label="redoop(f)",
@@ -242,12 +264,14 @@ def fig9_fault_tolerance(
                 cache_loss_fraction=cache_loss_fraction, seed=seed
             ),
             workload=workload,
+            backend=backend,
         ),
         "hadoop(f)": run_hadoop_series(
             config,
             label="hadoop(f)",
             task_failure_prob=0.05,
             workload=workload,
+            backend=backend,
         ),
     }
     if cache_corruption_fraction > 0:
@@ -259,6 +283,7 @@ def fig9_fault_tolerance(
                 seed=seed,
             ),
             workload=workload,
+            backend=backend,
         )
     if node_failure_window is not None:
         if not 1 <= node_failure_window <= num_windows:
@@ -271,6 +296,7 @@ def fig9_fault_tolerance(
             node_failure_window=node_failure_window,
             node_failure_injector=FaultInjector(seed=seed),
             workload=workload,
+            backend=backend,
         )
     return results
 

@@ -21,6 +21,7 @@ from ..core.panes import WindowSpec
 from ..core.query import RecurringQuery
 from ..core.recovery import RecoveryManager
 from ..core.runtime import RecurrenceResult, RedoopRuntime
+from ..exec import ExecBackend
 from ..hadoop.catalog import BatchCatalog, BatchFile
 from ..hadoop.cluster import Cluster
 from ..hadoop.config import ClusterConfig, DEFAULT_CONFIG
@@ -302,6 +303,7 @@ def run_redoop_series(
     tracer: Optional[Tracer] = None,
     cache_capacity_bytes: Optional[int] = None,
     eviction_policy: Optional[str] = None,
+    backend: Optional[ExecBackend] = None,
 ) -> SeriesResult:
     """Run the experiment on Redoop and collect per-window metrics.
 
@@ -329,6 +331,7 @@ def run_redoop_series(
         tracer=tracer,
         cache_capacity_bytes=cache_capacity_bytes,
         eviction_policy=eviction_policy,
+        backend=backend,
     )
     query = config.build_query()
     runtime.register_query(query, {src: config.rate for src in config.sources})
@@ -395,6 +398,7 @@ def run_hadoop_series(
     task_failure_prob: float = 0.0,
     workload: Optional[Mapping[str, List[Tuple[BatchFile, List[Record]]]]] = None,
     tracer: Optional[Tracer] = None,
+    backend: Optional[ExecBackend] = None,
 ) -> SeriesResult:
     """Run the experiment on plain Hadoop (one fresh job per window)."""
     workload = workload or build_workload(config)
@@ -409,7 +413,9 @@ def run_hadoop_series(
         if task_failure_prob > 0
         else None
     )
-    driver = PlainHadoopDriver(cluster, fault_injector=injector, tracer=tracer)
+    driver = PlainHadoopDriver(
+        cluster, fault_injector=injector, tracer=tracer, backend=backend
+    )
     query = config.build_query()
     spec = config.spec
 

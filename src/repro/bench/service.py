@@ -185,12 +185,13 @@ def build_server(
     tracer: Optional[Tracer] = None,
     checkpoint_dir=None,
     checkpoint_every: int = 0,
+    backend=None,
 ) -> QueryServer:
     """A fresh server with the scenario's initial tenants submitted."""
     cluster = Cluster(
         small_test_config(scenario.num_nodes), seed=scenario.seed
     )
-    runtime = RedoopRuntime(cluster, tracer=tracer)
+    runtime = RedoopRuntime(cluster, tracer=tracer, backend=backend)
     server = QueryServer(
         runtime,
         channel_capacity=scenario.channel_capacity,

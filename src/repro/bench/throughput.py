@@ -1,0 +1,226 @@
+"""Wall-clock throughput benchmark for execution backends.
+
+Unlike every other benchmark in this package — which reports *virtual*
+seconds charged by the cost model — this one measures *real* wall-clock
+seconds: how fast the simulator chews through CPU-bound map user-code
+on the serial backend versus a process pool at various worker counts.
+
+The workload is deliberately compute-heavy and pickle-friendly: each
+record costs a fixed arithmetic spin (no ``hash()``, whose per-process
+salt would make results process-dependent; no I/O). Virtual-time
+semantics are irrelevant here, so the bench drives
+:func:`repro.hadoop.task.execute_map` directly through the backends —
+the exact seam the runtime parallelises.
+
+Run it from the CLI::
+
+    repro throughput --workers 1 2 4 --json-out throughput.json
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from ..exec import ExecBackend, ProcessPoolBackend, SerialBackend
+from ..hadoop.job import MapReduceJob
+from ..hadoop.task import execute_map
+from ..hadoop.types import KeyValue, Record
+
+__all__ = [
+    "SpinMapper",
+    "ThroughputPoint",
+    "ThroughputReport",
+    "build_spin_job",
+    "build_spin_records",
+    "format_throughput_table",
+    "run_throughput_bench",
+]
+
+
+class SpinMapper:
+    """A CPU-bound mapper: a fixed arithmetic spin per record.
+
+    Picklable (module-level class, ``__slots__`` state only) and
+    deterministic across processes: the spin is plain integer
+    arithmetic — no ``hash()``, whose per-process salt would change
+    results between workers.
+    """
+
+    __slots__ = ("spins",)
+
+    def __init__(self, spins: int) -> None:
+        self.spins = spins
+
+    def __call__(self, record: Record) -> Iterable[KeyValue]:
+        value = record.value
+        acc = value["seed"]
+        for _ in range(self.spins):
+            acc = (acc * 1103515245 + 12345) % 2147483648
+        yield value["key"], acc
+
+
+def _sum_reducer(key: Any, values: List[int]) -> Iterable[KeyValue]:
+    yield key, sum(values)
+
+
+def build_spin_job(*, spins: int, num_reducers: int = 4) -> MapReduceJob:
+    """The benchmark's MapReduce job: spin per record, sum per key."""
+    return MapReduceJob(
+        name="throughput-spin",
+        mapper=SpinMapper(spins),
+        reducer=_sum_reducer,
+        combiner=None,
+        num_reducers=num_reducers,
+    )
+
+
+def build_spin_records(
+    *, num_records: int, num_keys: int = 64
+) -> List[Record]:
+    """Deterministic records for the spin job (no RNG, no timestamps)."""
+    return [
+        Record(
+            ts=float(i),
+            value={"key": i % num_keys, "seed": i * 2654435761 % 2147483648},
+            size=100,
+        )
+        for i in range(num_records)
+    ]
+
+
+@dataclass(slots=True)
+class ThroughputPoint:
+    """One worker-count measurement."""
+
+    workers: int
+    backend: str
+    records: int
+    wall_seconds: float
+    #: Wall-clock records per second across all map tasks.
+    records_per_sec: float
+    #: Speedup over the 1-worker (serial) measurement of the same run.
+    speedup: float = 1.0
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "workers": self.workers,
+            "backend": self.backend,
+            "records": self.records,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "records_per_sec": round(self.records_per_sec, 1),
+            "speedup": round(self.speedup, 3),
+        }
+
+
+@dataclass(slots=True)
+class ThroughputReport:
+    """The full sweep over worker counts."""
+
+    num_records: int
+    num_splits: int
+    spins: int
+    #: Host CPU count — speedup is bounded by it; a 1-CPU box shows ~1x
+    #: at every worker count no matter how parallel the backend is.
+    cpus: int = field(default_factory=lambda: os.cpu_count() or 1)
+    points: List[ThroughputPoint] = field(default_factory=list)
+
+    def as_report(self) -> Dict[str, object]:
+        return {
+            "bench": "throughput",
+            "num_records": self.num_records,
+            "num_splits": self.num_splits,
+            "spins": self.spins,
+            "cpus": self.cpus,
+            "points": [p.as_row() for p in self.points],
+        }
+
+    def to_json(self, **kwargs: Any) -> str:
+        kwargs.setdefault("indent", 2)
+        return json.dumps(self.as_report(), **kwargs)
+
+
+def _backend_for(workers: int) -> ExecBackend:
+    """1 worker -> the serial backend (no pool, the true baseline)."""
+    if workers <= 1:
+        return SerialBackend()
+    return ProcessPoolBackend(workers=workers)
+
+
+def run_throughput_bench(
+    *,
+    worker_counts: Sequence[int] = (1, 2, 4),
+    num_records: int = 2048,
+    num_splits: int = 32,
+    spins: int = 4000,
+    repeats: int = 1,
+) -> ThroughputReport:
+    """Measure map wall-clock throughput at each worker count.
+
+    The record set is carved into ``num_splits`` equal map tasks and
+    pushed through ``backend.run_tasks`` exactly as the runtime does;
+    each measurement keeps the best of ``repeats`` attempts (pools are
+    warmed with one untimed batch first, so process start-up cost is
+    not billed to the workload). Points carry ``speedup`` relative to
+    the 1-worker point when one is present.
+    """
+    if not worker_counts:
+        raise ValueError("need at least one worker count")
+    records = build_spin_records(num_records=num_records)
+    job = build_spin_job(spins=spins)
+    per_split = max(1, len(records) // num_splits)
+    splits = [
+        records[i : i + per_split]
+        for i in range(0, len(records), per_split)
+    ]
+    calls = [((job, split), {}) for split in splits]
+
+    report = ThroughputReport(
+        num_records=num_records, num_splits=len(splits), spins=spins
+    )
+    for workers in worker_counts:
+        backend = _backend_for(workers)
+        try:
+            backend.run_tasks(execute_map, calls[:1], phase="warmup")
+            best = float("inf")
+            for _ in range(max(1, repeats)):
+                t0 = time.perf_counter()
+                backend.run_tasks(execute_map, calls, phase="bench")
+                best = min(best, time.perf_counter() - t0)
+        finally:
+            backend.close()
+        report.points.append(
+            ThroughputPoint(
+                workers=workers,
+                backend=backend.name,
+                records=len(records),
+                wall_seconds=best,
+                records_per_sec=len(records) / best if best > 0 else 0.0,
+            )
+        )
+
+    baseline = next((p for p in report.points if p.workers <= 1), None)
+    if baseline is not None and baseline.records_per_sec > 0:
+        for point in report.points:
+            point.speedup = point.records_per_sec / baseline.records_per_sec
+    return report
+
+
+def format_throughput_table(report: ThroughputReport) -> str:
+    """Render the sweep as an aligned text table."""
+    lines = [
+        f"throughput: {report.num_records} records, "
+        f"{report.num_splits} map tasks, {report.spins} spins/record "
+        f"({report.cpus} CPU{'s' if report.cpus != 1 else ''})",
+        f"{'workers':>7}  {'backend':<8}  {'wall s':>8}  "
+        f"{'records/s':>10}  {'speedup':>7}",
+    ]
+    for p in report.points:
+        lines.append(
+            f"{p.workers:>7}  {p.backend:<8}  {p.wall_seconds:>8.3f}  "
+            f"{p.records_per_sec:>10.1f}  {p.speedup:>6.2f}x"
+        )
+    return "\n".join(lines)

@@ -63,6 +63,7 @@ class _ChaosRun:
         workload,
         check: bool,
         tracer: Optional[Tracer],
+        backend=None,
     ) -> None:
         self.config = config
         self.schedule = schedule
@@ -71,7 +72,10 @@ class _ChaosRun:
         self.cluster = Cluster(config.cluster_config, seed=config.seed)
         self.injector = FaultInjector(seed=schedule.seed)
         self.runtime = RedoopRuntime(
-            self.cluster, fault_injector=self.injector, tracer=tracer
+            self.cluster,
+            fault_injector=self.injector,
+            tracer=tracer,
+            backend=backend,
         )
         self.query = config.build_query()
         self.runtime.register_query(
@@ -233,6 +237,7 @@ def run_chaos_series(
     workload: Optional[Mapping] = None,
     check: bool = True,
     tracer: Optional[Tracer] = None,
+    backend=None,
 ) -> ChaosReport:
     """Run ``config``'s workload on Redoop under a chaos schedule.
 
@@ -257,5 +262,6 @@ def run_chaos_series(
         workload=workload,
         check=check,
         tracer=tracer,
+        backend=backend,
     )
     return run.run()

@@ -85,18 +85,28 @@ def run_differential(
     schedule: ChaosSchedule,
     *,
     check: bool = True,
+    backend=None,
 ) -> DifferentialReport:
     """Run the differential oracle for one ``(config, schedule)`` pair.
 
     Both runs share one generated workload but execute on independent,
     identically-seeded clusters, so the only difference between them is
     the injected faults — any digest divergence outside degraded
-    windows is a recovery bug, not noise.
+    windows is a recovery bug, not noise. ``backend`` (an
+    :class:`repro.exec.ExecBackend`) is applied to *both* runs, so the
+    oracle holds regardless of how task user-code executes.
     """
     workload = build_workload(config)
-    baseline = run_redoop_series(config, label="fault-free", workload=workload)
+    baseline = run_redoop_series(
+        config, label="fault-free", workload=workload, backend=backend
+    )
     chaos = run_chaos_series(
-        config, schedule, label="chaos", workload=workload, check=check
+        config,
+        schedule,
+        label="chaos",
+        workload=workload,
+        check=check,
+        backend=backend,
     )
     degraded = set(chaos.degraded_windows)
     mismatched = [

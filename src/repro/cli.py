@@ -37,6 +37,7 @@ from .bench import (
 from .bench.plots import plot_series, plot_speedups
 from .bench.reporting import write_series_csv
 from .core import EVICTION_POLICIES
+from .exec import BACKENDS, make_backend
 from .hadoop.config import DEFAULT_CONFIG, ClusterConfig
 from .trace import (
     Tracer,
@@ -56,6 +57,7 @@ _EXPERIMENTS = {
     "fig9": "fault tolerance (cumulative time, cache removals)",
     "chaos": "differential recovery oracle under seeded fault schedules",
     "capacity": "cache hit rate / cost sweep at descending byte budgets",
+    "throughput": "wall-clock records/sec of the execution backends",
     "headline": "the 'up to 9x' best-case speedups",
     "ablations": "pane headers / cache levels / Eq.4 scheduling",
     "report": "per-window phase/cache/task report from a --trace-out JSON",
@@ -71,7 +73,26 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available experiments")
 
+    def add_backend(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--backend",
+            choices=list(BACKENDS),
+            default="serial",
+            help="execution backend for task user-code (default: serial; "
+            "'process' runs map/reduce bodies on a worker pool — virtual "
+            "time and outputs are identical either way)",
+        )
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            metavar="N",
+            help="worker count for --backend process "
+            "(default: cpu count - 1, at least 2)",
+        )
+
     def add_common(p: argparse.ArgumentParser, *, overlaps: bool) -> None:
+        add_backend(p)
         p.add_argument(
             "--scale",
             type=float,
@@ -139,6 +160,7 @@ def build_parser() -> argparse.ArgumentParser:
         "caches before each window (checksums must catch it)",
     )
     chaos = sub.add_parser("chaos", help=_EXPERIMENTS["chaos"])
+    add_backend(chaos)
     chaos.add_argument(
         "--seed", type=int, default=1, help="first schedule seed (default 1)"
     )
@@ -205,6 +227,7 @@ def build_parser() -> argparse.ArgumentParser:
         "chaos pair here",
     )
     capacity = sub.add_parser("capacity", help=_EXPERIMENTS["capacity"])
+    add_backend(capacity)
     capacity.add_argument(
         "--scale",
         type=float,
@@ -241,6 +264,47 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="also write the sweep report as JSON here",
     )
+    throughput = sub.add_parser(
+        "throughput", help=_EXPERIMENTS["throughput"]
+    )
+    throughput.add_argument(
+        "--workers",
+        type=int,
+        nargs="+",
+        default=[1, 2, 4],
+        metavar="N",
+        help="worker counts to sweep; 1 means the serial backend "
+        "(default: 1 2 4)",
+    )
+    throughput.add_argument(
+        "--records",
+        type=int,
+        default=2048,
+        help="records in the workload (default 2048)",
+    )
+    throughput.add_argument(
+        "--splits",
+        type=int,
+        default=32,
+        help="map tasks to carve the records into (default 32)",
+    )
+    throughput.add_argument(
+        "--spins",
+        type=int,
+        default=4000,
+        help="arithmetic spin iterations per record (default 4000)",
+    )
+    throughput.add_argument(
+        "--repeats",
+        type=int,
+        default=1,
+        help="timed attempts per point; the best is kept (default 1)",
+    )
+    throughput.add_argument(
+        "--json-out",
+        metavar="FILE",
+        help="also write the report as JSON here",
+    )
     headline = sub.add_parser("headline", help=_EXPERIMENTS["headline"])
     headline.add_argument("--scale", type=float, default=0.5)
     headline.add_argument(
@@ -254,6 +318,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a Chrome-trace/Perfetto JSON of every series here",
     )
     serve = sub.add_parser("serve", help=_EXPERIMENTS["serve"])
+    add_backend(serve)
     serve.add_argument(
         "--tenants", type=int, default=3, help="concurrent queries (default 3)"
     )
@@ -335,6 +400,19 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _backend_from(args):
+    """Build the requested execution backend, or ``None`` for serial.
+
+    Returning ``None`` for serial lets every callee fall through to its
+    own default — the serial path stays byte-identical to a build
+    without the flag.
+    """
+    name = getattr(args, "backend", "serial")
+    if name == "serial":
+        return None
+    return make_backend(name, workers=getattr(args, "workers", None))
+
+
 def _cluster_config_from(args) -> ClusterConfig:
     """``DEFAULT_CONFIG`` with any budget knobs from the command line."""
     overrides: Dict[str, object] = {}
@@ -380,14 +458,19 @@ def _print_overlap_sweep(
 
 
 def _run_serve(args) -> int:
-    import time as _time
-
     from .bench.service import (
         ServiceScenario,
         build_server,
         drive_scenario,
     )
-    from .service import CheckpointError, QueryServer, latest_checkpoint
+    from .service import (
+        CheckpointError,
+        QueryServer,
+        WallClockPacer,
+        latest_checkpoint,
+    )
+
+    backend = _backend_from(args)
 
     scenario = ServiceScenario(
         tenants=args.tenants,
@@ -414,6 +497,10 @@ def _run_serve(args) -> int:
             if args.checkpoint_dir:
                 server.checkpoint_dir = Path(args.checkpoint_dir)
                 server.checkpoint_every = args.checkpoint_every
+            if backend is not None:
+                # A restored runtime deserialises with the default
+                # serial backend; honour the flag on the revived server.
+                server.runtime.backend = backend
             print(
                 f"restored from {restore_path} at virtual time "
                 f"{server.now:.1f}s with tenants {server.tenants()}"
@@ -425,6 +512,7 @@ def _run_serve(args) -> int:
                 checkpoint_every=(
                     args.checkpoint_every if args.checkpoint_dir else 0
                 ),
+                backend=backend,
             )
     except CheckpointError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -432,18 +520,17 @@ def _run_serve(args) -> int:
 
     pace = None
     if args.wall_clock:
-        start_wall = _time.monotonic()
-        start_virtual = server.now
+        pace = WallClockPacer(args.wall_clock, start_virtual=server.now)
 
-        def pace(virtual_now: float) -> None:
-            target = start_wall + (virtual_now - start_virtual) / args.wall_clock
-            delay = target - _time.monotonic()
-            if delay > 0:
-                _time.sleep(delay)
-
-    run = drive_scenario(
-        scenario, server, stop_after_recurrences=args.kill_after, pace=pace
-    )
+    try:
+        run = drive_scenario(
+            scenario, server, stop_after_recurrences=args.kill_after, pace=pace
+        )
+    finally:
+        if pace is not None:
+            pace.wake()
+        if backend is not None:
+            backend.close()
     killed = args.kill_after is not None and run.recurrences_fired >= args.kill_after
     print(
         f"{'killed' if killed else 'drained'} at virtual time "
@@ -476,6 +563,7 @@ def _run_chaos(args) -> int:
     from .bench import build_workload, join_config, run_redoop_series
     from .chaos import ChaosSchedule, run_differential
 
+    backend = _backend_from(args)
     config = join_config(0.5, scale=args.scale, num_windows=args.windows)
     if args.capacity_fraction is not None:
         # Probe a fault-free unbounded run for the peak cached working
@@ -483,7 +571,10 @@ def _run_chaos(args) -> int:
         # the requested fraction of it: the oracle's digest comparison
         # now also proves eviction never changes an answer under faults.
         probe = run_redoop_series(
-            config, label="probe", workload=build_workload(config)
+            config,
+            label="probe",
+            workload=build_workload(config),
+            backend=backend,
         )
         capacity = max(
             1, int(probe.peak_cached_bytes * args.capacity_fraction)
@@ -520,7 +611,7 @@ def _run_chaos(args) -> int:
                 events_per_window=args.events_per_window,
                 exhaust_window=args.exhaust_window,
             )
-        report = run_differential(config, schedule)
+        report = run_differential(config, schedule, backend=backend)
         print(report.summary())
         last_schedule, last_report = schedule, report
         if not report.ok:
@@ -542,6 +633,8 @@ def _run_chaos(args) -> int:
             args.trace_out,
         )
         print(f"wrote {count} trace events to {args.trace_out}")
+    if backend is not None:
+        backend.close()
     return 1 if failures else 0
 
 
@@ -556,13 +649,19 @@ def _run_capacity(args) -> int:
 
     from .bench import format_capacity_table, sweep_hit_rate_vs_capacity
 
-    sweep = sweep_hit_rate_vs_capacity(
-        scale=args.scale,
-        overlap=args.overlap,
-        num_windows=args.windows,
-        fractions=tuple(args.fractions),
-        policies=tuple(args.policies),
-    )
+    backend = _backend_from(args)
+    try:
+        sweep = sweep_hit_rate_vs_capacity(
+            scale=args.scale,
+            overlap=args.overlap,
+            num_windows=args.windows,
+            fractions=tuple(args.fractions),
+            policies=tuple(args.policies),
+            backend=backend,
+        )
+    finally:
+        if backend is not None:
+            backend.close()
     print(format_capacity_table(sweep))
     if args.json_out:
         Path(args.json_out).write_text(
@@ -577,6 +676,26 @@ def _run_capacity(args) -> int:
             file=sys.stderr,
         )
         return 1
+    return 0
+
+
+def _run_throughput(args) -> int:
+    """Wall-clock backend throughput sweep (real seconds, not virtual)."""
+    from pathlib import Path
+
+    from .bench import format_throughput_table, run_throughput_bench
+
+    report = run_throughput_bench(
+        worker_counts=tuple(args.workers),
+        num_records=args.records,
+        num_splits=args.splits,
+        spins=args.spins,
+        repeats=args.repeats,
+    )
+    print(format_throughput_table(report))
+    if args.json_out:
+        Path(args.json_out).write_text(report.to_json() + "\n")
+        print(f"wrote throughput report to {args.json_out}")
     return 0
 
 
@@ -597,6 +716,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "capacity":
         return _run_capacity(args)
 
+    if args.command == "throughput":
+        return _run_throughput(args)
+
     if args.command == "report":
         document = load_chrome_trace(args.trace)
         reports = window_reports_from_document(document)
@@ -607,44 +729,55 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     csv_series: Dict[str, object] = {}
-    if args.command == "fig6":
-        results = fig6_aggregation(
-            scale=args.scale,
-            overlaps=args.overlaps,
-            num_windows=args.windows,
-            cluster_config=_cluster_config_from(args),
-        )
-        csv_series = _print_overlap_sweep(results, plot=args.plot)
-    elif args.command == "fig7":
-        results = fig7_join(
-            scale=args.scale,
-            overlaps=args.overlaps,
-            num_windows=args.windows,
-            cluster_config=_cluster_config_from(args),
-        )
-        csv_series = _print_overlap_sweep(results, plot=args.plot)
-    elif args.command == "fig8":
-        results = fig8_adaptive(
-            scale=args.scale,
-            overlaps=args.overlaps,
-            num_windows=args.windows,
-            cluster_config=_cluster_config_from(args),
-        )
-        csv_series = _print_overlap_sweep(results, plot=args.plot)
-    elif args.command == "fig9":
-        series = fig9_fault_tolerance(
-            scale=args.scale,
-            num_windows=args.windows,
-            cache_corruption_fraction=args.cache_corruption,
-            node_failure_window=args.node_failure_window,
-            cluster_config=_cluster_config_from(args),
-        )
-        print(format_cumulative_table(series, title="Fig 9 cumulative time"))
-        if args.plot:
-            print()
-            print(plot_speedups(series, title="speedups vs hadoop:"))
-        csv_series = dict(series)
-    elif args.command == "headline":
+    backend = _backend_from(args)
+    try:
+        if args.command == "fig6":
+            results = fig6_aggregation(
+                scale=args.scale,
+                overlaps=args.overlaps,
+                num_windows=args.windows,
+                cluster_config=_cluster_config_from(args),
+                backend=backend,
+            )
+            csv_series = _print_overlap_sweep(results, plot=args.plot)
+        elif args.command == "fig7":
+            results = fig7_join(
+                scale=args.scale,
+                overlaps=args.overlaps,
+                num_windows=args.windows,
+                cluster_config=_cluster_config_from(args),
+                backend=backend,
+            )
+            csv_series = _print_overlap_sweep(results, plot=args.plot)
+        elif args.command == "fig8":
+            results = fig8_adaptive(
+                scale=args.scale,
+                overlaps=args.overlaps,
+                num_windows=args.windows,
+                cluster_config=_cluster_config_from(args),
+                backend=backend,
+            )
+            csv_series = _print_overlap_sweep(results, plot=args.plot)
+        elif args.command == "fig9":
+            series = fig9_fault_tolerance(
+                scale=args.scale,
+                num_windows=args.windows,
+                cache_corruption_fraction=args.cache_corruption,
+                node_failure_window=args.node_failure_window,
+                cluster_config=_cluster_config_from(args),
+                backend=backend,
+            )
+            print(
+                format_cumulative_table(series, title="Fig 9 cumulative time")
+            )
+            if args.plot:
+                print()
+                print(plot_speedups(series, title="speedups vs hadoop:"))
+            csv_series = dict(series)
+    finally:
+        if backend is not None:
+            backend.close()
+    if args.command == "headline":
         by_kind = headline_series(scale=args.scale)
         print("steady-state speedups at overlap 0.9 (paper: up to 9x):")
         for kind, runs in by_kind.items():

@@ -28,7 +28,12 @@ from ..hadoop.job import MapReduceJob
 from ..hadoop.types import KeyValue
 from .panes import WindowSpec
 
-__all__ = ["RecurringQuery", "concat_finalizer", "merging_finalizer"]
+__all__ = [
+    "MergingFinalizer",
+    "RecurringQuery",
+    "concat_finalizer",
+    "merging_finalizer",
+]
 
 FinalizeFn = Callable[[Any, list], Iterable[KeyValue]]
 PathFn = Callable[[int], str]
@@ -44,17 +49,33 @@ def concat_finalizer(key: Any, partials: list) -> Iterable[KeyValue]:
         yield key, value
 
 
+class MergingFinalizer:
+    """A finalizer that folds pane partials with ``merge``.
+
+    A class rather than a closure so that queries built from it stay
+    picklable — process execution backends and service checkpoints both
+    ship the finalizer across a pickle boundary.
+    """
+
+    __slots__ = ("merge",)
+
+    def __init__(self, merge: Callable[[list], Any]) -> None:
+        self.merge = merge
+
+    def __call__(self, key: Any, partials: list) -> Iterable[KeyValue]:
+        yield key, self.merge(partials)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MergingFinalizer({getattr(self.merge, '__name__', self.merge)!r})"
+
+
 def merging_finalizer(merge: Callable[[list], Any]) -> FinalizeFn:
     """Build a finalizer that folds pane partials with ``merge``.
 
     Example: ``merging_finalizer(sum)`` turns per-pane counts into a
     window count.
     """
-
-    def finalize(key: Any, partials: list) -> Iterable[KeyValue]:
-        yield key, merge(partials)
-
-    return finalize
+    return MergingFinalizer(merge)
 
 
 @dataclass(frozen=True)

@@ -50,8 +50,9 @@ from ..hadoop.cluster import Cluster
 from ..hadoop.counters import Counters, PhaseTimes
 from ..hadoop.faults import FaultInjector, TaskAttemptsExhaustedError
 from ..hadoop.node import MAP_SLOT, REDUCE_SLOT, TaskNode
+from ..exec import ExecBackend, SerialBackend
 from ..hadoop.shuffle import group_sorted, sort_pairs
-from ..hadoop.task import execute_map
+from ..hadoop.task import execute_finalize, execute_map, execute_pane_reduce
 from ..hadoop.timeline import SchedulingDecision, SchedulingTrace
 from ..hadoop.types import KeyValue, Record
 from repro.trace import (
@@ -245,9 +246,16 @@ class RedoopRuntime:
         tracer: Optional[Tracer] = None,
         cache_capacity_bytes: Optional[int] = None,
         eviction_policy: Optional[str] = None,
+        backend: Optional[ExecBackend] = None,
     ) -> None:
         self.cluster = cluster
         self.counters = Counters()
+        #: Execution backend for task user-code (map bodies, pane
+        #: sorts/reduces, merge finalizers). Only the pure task bodies
+        #: run through it; every scheduling loop stays sequential and
+        #: owns virtual time, so digests and spans are backend-
+        #: independent (see docs/parallelism.md).
+        self.backend = backend if backend is not None else SerialBackend()
         self.controller = WindowAwareCacheController()
         #: The span spine this run writes to: every recurrence, phase,
         #: task, scheduler decision, and fault lands here (see
@@ -747,7 +755,8 @@ class RedoopRuntime:
                 split_bytes = 0
             splits[-1].append(record)
             split_bytes += record.size
-        contexts: Dict[int, List[Record]] = {}
+        requests: List[MapTaskRequest] = []
+        chunk_splits: List[List[Record]] = []
         for split in splits:
             if not split:
                 continue
@@ -757,11 +766,26 @@ class RedoopRuntime:
                 input_bytes=sum(r.size for r in split),
                 locations=(),
             )
-            contexts[id(request)] = split
+            requests.append(request)
+            chunk_splits.append(split)
             self.scheduler.enqueue_map(request)
-        for request, split in self._drain_maps(contexts):
+        # Run the pure map bodies through the execution backend in
+        # construction order; the drain loop below still decides the
+        # virtual-time schedule from the precomputed results.
+        execs = self.backend.run_tasks(
+            execute_map,
+            [
+                ((job, split), {"input_bytes": req.input_bytes})
+                for req, split in zip(requests, chunk_splits)
+            ],
+            phase="map",
+            counters=self.counters,
+            tracer=self.tracer,
+            now=start,
+        )
+        contexts = {id(req): ex for req, ex in zip(requests, execs)}
+        for request, ex in self._drain_maps(contexts):
             nbytes = request.input_bytes
-            ex = execute_map(job, split, input_bytes=nbytes)
             node = self.scheduler.select_map_node(request, start)
             duration = self.cluster.cost_model.map_task_duration(
                 nbytes, ex.input_records, ex.output_bytes, data_local=False
@@ -1203,22 +1227,38 @@ class RedoopRuntime:
         # list FIFO (Algorithm 2 lines 6-12) and execute the popped
         # requests — the queue, not the construction order, decides.
         self._map_eligible.discard(pid)
-        contexts: Dict[int, Tuple[int, Sequence[Record]]] = {}
-        for task_no, (records, charged_bytes, locations) in enumerate(subtasks):
+        requests: List[MapTaskRequest] = []
+        for records, charged_bytes, locations in subtasks:
             request = MapTaskRequest(
                 query=query.name,
                 pid=pid,
                 input_bytes=charged_bytes,
                 locations=tuple(locations),
             )
-            contexts[id(request)] = (task_no, records)
+            requests.append(request)
             self.scheduler.enqueue_map(request)
+        # Pure map bodies run through the backend first (construction
+        # order); the FIFO drain then schedules the precomputed results.
+        execs = self.backend.run_tasks(
+            execute_map,
+            [
+                ((job, records), {"input_bytes": charged_bytes})
+                for records, charged_bytes, _locs in subtasks
+            ],
+            phase="map",
+            counters=self.counters,
+            tracer=self.tracer,
+            now=start,
+        )
+        contexts: Dict[int, Tuple[int, object]] = {
+            id(req): (task_no, ex)
+            for task_no, (req, ex) in enumerate(zip(requests, execs))
+        }
 
         map_finish = start
         partitioned: Dict[int, List[KeyValue]] = {}
-        for request, (task_no, records) in self._drain_maps(contexts):
+        for request, (task_no, ex) in self._drain_maps(contexts):
             node = self.scheduler.select_map_node(request, start)
-            ex = execute_map(job, records, input_bytes=request.input_bytes)
             data_local = node.node_id in request.locations
             duration = self.cluster.cost_model.map_task_duration(
                 request.input_bytes,
@@ -1279,23 +1319,38 @@ class RedoopRuntime:
         state.pane_work[(source, idx)] = work
 
         aggregation = query.num_sources == 1
-        contexts: Dict[int, List[KeyValue]] = {}
+        pane_inputs = [
+            partitioned.get(partition, [])
+            for partition in range(job.num_reducers)
+        ]
+        # Sort (and, for aggregations, pane-reduce) every partition's
+        # pairs through the execution backend up front; the drained
+        # requests below consume the precomputed results in whatever
+        # order Algorithm 2 dictates.
+        prepared = self.backend.run_tasks(
+            execute_pane_reduce,
+            [((job, pairs), {"aggregate": aggregation}) for pairs in pane_inputs],
+            phase="pane-reduce",
+            counters=self.counters,
+            tracer=self.tracer,
+            now=map_finish,
+        )
+        contexts: Dict[int, Tuple[List[KeyValue], Optional[List[KeyValue]]]] = {}
         for partition in range(job.num_reducers):
-            pairs = partitioned.get(partition, [])
+            pairs = pane_inputs[partition]
             request = ReduceTaskRequest(
                 query=query.name,
                 panes=((state.qsource(source), idx),),
                 partition=partition,
                 input_bytes=len(pairs) * job.intermediate_pair_size,
             )
-            contexts[id(request)] = pairs
+            contexts[id(request)] = prepared[partition]
             self.scheduler.enqueue_reduce(request)
-        for request, pairs in self._drain_reduces(contexts):
+        for request, (sorted_pairs, rout_pairs) in self._drain_reduces(contexts):
             partition = request.partition
             fetch_bytes = request.input_bytes
             target = self._reduce_target(state, request, map_finish)
             transfer = self.cluster.cost_model.shuffle_fetch_duration(fetch_bytes)
-            sorted_pairs = sort_pairs(pairs)
             rin_bytes = fetch_bytes
             duration = (
                 self.cluster.config.task_overhead
@@ -1303,9 +1358,7 @@ class RedoopRuntime:
             )
             if self.enable_caching:
                 duration += self.cluster.cost_model.cache_write_time(rin_bytes)
-            rout_pairs: Optional[List[KeyValue]] = None
-            if aggregation:
-                rout_pairs = self._reduce_group(job, sorted_pairs)
+            if aggregation and rout_pairs is not None:
                 rout_bytes = len(rout_pairs) * job.output_pair_size
                 duration += self.cluster.cost_model.reduce_compute_time(
                     len(sorted_pairs)
@@ -1423,6 +1476,7 @@ class RedoopRuntime:
         # request is the one executed.
         outputs: Dict[int, List[KeyValue]] = {}
         contexts: Dict[int, Tuple[List[Tuple[int, List[KeyValue]]], Dict[int, int], float]] = {}
+        finalize_inputs: List[List[List[KeyValue]]] = []
         for partition in range(job.num_reducers):
             partials: List[Tuple[int, List[KeyValue]]] = []
             cached_by_node: Dict[int, int] = {}
@@ -1447,7 +1501,27 @@ class RedoopRuntime:
                 cached_bytes_by_node=tuple(sorted(cached_by_node.items())),
             )
             contexts[id(request)] = (partials, cached_by_node, ready_at)
+            finalize_inputs.append([p for _i, p in partials])
             self.scheduler.enqueue_reduce(request)
+
+        # The gather loop above touches caches (hits, rebuilds, stores)
+        # and must stay sequential; the pure merge-finalize bodies batch
+        # through the backend here, one task per partition.
+        merged_by_partition = dict(
+            enumerate(
+                self.backend.run_tasks(
+                    execute_finalize,
+                    [
+                        ((query.finalize, partials), {})
+                        for partials in finalize_inputs
+                    ],
+                    phase="merge",
+                    counters=self.counters,
+                    tracer=self.tracer,
+                    now=t0,
+                )
+            )
+        )
 
         for request, (partials, cached_by_node, ready_at) in self._drain_reduces(
             contexts
@@ -1456,7 +1530,7 @@ class RedoopRuntime:
             total_bytes = request.input_bytes
             node = self.scheduler.select_reduce_node(request, ready_at)
             local_bytes = min(cached_by_node.get(node.node_id, 0), total_bytes)
-            merged = self._finalize_merge(query, [p for _i, p in partials])
+            merged = merged_by_partition[partition]
             out_bytes = len(merged) * job.output_pair_size
             total_partial_records = sum(len(p) for _i, p in partials)
             duration = (
@@ -1548,12 +1622,13 @@ class RedoopRuntime:
     def _finalize_merge(
         self, query: RecurringQuery, partials: Sequence[List[KeyValue]]
     ) -> List[KeyValue]:
-        """Pane-based merge: group partial outputs by key, finalize."""
-        flat: List[KeyValue] = [pair for pane in partials for pair in pane]
-        merged: List[KeyValue] = []
-        for key, values in group_sorted(sort_pairs(flat)):
-            merged.extend(query.finalize(key, values))
-        return merged
+        """Pane-based merge: group partial outputs by key, finalize.
+
+        Kept as a convenience wrapper over the pure task body; the
+        combine phase batches :func:`execute_finalize` through the
+        execution backend directly.
+        """
+        return execute_finalize(query.finalize, list(partials))
 
     # ------------------------------------------------------------------
     # combine phase: multi-source join

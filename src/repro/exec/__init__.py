@@ -1,0 +1,23 @@
+"""Pluggable task-execution backends (serial and process-pool).
+
+See ``docs/parallelism.md`` for the architecture and the determinism
+contract; the short version: backends parallelise the *pure* task
+bodies only, virtual time and scheduling stay sequential, and window
+digests are byte-identical whichever backend ran the tasks.
+"""
+
+from .backends import (
+    BACKENDS,
+    ExecBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    make_backend,
+)
+
+__all__ = [
+    "BACKENDS",
+    "ExecBackend",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "make_backend",
+]

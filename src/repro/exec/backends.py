@@ -1,0 +1,338 @@
+"""Pluggable execution backends for map/reduce task user-code.
+
+The simulator separates two concerns that real Hadoop fuses: *when* a
+task runs (virtual time, decided by the cost model, the slot simulation
+and the cache-aware scheduler) and *what* it computes (the pure data
+transformations in :mod:`repro.hadoop.task`). A backend parallelises
+only the second concern. The scheduling loops stay sequential and
+authoritative for virtual time, so a run's span spine, counters (other
+than ``exec.*``), window digests and scheduling decisions are identical
+whichever backend executed the task bodies.
+
+Determinism contract
+--------------------
+``run_tasks`` returns results strictly in **submission order**, however
+the pool interleaves completions. Task functions must be pure (no
+shared mutable state), which every ``execute_*`` helper in
+:mod:`repro.hadoop.task` is. Under that contract serial and parallel
+runs are byte-identical — the parity oracle in
+``tests/exec/test_parity.py`` enforces it the same way the chaos
+differential oracle enforces recovery neutrality.
+
+Fallback ladder
+---------------
+:class:`ProcessPoolBackend` probes each batch for picklability (the
+function *and* its first call's arguments must survive
+``pickle.dumps``). Non-picklable jobs fall back to a thread pool
+(counted in ``exec.pickle_fallbacks``); an environment where process
+pools cannot start at all (sandboxes without working semaphores)
+degrades to threads permanently (``exec.process_pool_unavailable``).
+
+Observability
+-------------
+Every batch emits ``exec.*`` counters into the caller's bag and, when a
+tracer is supplied, one ``exec.batch`` instant plus one ``exec.worker``
+instant per pool worker used — the per-worker lanes the Chrome exporter
+renders as ``exec-w<n>`` threads. Wall times never touch span
+timestamps: virtual time stays the only time on the spine's spans.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "BACKENDS",
+    "ExecBackend",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "make_backend",
+]
+
+#: Registry of backend names accepted by :func:`make_backend` and the
+#: CLI's ``--backend`` flag.
+BACKENDS: Tuple[str, ...] = ("serial", "process")
+
+#: One positional-args/keyword-args pair per task.
+TaskCall = Tuple[tuple, dict]
+
+#: Trace category for exec instants. Kept as a local constant (it
+#: mirrors ``repro.trace.CAT_EXEC``) so this package has zero
+#: repro-internal imports and can never participate in a cycle.
+CAT_EXEC = "exec"
+
+
+def _timed_invoke(fn: Callable[..., Any], args: tuple, kwargs: dict):
+    """Run one task and report which worker ran it and for how long.
+
+    Module-level so it pickles into pool workers. Wall time is measured
+    inside the worker (``perf_counter`` deltas are process-local but
+    durations compare fine); the worker identity is the (pid, thread)
+    pair, mapped to a dense lane index by the coordinator.
+    """
+    t0 = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return (os.getpid(), threading.get_ident(), time.perf_counter() - t0, result)
+
+
+class ExecBackend:
+    """Base class: run batches of pure task calls, in order.
+
+    Subclasses implement :meth:`_execute`; the base class wraps it with
+    the shared accounting (``exec.*`` counters, trace instants).
+    """
+
+    #: Registry name (matches the CLI's ``--backend`` choices).
+    name: str = "abstract"
+    #: Worker slots this backend can occupy concurrently.
+    workers: int = 1
+    #: Whether task bodies may run concurrently.
+    parallel: bool = False
+
+    def run_tasks(
+        self,
+        fn: Callable[..., Any],
+        calls: Sequence[TaskCall],
+        *,
+        phase: str = "task",
+        counters: Any = None,
+        tracer: Any = None,
+        now: Optional[float] = None,
+    ) -> List[Any]:
+        """Execute ``fn`` over every call in ``calls``.
+
+        Results come back in submission order regardless of completion
+        order — the determinism contract every caller relies on.
+        ``counters`` (a :class:`~repro.hadoop.counters.Counters`-like
+        bag) receives the ``exec.*`` family; ``tracer`` receives batch
+        and per-worker-lane instants stamped at virtual time ``now``.
+        """
+        calls = list(calls)
+        if not calls:
+            return []
+        t0 = time.perf_counter()
+        results, lanes, mode, queue_peak = self._execute(fn, calls)
+        wall = time.perf_counter() - t0
+        self._account(
+            phase, len(calls), wall, mode, lanes, queue_peak, counters, tracer, now
+        )
+        return results
+
+    def _execute(
+        self, fn: Callable[..., Any], calls: Sequence[TaskCall]
+    ):
+        """Return ``(results, lanes, mode, queue_peak)``.
+
+        ``lanes`` maps a dense worker index to ``(tasks, busy_seconds)``.
+        """
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any pools (idempotent; serial backends are no-ops)."""
+
+    # ------------------------------------------------------------------
+    # shared accounting
+    # ------------------------------------------------------------------
+
+    def _account(
+        self,
+        phase: str,
+        n_tasks: int,
+        wall: float,
+        mode: str,
+        lanes: Dict[int, Tuple[int, float]],
+        queue_peak: int,
+        counters: Any,
+        tracer: Any,
+        now: Optional[float],
+    ) -> None:
+        # Counters hold only run-deterministic facts: the runtime's
+        # counter bag is compared bit-for-bit across repeat runs.
+        # Physical measurements (wall seconds, queue depth) vary with
+        # machine load, so they ride the exec.* trace instants instead.
+        if counters is not None:
+            counters.increment("exec.batches")
+            counters.increment("exec.tasks_dispatched", n_tasks)
+            counters.increment("exec.tasks_completed", n_tasks)
+        if tracer is not None and now is not None:
+            tracer.instant(
+                "exec.batch",
+                CAT_EXEC,
+                time=now,
+                phase=phase,
+                tasks=n_tasks,
+                wall_ms=round(wall * 1000, 3),
+                mode=mode,
+                backend=self.name,
+                workers=self.workers,
+                queue_peak=queue_peak,
+            )
+            for lane in sorted(lanes):
+                tasks, busy = lanes[lane]
+                tracer.instant(
+                    "exec.worker",
+                    CAT_EXEC,
+                    time=now,
+                    phase=phase,
+                    worker=lane,
+                    tasks=tasks,
+                    busy_ms=round(busy * 1000, 3),
+                )
+
+
+class SerialBackend(ExecBackend):
+    """Today's behaviour: run every task inline, one after another.
+
+    The default everywhere; parity between this and the pool backends
+    is what the digest oracle pins.
+    """
+
+    name = "serial"
+    workers = 1
+    parallel = False
+
+    def _execute(self, fn, calls):
+        results: List[Any] = []
+        busy = 0.0
+        for args, kwargs in calls:
+            t0 = time.perf_counter()
+            results.append(fn(*args, **kwargs))
+            busy += time.perf_counter() - t0
+        return results, {0: (len(calls), busy)}, "serial", 0
+
+
+class ProcessPoolBackend(ExecBackend):
+    """Run task bodies across a ``ProcessPoolExecutor``.
+
+    Pools are created lazily (a restored checkpoint or a run that never
+    batches more than one task never forks). Each batch is probed for
+    picklability; jobs carrying unpicklable callables run on a thread
+    pool instead so no workload is ever rejected. Results are gathered
+    from the futures in submission order, which is the whole
+    determinism story: completion order never matters.
+    """
+
+    name = "process"
+    parallel = True
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers if workers else max(2, (os.cpu_count() or 2) - 1)
+        self._pool: Optional[Executor] = None
+        self._thread_pool: Optional[Executor] = None
+        #: Set when process pools cannot start in this environment.
+        self._process_unavailable = False
+        #: (pid, thread ident) -> dense lane index, stable per backend.
+        self._lane_ids: Dict[Tuple[int, int], int] = {}
+
+    # -- pool management ------------------------------------------------
+
+    def _threads(self) -> Executor:
+        if self._thread_pool is None:
+            self._thread_pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-exec"
+            )
+        return self._thread_pool
+
+    def _processes(self) -> Optional[Executor]:
+        if self._process_unavailable:
+            return None
+        if self._pool is None:
+            try:
+                self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            except (OSError, PermissionError, ValueError):
+                self._process_unavailable = True
+                return None
+        return self._pool
+
+    def close(self) -> None:
+        for pool in (self._pool, self._thread_pool):
+            if pool is not None:
+                pool.shutdown(wait=True, cancel_futures=True)
+        self._pool = None
+        self._thread_pool = None
+
+    # -- pickling (service checkpoints snapshot the whole runtime) ------
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        # Live executors cannot (and must not) ride a checkpoint; a
+        # restored backend re-creates them lazily on first use.
+        state["_pool"] = None
+        state["_thread_pool"] = None
+        state["_lane_ids"] = {}
+        return state
+
+    # -- execution ------------------------------------------------------
+
+    @staticmethod
+    def _batch_picklable(fn: Callable[..., Any], calls: Sequence[TaskCall]) -> bool:
+        try:
+            pickle.dumps((fn, calls[0]))
+        except Exception:
+            return False
+        return True
+
+    def _lane(self, worker_key: Tuple[int, int]) -> int:
+        lane = self._lane_ids.get(worker_key)
+        if lane is None:
+            lane = len(self._lane_ids)
+            self._lane_ids[worker_key] = lane
+        return lane
+
+    def _execute(self, fn, calls):
+        mode = "process"
+        pool: Optional[Executor] = None
+        if not self._batch_picklable(fn, calls):
+            mode = "thread"
+        else:
+            pool = self._processes()
+            if pool is None:
+                mode = "thread-degraded"
+        if pool is None:
+            pool = self._threads()
+
+        futures = []
+        queue_peak = 0
+        for args, kwargs in calls:
+            futures.append(pool.submit(_timed_invoke, fn, args, kwargs))
+            pending = sum(1 for f in futures if not f.done())
+            queue_peak = max(queue_peak, max(0, pending - self.workers))
+
+        results: List[Any] = []
+        lanes: Dict[int, Tuple[int, float]] = {}
+        for future in futures:  # submission order == result order
+            pid, ident, task_wall, result = future.result()
+            lane = self._lane((pid, ident))
+            tasks, busy = lanes.get(lane, (0, 0.0))
+            lanes[lane] = (tasks + 1, busy + task_wall)
+            results.append(result)
+        return results, lanes, mode, queue_peak
+
+    def _account(self, phase, n_tasks, wall, mode, lanes, queue_peak,
+                 counters, tracer, now):
+        if counters is not None:
+            if mode == "thread":
+                counters.increment("exec.pickle_fallbacks")
+            elif mode == "thread-degraded":
+                counters.increment("exec.process_pool_unavailable")
+        super()._account(
+            phase, n_tasks, wall, mode, lanes, queue_peak, counters, tracer, now
+        )
+
+
+def make_backend(name: str, workers: Optional[int] = None) -> ExecBackend:
+    """Build a backend from its registry name (``serial`` | ``process``)."""
+    if name == "serial":
+        return SerialBackend()
+    if name == "process":
+        return ProcessPoolBackend(workers)
+    raise ValueError(
+        f"unknown execution backend {name!r}; expected one of {BACKENDS}"
+    )

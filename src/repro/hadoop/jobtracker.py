@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
+from repro.exec import ExecBackend, SerialBackend
 from repro.trace import CAT_JOB, CAT_PHASE, CAT_RUN, CAT_TASK, Span, Tracer
 
 from .cluster import Cluster
@@ -123,10 +124,16 @@ class JobTracker:
         scheduler: Optional[FIFOScheduler] = None,
         fault_injector: Optional[FaultInjector] = None,
         tracer: Optional[Tracer] = None,
+        backend: Optional[ExecBackend] = None,
     ) -> None:
         self.cluster = cluster
         self.scheduler = scheduler or FIFOScheduler()
         self.faults = fault_injector
+        #: Execution backend for task user-code. Task *bodies* run
+        #: through it (possibly in parallel, see docs/parallelism.md);
+        #: the scheduling loop below stays sequential and owns virtual
+        #: time, so results and spans are backend-independent.
+        self.backend = backend if backend is not None else SerialBackend()
         #: Span spine for the baseline path; jobs, phases, and tasks all
         #: land here so plain-Hadoop runs export the same trace shape as
         #: Redoop runs (the ``job`` category replaces ``recurrence``).
@@ -266,11 +273,21 @@ class JobTracker:
     ) -> Tuple[List[MapExecution], List[float]]:
         cluster = self.cluster
         cost = cluster.cost_model
-        execs: List[MapExecution] = []
         finishes: List[float] = []
         nodes_used: List[int] = []
         durations: List[float] = []
-        for split in splits:
+        # Task bodies first (possibly in parallel — results come back in
+        # split order), then the sequential list-scheduling pass below
+        # charges virtual time exactly as before.
+        execs: List[MapExecution] = self.backend.run_tasks(
+            execute_map,
+            [((job, split.records), {"input_bytes": split.size}) for split in splits],
+            phase="map",
+            counters=counters,
+            tracer=self.tracer,
+            now=t0,
+        )
+        for split, ex in zip(splits, execs):
             node = self.scheduler.choose_node(
                 cluster,
                 MAP_SLOT,
@@ -279,7 +296,6 @@ class JobTracker:
                 task=f"{job.name}/map/{split.path}#{split.split_index}",
             )
             local = node.node_id in split.locations
-            ex = execute_map(job, split.records, input_bytes=split.size)
             duration = cost.map_task_duration(
                 ex.input_bytes,
                 ex.input_records,
@@ -306,7 +322,6 @@ class JobTracker:
                 bytes=ex.input_bytes,
                 data_local=local,
             )
-            execs.append(ex)
             nodes_used.append(node.node_id)
             durations.append(duration)
             counters.increment("map.tasks")
@@ -394,7 +409,24 @@ class JobTracker:
             for partition, pairs in ex.partitioned.items():
                 by_partition.setdefault(partition, []).extend(pairs)
 
-        for partition in sorted(by_partition):
+        # Reduce bodies run through the backend in partition order; the
+        # scheduling pass below then charges each partition's virtual
+        # shuffle + reduce time sequentially, exactly as before.
+        partitions = sorted(by_partition)
+        rexes: Dict[int, ReduceExecution] = dict(
+            zip(
+                partitions,
+                self.backend.run_tasks(
+                    execute_reduce,
+                    [((job, p, by_partition[p]), {}) for p in partitions],
+                    phase="reduce",
+                    counters=counters,
+                    tracer=self.tracer,
+                    now=maps_done,
+                ),
+            )
+        )
+        for partition in partitions:
             pairs = by_partition[partition]
             fetch_bytes = len(pairs) * job.intermediate_pair_size
             shuffle_done = max(
@@ -403,7 +435,7 @@ class JobTracker:
             )
             shuffle_all_done = max(shuffle_all_done, shuffle_done)
 
-            rex = execute_reduce(job, partition, pairs)
+            rex = rexes[partition]
             duration = cost.reduce_task_duration(
                 shuffled_bytes=fetch_bytes,
                 shuffled_records=rex.input_pairs,

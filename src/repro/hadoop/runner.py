@@ -43,6 +43,26 @@ class WindowExecution:
         return self.result.merged_output()
 
 
+class _WindowFilteredMapper:
+    """A mapper wrapper dropping records outside ``[start, end)``.
+
+    A class (not a closure) so the wrapped job stays picklable and the
+    baseline driver can run its map tasks on the process backend.
+    """
+
+    __slots__ = ("inner", "start", "end")
+
+    def __init__(self, inner, start: float, end: float) -> None:
+        self.inner = inner
+        self.start = start
+        self.end = end
+
+    def __call__(self, record: Record):
+        if record.in_range(self.start, self.end):
+            return self.inner(record)
+        return []
+
+
 def window_filtered_job(
     job: MapReduceJob, start: float, end: float
 ) -> MapReduceJob:
@@ -53,14 +73,7 @@ def window_filtered_job(
     must scan entire batches and discard out-of-window records in user
     code.
     """
-    inner = job.mapper
-
-    def filtering_mapper(record: Record):
-        if record.in_range(start, end):
-            return inner(record)
-        return []
-
-    return replace(job, mapper=filtering_mapper)
+    return replace(job, mapper=_WindowFilteredMapper(job.mapper, start, end))
 
 
 class PlainHadoopDriver:
@@ -72,10 +85,12 @@ class PlainHadoopDriver:
         *,
         fault_injector: Optional[FaultInjector] = None,
         tracer: Optional[Tracer] = None,
+        backend=None,
     ) -> None:
         self.cluster = cluster
         self.tracker = JobTracker(
-            cluster, fault_injector=fault_injector, tracer=tracer
+            cluster, fault_injector=fault_injector, tracer=tracer,
+            backend=backend,
         )
 
     @property

@@ -13,10 +13,23 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Sequence
 
 from .job import MapReduceJob
-from .shuffle import apply_combiner, partition_pairs, run_reduce_partition
+from .shuffle import (
+    apply_combiner,
+    group_sorted,
+    partition_pairs,
+    run_reduce_partition,
+    sort_pairs,
+)
 from .types import KeyValue, Record, records_size
 
-__all__ = ["MapExecution", "ReduceExecution", "execute_map", "execute_reduce"]
+__all__ = [
+    "MapExecution",
+    "ReduceExecution",
+    "execute_map",
+    "execute_reduce",
+    "execute_finalize",
+    "execute_pane_reduce",
+]
 
 
 @dataclass(slots=True)
@@ -96,3 +109,42 @@ def execute_reduce(
         input_bytes=len(pair_list) * job.intermediate_pair_size,
         output_bytes=len(output) * job.output_pair_size,
     )
+
+
+def execute_pane_reduce(
+    job: MapReduceJob,
+    pairs: Iterable[KeyValue],
+    *,
+    aggregate: bool,
+) -> tuple:
+    """Sort one pane partition and (for aggregations) reduce it.
+
+    Returns ``(sorted_pairs, reduced_or_None)`` — the reduce-input run
+    Redoop caches plus, when ``aggregate`` is set, the pane's partial
+    reduce output. Pure, so execution backends may run partitions
+    concurrently; the Redoop runtime charges virtual time separately.
+    """
+    sorted_pairs = sort_pairs(list(pairs))
+    reduced: List[KeyValue] | None = None
+    if aggregate:
+        reduced = []
+        for key, values in group_sorted(sorted_pairs):
+            reduced.extend(job.reducer(key, values))
+    return sorted_pairs, reduced
+
+
+def execute_finalize(
+    finalize, partials: Sequence[List[KeyValue]]
+) -> List[KeyValue]:
+    """Merge per-pane partial outputs with a query's finalizer.
+
+    The pane-based merge of the combine phase: flatten the partials,
+    group by key, finalize each group. Pure — the finalizer must be a
+    picklable callable for process backends (see
+    :func:`repro.core.query.merging_finalizer`).
+    """
+    flat: List[KeyValue] = [pair for pane in partials for pair in pane]
+    merged: List[KeyValue] = []
+    for key, values in group_sorted(sort_pairs(flat)):
+        merged.extend(finalize(key, values))
+    return merged

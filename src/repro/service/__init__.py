@@ -8,6 +8,7 @@ See :mod:`repro.service.server` for the event loop,
 
 from .checkpoint import CheckpointError, SCHEMA_VERSION, load_checkpoint, save_checkpoint
 from .ingest import ACCEPTED, DEFERRED, GAP, SHED, STALE, IngestChannel
+from .pacing import WallClockPacer
 from .server import PAUSED, RUNNING, QueryServer, latest_checkpoint
 from .spec import QuerySpec, build_query, resolve_factory
 
@@ -24,6 +25,7 @@ __all__ = [
     "IngestChannel",
     "QuerySpec",
     "QueryServer",
+    "WallClockPacer",
     "build_query",
     "latest_checkpoint",
     "load_checkpoint",

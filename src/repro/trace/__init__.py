@@ -6,6 +6,7 @@ schema, and how the exported traces map to the paper's figures.
 
 from .spine import (
     CAT_CHAOS,
+    CAT_EXEC,
     CAT_FAULT,
     CAT_SERVICE,
     CAT_JOB,
@@ -44,6 +45,7 @@ __all__ = [
     "CAT_FAULT",
     "CAT_SERVICE",
     "CAT_CHAOS",
+    "CAT_EXEC",
     "PHASE_NAMES",
     "Span",
     "TraceEvent",

@@ -51,6 +51,11 @@ _MASTER_TIDS = {
 #: time, so sharing a lane would render as a broken flamegraph).
 _PHASE_TID_BASE = 2
 
+#: Execution-backend worker lanes render as master threads starting
+#: here: ``exec.worker`` instants with ``worker=n`` land on tid 900+n,
+#: so Perfetto shows one row per pool worker.
+_EXEC_TID_BASE = 900
+
 
 def _us(seconds: float) -> float:
     return round(seconds * 1_000_000, 3)
@@ -144,6 +149,15 @@ def _series_events(
             pid = base_pid + 1 + event.node_id
             used_pids.setdefault(pid, f"{label} node-{event.node_id}")
             tid = 0
+        elif event.category == "exec" and "worker" in event.attrs:
+            pid = master
+            lane = int(event.attrs["worker"])
+            tid = _EXEC_TID_BASE + lane
+            thread_names.setdefault((pid, tid), f"exec-w{lane}")
+        elif event.category == "exec":
+            pid = master
+            tid = _EXEC_TID_BASE - 1
+            thread_names.setdefault((pid, tid), "exec")
         else:
             pid, tid = master, 1
         args: Dict[str, Any] = {"category": event.category}

@@ -34,6 +34,7 @@ __all__ = [
     "CAT_FAULT",
     "CAT_SERVICE",
     "CAT_CHAOS",
+    "CAT_EXEC",
     "PHASE_NAMES",
     "Span",
     "TraceEvent",
@@ -59,6 +60,11 @@ CAT_SERVICE = "service"
 #: :mod:`repro.chaos`): deliberate mid-flight events, distinct from the
 #: ``fault``-category *consequences* the runtime records.
 CAT_CHAOS = "chaos"
+#: Execution-backend instants (``exec.batch`` / ``exec.worker`` from
+#: :mod:`repro.exec`): wall-clock pool accounting stamped at the
+#: virtual time of the batch. Spans never carry wall times — these
+#: instants are the only place real seconds appear on the spine.
+CAT_EXEC = "exec"
 
 #: Phase spans every Redoop recurrence emits, in presentation order.
 PHASE_NAMES = ("map", "shuffle", "pane-reduce", "combine", "post")

@@ -44,12 +44,25 @@ JOIN_SOURCES = ("events", "positions")
 # ----------------------------------------------------------------------
 
 
-def _agg_mapper_for(key_field: str):
-    def mapper(record: Record) -> Iterable[KeyValue]:
-        value = record.value
-        yield value[key_field], (1, value.get("bytes", 0))
+class _AggMapper:
+    """Count/bytes mapper over one key field.
 
-    return mapper
+    Callable classes instead of closures keep the figure jobs picklable,
+    which is what lets the process execution backend run them.
+    """
+
+    __slots__ = ("key_field",)
+
+    def __init__(self, key_field: str) -> None:
+        self.key_field = key_field
+
+    def __call__(self, record: Record) -> Iterable[KeyValue]:
+        value = record.value
+        yield value[self.key_field], (1, value.get("bytes", 0))
+
+
+def _agg_mapper_for(key_field: str):
+    return _AggMapper(key_field)
 
 
 def _agg_reducer(key: Any, values: List[Tuple[int, int]]) -> Iterable[KeyValue]:
@@ -154,12 +167,26 @@ def join_query(
 # ----------------------------------------------------------------------
 
 
-def _distinct_mapper_for(key_field: str, value_field: str):
-    def mapper(record: Record) -> Iterable[KeyValue]:
-        value = record.value
-        yield value[key_field], value[value_field]
+class _ProjectingMapper:
+    """Emit ``(record[key_field], record[value_field])`` pairs (picklable)."""
 
-    return mapper
+    __slots__ = ("key_field", "value_field", "cast")
+
+    def __init__(self, key_field: str, value_field: str, cast=None) -> None:
+        self.key_field = key_field
+        self.value_field = value_field
+        self.cast = cast
+
+    def __call__(self, record: Record) -> Iterable[KeyValue]:
+        value = record.value
+        measure = value[self.value_field]
+        yield value[self.key_field], (
+            measure if self.cast is None else self.cast(measure)
+        )
+
+
+def _distinct_mapper_for(key_field: str, value_field: str):
+    return _ProjectingMapper(key_field, value_field)
 
 
 def _distinct_reducer(key: Any, values: List[Any]) -> Iterable[KeyValue]:
@@ -245,14 +272,9 @@ def extrema_query(
     Min and max are idempotent semilattice operations, so pane partials
     merge exactly.
     """
-
-    def mapper(record: Record) -> Iterable[KeyValue]:
-        value = record.value
-        yield value[key_field], float(value[value_field])
-
     job = MapReduceJob(
         name=name,
-        mapper=mapper,
+        mapper=_ProjectingMapper(key_field, value_field, cast=float),
         reducer=_extrema_reducer,
         combiner=None,  # reducer output type differs from its input type
         num_reducers=num_reducers,

@@ -110,6 +110,48 @@ def test_fstring_counters_have_documented_family():
         )
 
 
+def test_exec_family_is_guarded():
+    """The execution-backend counters ride the same guard.
+
+    ``repro.exec`` deliberately imports nothing from the rest of the
+    package, so it is the module most likely to drift out of the doc's
+    orbit — pin that the AST walk sees its emissions and that each one
+    resolves against docs/counters.md.
+    """
+    literals, _ = _emitted_counters()
+    exec_literals = {n: w for n, w in literals.items() if n.startswith("exec.")}
+    expected = {
+        "exec.batches",
+        "exec.tasks_dispatched",
+        "exec.tasks_completed",
+        "exec.pickle_fallbacks",
+        "exec.process_pool_unavailable",
+    }
+    assert expected <= set(exec_literals), (
+        "exec counter emissions missing from the AST walk: "
+        + ", ".join(sorted(expected - set(exec_literals)))
+    )
+    assert all(w.startswith("src/repro/exec/") for w in exec_literals.values())
+    # Physical measurements (wall seconds, queue depth) must NOT be
+    # counters: the counter bag is compared bit-for-bit across repeat
+    # runs, so they belong on the exec.* trace instants only.
+    assert not {
+        n for n in exec_literals if "wall" in n or "queue" in n
+    }, "nondeterministic physical measurements leaked into the counter bag"
+
+    documented, _ = _documented_tokens()
+    doc_regexes = [_doc_token_regex(t) for t in documented]
+    undocumented = {
+        name
+        for name in expected
+        if not any(re.match(rx, name) for rx in doc_regexes)
+    }
+    assert not undocumented, (
+        "exec counters not documented in docs/counters.md: "
+        + ", ".join(sorted(undocumented))
+    )
+
+
 def test_documented_tables_match_code():
     literals, patterns = _emitted_counters()
     _, table = _documented_tokens()
