@@ -13,7 +13,6 @@ Three ablations isolate individual Redoop mechanisms:
 
 from __future__ import annotations
 
-import pytest
 
 from repro.bench import (
     ablation_cache_levels,

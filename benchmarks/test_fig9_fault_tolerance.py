@@ -15,7 +15,6 @@ from __future__ import annotations
 import pytest
 
 from repro.bench import fig9_fault_tolerance, format_cumulative_table
-from repro.bench.harness import SeriesResult
 
 from .conftest import emit
 

@@ -9,7 +9,6 @@ an order of magnitude in the best case".
 
 from __future__ import annotations
 
-import pytest
 
 from repro.bench import headline_speedups
 

@@ -6,7 +6,6 @@ fixed 30-node / 60-reducer setup (see DESIGN.md, "Ablations").
 
 from __future__ import annotations
 
-import pytest
 
 from repro.bench.sweeps import (
     sweep_cluster_size,

@@ -12,7 +12,6 @@ to the final sub-pane plus the merge.
 Run:  python examples/clickstream_adaptive.py
 """
 
-from dataclasses import replace
 
 from repro.bench import (
     ExperimentConfig,

@@ -73,7 +73,6 @@ def main() -> None:
     feed(runtime, 90.0)
 
     r1 = runtime.run_recurrence("agg", 1)
-    baseline = dict(r1.output)
     print(f"window 1: response {r1.response_time:.2f}s, "
           f"{cache_count(runtime)} cache entries on the cluster")
 

@@ -37,6 +37,7 @@ from .service import (
     drive_scenario,
     output_digests,
 )
+from .reuse import WarmColdReport, run_warm_cold
 from .sweeps import sweep_cluster_size, sweep_num_reducers, sweep_window_size
 from .throughput import (
     ThroughputPoint,
@@ -73,6 +74,8 @@ __all__ = [
     "ServiceScenario",
     "ThroughputPoint",
     "ThroughputReport",
+    "WarmColdReport",
+    "run_warm_cold",
     "format_throughput_table",
     "run_throughput_bench",
     "fig6_aggregation",

@@ -15,7 +15,7 @@ CI smoke runs (``scale=0.1``) versus full paper-shape runs
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, Iterable, Mapping, Optional, Tuple
+from typing import Dict, Iterable, Optional, Tuple
 
 from ..exec import ExecBackend
 from ..hadoop.config import DEFAULT_CONFIG, ClusterConfig
@@ -389,7 +389,6 @@ def ablation_scheduler(*, scale: float = 1.0) -> Dict[str, SeriesResult]:
 
     # Monkey-style variant: rotate partition placement every window by
     # clearing the sticky assignment between recurrences.
-    from ..core.recovery import RecoveryManager
     from ..hadoop.cluster import Cluster
 
     cluster = Cluster(config.cluster_config, seed=config.seed)

@@ -304,6 +304,7 @@ def run_redoop_series(
     cache_capacity_bytes: Optional[int] = None,
     eviction_policy: Optional[str] = None,
     backend: Optional[ExecBackend] = None,
+    reuse_store=None,
 ) -> SeriesResult:
     """Run the experiment on Redoop and collect per-window metrics.
 
@@ -319,6 +320,10 @@ def run_redoop_series(
     before the next one — the end-to-end slave-failure scenario of
     Sec. 5. ``tracer`` supplies the span spine (one is created per run
     otherwise); it is returned on the series for export.
+    ``reuse_store`` attaches a cross-query
+    :class:`~repro.reuse.ReuseStore`: pane/window outputs are published
+    into it and matching stored artifacts short-circuit work — pass the
+    same store to a second series for a warm run (see ``reuse.md``).
     """
     workload = workload or build_workload(config)
     cluster = Cluster(config.cluster_config, seed=config.seed)
@@ -332,6 +337,7 @@ def run_redoop_series(
         cache_capacity_bytes=cache_capacity_bytes,
         eviction_policy=eviction_policy,
         backend=backend,
+        reuse_store=reuse_store,
     )
     query = config.build_query()
     runtime.register_query(query, {src: config.rate for src in config.sources})

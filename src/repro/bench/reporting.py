@@ -8,7 +8,7 @@ right columns), and speedup summaries.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence
+from typing import Dict, List, Mapping
 
 from .harness import SeriesResult
 

@@ -1,0 +1,133 @@
+"""Warm-vs-cold benchmark for the cross-query reuse store.
+
+The experiment mirrors what a multi-tenant deployment sees: one tenant
+runs a workload cold (nothing stored, everything published), then a
+second identical tenant arrives on a *fresh cluster* and is served from
+the store. The headline numbers are the two average window response
+times and their ratio — the store's whole value proposition is that
+warm is a large multiple cheaper — plus the ``reuse.*`` counters that
+attribute the saving. Digest equality between the three runs (a
+store-free baseline, the cold run, and the warm run) is asserted on
+every invocation: a speedup that changes an answer is a bug, not a win.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..reuse import ReuseStore
+from .harness import ExperimentConfig, SeriesResult, build_workload, run_redoop_series
+
+__all__ = ["WarmColdReport", "run_warm_cold"]
+
+
+@dataclass(slots=True)
+class WarmColdReport:
+    """Cold-vs-warm comparison for one experiment config."""
+
+    config: ExperimentConfig
+    off: SeriesResult
+    cold: SeriesResult
+    warm: SeriesResult
+    #: ``reuse.*`` counters snapshot after the warm run.
+    reuse_counters: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def digests_equal(self) -> bool:
+        return (
+            self.off.output_digests == self.cold.output_digests
+            and self.off.output_digests == self.warm.output_digests
+        )
+
+    @property
+    def cold_avg_response(self) -> float:
+        times = self.cold.response_times()
+        return sum(times) / len(times) if times else 0.0
+
+    @property
+    def warm_avg_response(self) -> float:
+        times = self.warm.response_times()
+        return sum(times) / len(times) if times else 0.0
+
+    @property
+    def speedup(self) -> float:
+        warm = self.warm_avg_response
+        return self.cold_avg_response / warm if warm > 0 else float("inf")
+
+    @property
+    def hits(self) -> float:
+        return self.reuse_counters.get("reuse.hits", 0.0)
+
+    @property
+    def bytes_saved(self) -> float:
+        return self.reuse_counters.get("reuse.bytes_saved", 0.0)
+
+    @property
+    def ok(self) -> bool:
+        """Warm run was both correct and actually served from the store."""
+        return self.digests_equal and self.hits > 0
+
+    def as_dict(self) -> dict:
+        """JSON-friendly summary (the CLI's ``--json-out`` payload)."""
+        return {
+            "kind": self.config.kind,
+            "overlap": self.config.overlap,
+            "num_windows": self.config.num_windows,
+            "cold_avg_response": self.cold_avg_response,
+            "warm_avg_response": self.warm_avg_response,
+            "speedup": self.speedup,
+            "digests_equal": self.digests_equal,
+            "reuse_counters": dict(self.reuse_counters),
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"{self.config.kind} overlap={self.config.overlap:g} "
+            f"windows={self.config.num_windows}",
+            f"  cold avg response: {self.cold_avg_response:10.2f} s",
+            f"  warm avg response: {self.warm_avg_response:10.2f} s"
+            f"   ({self.speedup:.1f}x faster)",
+            f"  reuse hits: {self.hits:.0f}  "
+            f"bytes saved: {self.bytes_saved:.0f}",
+            "  digests: "
+            + ("identical across off/cold/warm" if self.digests_equal
+               else "MISMATCH — reuse changed an answer"),
+        ]
+        return "\n".join(lines)
+
+
+def run_warm_cold(
+    config: ExperimentConfig,
+    *,
+    capacity_bytes: Optional[int] = None,
+    backend=None,
+) -> WarmColdReport:
+    """Measure the store's effect on a second identical tenant.
+
+    Three runs share one generated workload: ``off`` (no store — the
+    correctness baseline), ``cold`` (fresh store; publishes pane and
+    window artifacts as it computes), and ``warm`` (fresh cluster, the
+    cold run's store — every window should be served from storage).
+    ``capacity_bytes`` bounds the store; ``None`` keeps it unbounded so
+    the warm run's hit rate reflects the plan match alone.
+    """
+    workload = build_workload(config)
+    off = run_redoop_series(config, label="reuse-off", workload=workload,
+                            backend=backend)
+    store = ReuseStore(capacity_bytes=capacity_bytes)
+    cold = run_redoop_series(config, label="reuse-cold", workload=workload,
+                             backend=backend, reuse_store=store)
+    warm = run_redoop_series(config, label="reuse-warm", workload=workload,
+                             backend=backend, reuse_store=store)
+    return WarmColdReport(
+        config=config,
+        off=off,
+        cold=cold,
+        warm=warm,
+        reuse_counters={
+            name: value
+            for name, value in warm.runtime_counters.items()
+            if name.startswith("reuse.")
+        },
+    )

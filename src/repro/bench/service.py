@@ -186,12 +186,20 @@ def build_server(
     checkpoint_dir=None,
     checkpoint_every: int = 0,
     backend=None,
+    reuse_store=None,
 ) -> QueryServer:
-    """A fresh server with the scenario's initial tenants submitted."""
+    """A fresh server with the scenario's initial tenants submitted.
+
+    ``reuse_store`` enables the cross-query reuse tier: overlapping
+    tenants (and a server restarted against the same store) are served
+    from stored pane/window artifacts instead of recomputing.
+    """
     cluster = Cluster(
         small_test_config(scenario.num_nodes), seed=scenario.seed
     )
-    runtime = RedoopRuntime(cluster, tracer=tracer, backend=backend)
+    runtime = RedoopRuntime(
+        cluster, tracer=tracer, backend=backend, reuse_store=reuse_store
+    )
     server = QueryServer(
         runtime,
         channel_capacity=scenario.channel_capacity,
@@ -281,6 +289,6 @@ def summarize(server: QueryServer) -> ScenarioRun:
         counters={
             name: value
             for name, value in server.counters.as_dict().items()
-            if name.startswith("service.") or name.startswith("runtime.")
+            if name.startswith(("service.", "runtime.", "reuse."))
         },
     )

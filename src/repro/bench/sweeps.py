@@ -16,8 +16,7 @@ a practitioner would actually turn:
 
 from __future__ import annotations
 
-from dataclasses import replace
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, Tuple
 
 from ..hadoop.config import ClusterConfig
 from .harness import (

@@ -23,7 +23,7 @@ import json
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Sequence
 
 from ..exec import ExecBackend, ProcessPoolBackend, SerialBackend
 from ..hadoop.job import MapReduceJob

@@ -16,7 +16,10 @@ turns that claim into an executable check:
 * :func:`~repro.chaos.driver.run_chaos_series` — executes a workload
   under a schedule, applying events between ingest steps;
 * :func:`~repro.chaos.oracle.run_differential` — the differential
-  oracle: fault-free vs. chaos run, digests compared per window.
+  oracle: fault-free vs. chaos run, digests compared per window;
+* :func:`~repro.chaos.oracle.run_reuse_differential` — the same
+  contract for the cross-query reuse store: store-off vs. cold vs.
+  warm runs must agree on every non-degraded window digest.
 
 See ``docs/fault-tolerance.md`` for the failure domains and semantics.
 """
@@ -24,15 +27,22 @@ See ``docs/fault-tolerance.md`` for the failure domains and semantics.
 from .schedule import ChaosEvent, ChaosSchedule, EVENT_KINDS
 from .invariants import check_invariants
 from .driver import ChaosReport, run_chaos_series
-from .oracle import DifferentialReport, run_differential
+from .oracle import (
+    DifferentialReport,
+    ReuseDifferentialReport,
+    run_differential,
+    run_reuse_differential,
+)
 
 __all__ = [
     "ChaosEvent",
     "ChaosReport",
     "ChaosSchedule",
     "DifferentialReport",
+    "ReuseDifferentialReport",
     "EVENT_KINDS",
     "check_invariants",
     "run_chaos_series",
     "run_differential",
+    "run_reuse_differential",
 ]

@@ -13,7 +13,7 @@ rather than to a wrong digest three windows later.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Mapping, Optional, Tuple
+from typing import List, Mapping, Optional
 
 from ..bench.harness import (
     ExperimentConfig,
@@ -64,6 +64,7 @@ class _ChaosRun:
         check: bool,
         tracer: Optional[Tracer],
         backend=None,
+        reuse_store=None,
     ) -> None:
         self.config = config
         self.schedule = schedule
@@ -76,6 +77,7 @@ class _ChaosRun:
             fault_injector=self.injector,
             tracer=tracer,
             backend=backend,
+            reuse_store=reuse_store,
         )
         self.query = config.build_query()
         self.runtime.register_query(
@@ -211,6 +213,7 @@ class _ChaosRun:
         self.report.series = SeriesResult(
             label=self.label,
             tracer=self.runtime.tracer,
+            runtime_counters=self.runtime.counters.as_dict(),
             windows=[
                 WindowMetrics(
                     recurrence=r.recurrence,
@@ -238,6 +241,7 @@ def run_chaos_series(
     check: bool = True,
     tracer: Optional[Tracer] = None,
     backend=None,
+    reuse_store=None,
 ) -> ChaosReport:
     """Run ``config``'s workload on Redoop under a chaos schedule.
 
@@ -254,6 +258,11 @@ def run_chaos_series(
     check:
         Run the structural invariant checker after every injection and
         every recurrence (on by default; the cost is trivial).
+    reuse_store:
+        Optional cross-query :class:`~repro.reuse.ReuseStore` attached
+        to the chaos run's runtime — the reuse tier must hold its
+        digests under fault injection too (invariant 8 then also
+        audits the store's backing files).
     """
     run = _ChaosRun(
         config,
@@ -263,5 +272,6 @@ def run_chaos_series(
         check=check,
         tracer=tracer,
         backend=backend,
+        reuse_store=reuse_store,
     )
     return run.run()

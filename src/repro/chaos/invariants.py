@@ -144,4 +144,24 @@ def check_invariants(runtime) -> List[str]:
                 f"budget of {cap}"
             )
 
+    # 8. Cross-query reuse store: every manifest entry's backing files
+    #    exist in HDFS (a dangling manifest row would fail every read
+    #    and silently disable the tier), and the store's accounted
+    #    bytes respect its own budget.
+    store = getattr(runtime, "reuse", None)
+    if store is not None and store.hdfs is not None:
+        for entry in store.entries():
+            for path in entry.paths():
+                if not store.hdfs.exists(path):
+                    violations.append(
+                        f"reuse entry {entry.key} references missing "
+                        f"HDFS file {path}"
+                    )
+        cap = store.capacity_bytes
+        if cap is not None and store.total_bytes > cap:
+            violations.append(
+                f"reuse store holds {store.total_bytes} bytes over its "
+                f"budget of {cap}"
+            )
+
     return violations

@@ -28,7 +28,12 @@ from ..bench.harness import ExperimentConfig, SeriesResult, build_workload, run_
 from .driver import ChaosReport, run_chaos_series
 from .schedule import ChaosSchedule
 
-__all__ = ["DifferentialReport", "run_differential"]
+__all__ = [
+    "DifferentialReport",
+    "ReuseDifferentialReport",
+    "run_differential",
+    "run_reuse_differential",
+]
 
 
 @dataclass(slots=True)
@@ -121,4 +126,115 @@ def run_differential(
         baseline=baseline,
         chaos=chaos,
         mismatched_windows=mismatched,
+    )
+
+
+@dataclass(slots=True)
+class ReuseDifferentialReport:
+    """Outcome of the reuse-on/off differential comparison.
+
+    Three runs over one workload: ``off`` (no store), ``cold`` (fresh
+    store, publishes everything), and ``warm`` (fresh cluster, the
+    cold run's store — artifacts must actually serve). When a chaos
+    schedule is supplied, all three runs execute under it.
+    """
+
+    off: SeriesResult
+    cold: ChaosReport
+    warm: ChaosReport
+    #: Windows (degraded in no run) whose digests diverge across runs.
+    mismatched_windows: List[int] = field(default_factory=list)
+    #: Invariant violations from the cold + warm chaos runs.
+    violations: List[str] = field(default_factory=list)
+    #: ``reuse.*`` counters of the warm run.
+    warm_reuse_counters: dict = field(default_factory=dict)
+
+    @property
+    def warm_hits(self) -> float:
+        return self.warm_reuse_counters.get("reuse.hits", 0.0)
+
+    @property
+    def ok(self) -> bool:
+        """The store never changed an answer — and actually served."""
+        return (
+            not self.mismatched_windows
+            and not self.violations
+            and self.warm_hits > 0
+        )
+
+    def summary(self) -> str:
+        lines = [
+            f"windows={len(self.off.windows)} "
+            f"warm_hits={self.warm_hits:.0f} "
+            f"bytes_saved={self.warm_reuse_counters.get('reuse.bytes_saved', 0.0):.0f}"
+        ]
+        if self.mismatched_windows:
+            lines.append(
+                "  DIGEST MISMATCH in windows: "
+                + ", ".join(map(str, self.mismatched_windows))
+            )
+        for violation in self.violations:
+            lines.append(f"  INVARIANT VIOLATION {violation}")
+        if self.warm_hits == 0:
+            lines.append("  WARM RUN NEVER HIT THE STORE")
+        lines.append("  verdict: " + ("OK" if self.ok else "FAILED"))
+        return "\n".join(lines)
+
+
+def run_reuse_differential(
+    config: ExperimentConfig,
+    schedule: Optional[ChaosSchedule] = None,
+    *,
+    check: bool = True,
+    backend=None,
+) -> ReuseDifferentialReport:
+    """Prove the reuse tier is answer-neutral for one workload.
+
+    The contract mirrors :func:`run_differential`: enabling the store
+    (cold), then serving a second identical tenant from it on a fresh
+    cluster (warm), must produce byte-identical window digests to the
+    store-free run — under a chaos schedule too, where degraded
+    windows (in *any* run; fault timing shifts when work is skipped)
+    are the only sanctioned divergence.
+    """
+    from ..reuse import ReuseStore
+
+    workload = build_workload(config)
+    sched = schedule if schedule is not None else ChaosSchedule(seed=0, events=())
+    off = run_redoop_series(config, label="reuse-off", workload=workload, backend=backend)
+    store = ReuseStore()
+    cold = run_chaos_series(
+        config, sched, label="reuse-cold", workload=workload,
+        check=check, backend=backend, reuse_store=store,
+    )
+    warm = run_chaos_series(
+        config, sched, label="reuse-warm", workload=workload,
+        check=check, backend=backend, reuse_store=store,
+    )
+    degraded = (
+        set(cold.degraded_windows)
+        | set(warm.degraded_windows)
+    )
+    mismatched = []
+    for i, want in enumerate(off.output_digests):
+        window = i + 1
+        if window in degraded:
+            continue
+        if (
+            cold.series.output_digests[i] != want
+            or warm.series.output_digests[i] != want
+        ):
+            mismatched.append(window)
+    warm_counters = {
+        name: value
+        for name, value in warm.series.runtime_counters.items()
+        if name.startswith("reuse.")
+    }
+    return ReuseDifferentialReport(
+        off=off,
+        cold=cold,
+        warm=warm,
+        mismatched_windows=mismatched,
+        violations=list(cold.violations) + list(warm.violations),
+        warm_reuse_counters=warm_counters,
     )

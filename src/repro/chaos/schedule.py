@@ -15,8 +15,8 @@ from __future__ import annotations
 
 import json
 import random
-from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import asdict, dataclass
+from typing import List, Optional, Sequence, Tuple
 
 __all__ = ["ChaosEvent", "ChaosSchedule", "EVENT_KINDS"]
 

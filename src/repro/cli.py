@@ -62,6 +62,7 @@ _EXPERIMENTS = {
     "ablations": "pane headers / cache levels / Eq.4 scheduling",
     "report": "per-window phase/cache/task report from a --trace-out JSON",
     "serve": "multi-tenant query server soak (churn, checkpoints, restore)",
+    "reuse-bench": "cross-query reuse store: warm-vs-cold response times",
 }
 
 
@@ -226,6 +227,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="write Chrome-trace/Perfetto JSON of the last fault-free + "
         "chaos pair here",
     )
+    chaos.add_argument(
+        "--reuse",
+        action="store_true",
+        help="run the reuse differential instead: store-off vs cold vs "
+        "warm runs under each schedule must agree on every non-degraded "
+        "window digest, and the warm run must actually hit the store",
+    )
     capacity = sub.add_parser("capacity", help=_EXPERIMENTS["capacity"])
     add_backend(capacity)
     capacity.add_argument(
@@ -383,6 +391,64 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-out",
         help="write the service trace (Chrome/Perfetto JSON) here",
     )
+    serve.add_argument(
+        "--reuse",
+        action="store_true",
+        help="attach a cross-query reuse store: overlapping tenants are "
+        "served from stored pane/window artifacts (checkpointed with the "
+        "server, so it survives --restore-from restarts)",
+    )
+    serve.add_argument(
+        "--reuse-capacity-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="bound the reuse store at this many megabytes (cost-benefit "
+        "eviction; default: unbounded; implies --reuse)",
+    )
+    reuse_bench = sub.add_parser(
+        "reuse-bench", help=_EXPERIMENTS["reuse-bench"]
+    )
+    add_backend(reuse_bench)
+    reuse_bench.add_argument(
+        "--kind",
+        choices=("aggregation", "join"),
+        default="join",
+        help="workload shape (default: join)",
+    )
+    reuse_bench.add_argument(
+        "--overlap",
+        type=float,
+        default=0.75,
+        help="window overlap factor (default 0.75)",
+    )
+    reuse_bench.add_argument(
+        "--scale",
+        type=float,
+        default=0.05,
+        help="fraction of paper-scale data volume (default 0.05)",
+    )
+    reuse_bench.add_argument(
+        "--windows", type=int, default=4, help="windows per run (default 4)"
+    )
+    reuse_bench.add_argument(
+        "--capacity-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="bound the store at this many megabytes (default: unbounded)",
+    )
+    reuse_bench.add_argument(
+        "--json-out",
+        metavar="FILE",
+        help="also write the report as JSON here",
+    )
+    reuse_bench.add_argument(
+        "--no-check",
+        action="store_true",
+        help="report numbers even when digests mismatch or the warm run "
+        "never hits (default: exit 1 on either)",
+    )
     report = sub.add_parser("report", help=_EXPERIMENTS["report"])
     report.add_argument("trace", help="trace JSON written by --trace-out")
     report.add_argument(
@@ -506,6 +572,16 @@ def _run_serve(args) -> int:
                 f"{server.now:.1f}s with tenants {server.tenants()}"
             )
         else:
+            reuse_store = None
+            if args.reuse or args.reuse_capacity_mb is not None:
+                from .reuse import ReuseStore
+
+                capacity = (
+                    max(1, int(args.reuse_capacity_mb * 2**20))
+                    if args.reuse_capacity_mb is not None
+                    else None
+                )
+                reuse_store = ReuseStore(capacity_bytes=capacity)
             server = build_server(
                 scenario,
                 checkpoint_dir=args.checkpoint_dir,
@@ -513,6 +589,7 @@ def _run_serve(args) -> int:
                     args.checkpoint_every if args.checkpoint_dir else 0
                 ),
                 backend=backend,
+                reuse_store=reuse_store,
             )
     except CheckpointError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -562,6 +639,7 @@ def _run_chaos(args) -> int:
 
     from .bench import build_workload, join_config, run_redoop_series
     from .chaos import ChaosSchedule, run_differential
+    from .chaos.oracle import run_reuse_differential
 
     backend = _backend_from(args)
     config = join_config(0.5, scale=args.scale, num_windows=args.windows)
@@ -611,7 +689,10 @@ def _run_chaos(args) -> int:
                 events_per_window=args.events_per_window,
                 exhaust_window=args.exhaust_window,
             )
-        report = run_differential(config, schedule, backend=backend)
+        if args.reuse:
+            report = run_reuse_differential(config, schedule, backend=backend)
+        else:
+            report = run_differential(config, schedule, backend=backend)
         print(report.summary())
         last_schedule, last_report = schedule, report
         if not report.ok:
@@ -625,13 +706,18 @@ def _run_chaos(args) -> int:
         kind = "failing" if failing_schedule else "last"
         print(f"wrote {kind} schedule to {args.schedule_out}")
     if args.trace_out and last_report is not None:
-        count = export_chrome_trace(
-            {
+        if args.reuse:
+            tracers = {
+                "reuse-off": last_report.off.tracer,
+                "reuse-cold": last_report.cold.series.tracer,
+                "reuse-warm": last_report.warm.series.tracer,
+            }
+        else:
+            tracers = {
                 "fault-free": last_report.baseline.tracer,
                 "chaos": last_report.chaos.series.tracer,
-            },
-            args.trace_out,
-        )
+            }
+        count = export_chrome_trace(tracers, args.trace_out)
         print(f"wrote {count} trace events to {args.trace_out}")
     if backend is not None:
         backend.close()
@@ -679,6 +765,53 @@ def _run_capacity(args) -> int:
     return 0
 
 
+def _run_reuse_bench(args) -> int:
+    """Warm-vs-cold reuse benchmark (store-off baseline included).
+
+    Exit status 0 means the warm run served from the store AND all
+    three runs agreed on every window digest; 1 means the store either
+    never hit or changed an answer (suppress with ``--no-check``).
+    """
+    from pathlib import Path
+
+    from .bench.experiments import aggregation_config, join_config
+    from .bench.reuse import run_warm_cold
+
+    backend = _backend_from(args)
+    make_config = aggregation_config if args.kind == "aggregation" else join_config
+    config = make_config(
+        args.overlap, scale=args.scale, num_windows=args.windows
+    )
+    capacity = (
+        max(1, int(args.capacity_mb * 2**20))
+        if args.capacity_mb is not None
+        else None
+    )
+    try:
+        report = run_warm_cold(
+            config, capacity_bytes=capacity, backend=backend
+        )
+    finally:
+        if backend is not None:
+            backend.close()
+    print(report.summary())
+    if args.json_out:
+        Path(args.json_out).write_text(
+            json.dumps(report.as_dict(), indent=2) + "\n"
+        )
+        print(f"wrote reuse report to {args.json_out}")
+    if not report.ok and not args.no_check:
+        print(
+            "reuse-bench: FAILED ("
+            + ("digest mismatch" if not report.digests_equal
+               else "warm run never hit the store")
+            + ")",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _run_throughput(args) -> int:
     """Wall-clock backend throughput sweep (real seconds, not virtual)."""
     from pathlib import Path
@@ -718,6 +851,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.command == "throughput":
         return _run_throughput(args)
+
+    if args.command == "reuse-bench":
+        return _run_reuse_bench(args)
 
     if args.command == "report":
         document = load_chrome_trace(args.trace)

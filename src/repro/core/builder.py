@@ -27,7 +27,7 @@ quotient at the very end).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Iterable, List, Optional, Tuple
 
 from ..hadoop.job import MapReduceJob
 from ..hadoop.types import KeyValue, Record

@@ -21,7 +21,7 @@ query. It drives three things:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Set, Tuple
 
 from .panes import WindowSpec, pane_name, parse_pane_name
 from .status_matrix import CacheStatusMatrix

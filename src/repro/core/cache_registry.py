@@ -19,7 +19,7 @@ about to run out of space.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from ..hadoop.node import TaskNode

@@ -22,7 +22,7 @@ range-encoded naming keeps every file self-describing.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..hadoop.catalog import BatchFile
@@ -206,7 +206,7 @@ class DynamicDataPacker:
         optimisation. With the header disabled (ablation), the entire
         shared file must be scanned.
         """
-        packed = self.pane(index)
+        self.pane(index)  # raise KeyError for unpacked panes
         path, header = self._written[index]
         hfile = self._hdfs.open(path)
         if header is None:

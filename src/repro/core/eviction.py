@@ -23,6 +23,16 @@ Two policies are provided:
     registered queries (the pane's residual lifespan, Sec. 4.2). Cheap
     entries about to expire anyway go first; large panes the next
     windows still need go last. Ties break by recency, then key.
+
+``cost-benefit``
+    ReStore-style (Elghandour & Aboulnaga, VLDB 2012) retention for the
+    cross-query reuse tier: each entry's benefit is
+    ``bytes x recompute-cost / staleness`` — what it would cost to
+    rebuild the artifact, weighted by how recently anything reused it.
+    Stale, cheap-to-recompute artifacts go first; large, expensive,
+    recently-hit ones survive. Works on plain cache entries too (the
+    recompute cost then defaults to the entry's size, degrading to a
+    size-weighted LRU).
 """
 
 from __future__ import annotations
@@ -33,6 +43,7 @@ from .cache_registry import CacheEntry
 
 __all__ = [
     "EVICTION_POLICIES",
+    "CostBenefitPolicy",
     "EvictionPolicy",
     "LifespanPolicy",
     "LruPolicy",
@@ -93,7 +104,34 @@ class LifespanPolicy(EvictionPolicy):
         return sorted(entries, key=score)
 
 
-EVICTION_POLICIES = ("lru", "lifespan")
+class CostBenefitPolicy(EvictionPolicy):
+    """Smallest ``bytes x recompute-cost / staleness`` first (ReStore).
+
+    ``now`` is the caller's clock in the same units as the entries'
+    ``last_used`` (the reuse store passes its monotonic use counter);
+    entries may carry a ``recompute_cost`` attribute — absent one, the
+    cost of rebuilding is approximated by the entry's own size.
+    """
+
+    name = "cost-benefit"
+
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def rank(
+        self,
+        entries: Sequence[CacheEntry],
+        remaining_uses: RemainingUses,
+    ) -> List[CacheEntry]:
+        def benefit(e: CacheEntry) -> Tuple[float, float, Tuple[str, int, int]]:
+            cost = float(getattr(e, "recompute_cost", e.size))
+            staleness = max(1.0, self.now - e.last_used)
+            return (e.size * cost / staleness, e.last_used, _entry_key(e))
+
+        return sorted(entries, key=benefit)
+
+
+EVICTION_POLICIES = ("lru", "lifespan", "cost-benefit")
 
 
 def make_policy(name: str) -> EvictionPolicy:
@@ -101,6 +139,8 @@ def make_policy(name: str) -> EvictionPolicy:
         return LruPolicy()
     if name == "lifespan":
         return LifespanPolicy()
+    if name == "cost-benefit":
+        return CostBenefitPolicy()
     raise ValueError(
         f"unknown eviction policy {name!r}; expected one of {EVICTION_POLICIES}"
     )

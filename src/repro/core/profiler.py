@@ -15,7 +15,7 @@ and the runtime uses to switch into proactive mode (Sec. 3.3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 __all__ = ["Observation", "ExecutionProfiler"]

@@ -21,8 +21,8 @@ A :class:`RecurringQuery` is a plain MapReduce job plus:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, Mapping, Optional, Tuple
 
 from ..hadoop.job import MapReduceJob
 from ..hadoop.types import KeyValue

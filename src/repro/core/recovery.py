@@ -25,10 +25,10 @@ the start of each window).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from ..hadoop.faults import FaultInjector
-from .cache_registry import REDUCE_INPUT, REDUCE_OUTPUT, cache_file_name
+from .cache_registry import cache_file_name
 from .runtime import RedoopRuntime
 
 __all__ = ["LostCache", "RecoveryManager"]

@@ -179,6 +179,13 @@ class _QueryState:
     bytes_ingested: float = 0.0
     #: snapshot of bytes_ingested at the previous recurrence.
     last_ingest_snapshot: float = 0.0
+    #: cross-query reuse fingerprints (None when the plan is
+    #: unfingerprintable or no reuse store is configured).
+    reuse_plan_fp: Optional[str] = None
+    #: source -> pane-level sub-fingerprint.
+    reuse_pane_fps: Dict[str, str] = field(default_factory=dict)
+    #: stored artifacts matching this plan at registration time.
+    reuse_match_count: int = 0
 
     def spec(self, source: str) -> WindowSpec:
         """The source's window constraints over the *shared* pane size."""
@@ -229,8 +236,15 @@ class RedoopRuntime:
         eviction policy, or are refused outright when nothing
         evictable can make room.
     eviction_policy:
-        ``"lru"`` or ``"lifespan"``; defaults to the cluster config's
-        ``cache_eviction_policy``.
+        ``"lru"``, ``"lifespan"`` or ``"cost-benefit"``; defaults to
+        the cluster config's ``cache_eviction_policy``.
+    reuse_store:
+        Optional :class:`~repro.reuse.ReuseStore` for cross-query
+        result reuse (see ``docs/reuse.md``). The runtime attaches the
+        store to this cluster's HDFS and its own counter bag; pane and
+        window outputs are published into it, and matching stored
+        artifacts seed the cache status matrix (skipping map/shuffle
+        work) or short-circuit whole recurrences.
     """
 
     def __init__(
@@ -247,6 +261,7 @@ class RedoopRuntime:
         cache_capacity_bytes: Optional[int] = None,
         eviction_policy: Optional[str] = None,
         backend: Optional[ExecBackend] = None,
+        reuse_store=None,
     ) -> None:
         self.cluster = cluster
         self.counters = Counters()
@@ -316,6 +331,16 @@ class RedoopRuntime:
         self._recurrence_cache_log: Optional[
             List[Tuple[int, str, int, int]]
         ] = None
+        #: Cross-query reuse store (None = tier disabled). Attached to
+        #: this cluster's HDFS and this runtime's counters so its
+        #: ``reuse.*`` activity lands beside the cache counters.
+        self.reuse = reuse_store
+        if reuse_store is not None:
+            reuse_store.attach(cluster.hdfs, counters=self.counters)
+        #: pane publications buffered during a recurrence; flushed only
+        #: when the window completes un-degraded (a rolled-back window
+        #: must never leave artifacts other queries could match).
+        self._pending_publishes: List[Tuple] = []
         self.controller.add_ready_listener(self._on_ready_transition)
 
     def _on_ready_transition(self, pid: str, old: int, new: int) -> None:
@@ -401,6 +426,51 @@ class RedoopRuntime:
         # The default purge cycle is the minimum registered slide, which
         # this registration may have just lowered.
         self._refresh_purge_cycles()
+        self._reuse_register(state)
+
+    def _reuse_register(self, state: _QueryState) -> None:
+        """Fingerprint a newly registered plan and probe the reuse store.
+
+        Unfingerprintable plans (lambdas, closures) opt out silently —
+        the query runs exactly as without a store. A plan whose
+        fingerprints already have stored artifacts is recorded so the
+        service layer can report the rewrite on submit.
+        """
+        if self.reuse is None:
+            return
+        from ..reuse.fingerprint import (
+            FingerprintError,
+            pane_fingerprint,
+            plan_fingerprint,
+        )
+
+        query = state.query
+        try:
+            state.reuse_plan_fp = plan_fingerprint(query)
+            state.reuse_pane_fps = {
+                src: pane_fingerprint(query, src) for src in query.sources
+            }
+        except FingerprintError:
+            state.reuse_plan_fp = None
+            state.reuse_pane_fps = {}
+            self.counters.increment("reuse.unfingerprintable")
+            return
+        fps = {state.reuse_plan_fp, *state.reuse_pane_fps.values()}
+        state.reuse_match_count = self.reuse.count_matches(fps)
+        if state.reuse_match_count:
+            self.counters.increment("reuse.plans_matched")
+            self.tracer.instant(
+                "reuse.match",
+                CAT_RUN,
+                self.cluster.clock.now,
+                parent=self._run_span,
+                query=query.name,
+                matches=state.reuse_match_count,
+            )
+
+    def reuse_matches(self, name: str) -> int:
+        """Stored reuse artifacts that matched ``name`` at registration."""
+        return self._state(name).reuse_match_count
 
     def _shared_pane(self, source: str) -> float:
         from .semantic_analyzer import shared_pane_seconds
@@ -871,52 +941,66 @@ class RedoopRuntime:
         degraded = False
         self._recurrence_cache_log = []
         try:
-            # ----- map + pane-reduce for panes lacking caches ----------
-            map_finishes: List[float] = []
-            for source in query.sources:
-                for idx in state.spec(source).panes_in_window(recurrence):
-                    work = self._ensure_pane_processed(
-                        state, source, idx, t0, counters
-                    )
-                    if work is not None and work.map_finish > t0:
-                        map_finishes.append(work.map_finish)
-
-            maps_done = max(map_finishes, default=t0)
-            first_map_done = min(map_finishes, default=t0)
-
-            # ----- combine phase (joins + finalize merge) ---------------
-            if query.num_sources == 1:
-                outputs, finish = self._combine_aggregation(
-                    state, recurrence, t0, counters
+            # ----- cross-query window short-circuit ---------------------
+            reused = (
+                self._try_reuse_window(state, recurrence, t0, counters)
+                if self.reuse is not None and self.enable_caching
+                else None
+            )
+            if reused is not None:
+                outputs, finish = reused
+                self.cluster.clock.advance_to(finish)
+                phases = PhaseTimes(
+                    map=0.0, shuffle=0.0, reduce=max(0.0, finish - t0)
                 )
+                self._close_phase_spans(t0, t0, t0, t0, finish)
             else:
-                outputs, finish = self._combine_join(
-                    state, recurrence, t0, counters
+                # ----- map + pane-reduce for panes lacking caches ------
+                map_finishes: List[float] = []
+                for source in query.sources:
+                    for idx in state.spec(source).panes_in_window(recurrence):
+                        work = self._ensure_pane_processed(
+                            state, source, idx, t0, counters
+                        )
+                        if work is not None and work.map_finish > t0:
+                            map_finishes.append(work.map_finish)
+
+                maps_done = max(map_finishes, default=t0)
+                first_map_done = min(map_finishes, default=t0)
+
+                # ----- combine phase (joins + finalize merge) -----------
+                if query.num_sources == 1:
+                    outputs, finish = self._combine_aggregation(
+                        state, recurrence, t0, counters
+                    )
+                else:
+                    outputs, finish = self._combine_join(
+                        state, recurrence, t0, counters
+                    )
+
+                finish = max(finish, maps_done, t0)
+                self.cluster.clock.advance_to(finish)
+
+                # pane-reduce finish spans double as the shuffle boundary.
+                shuffle_done = max(
+                    (
+                        f
+                        for work in state.pane_work.values()
+                        for f in work.reduce_finish.values()
+                        if f > t0
+                    ),
+                    default=maps_done,
+                )
+                shuffle_done = min(max(shuffle_done, maps_done), finish)
+                phases = PhaseTimes(
+                    map=max(0.0, maps_done - t0),
+                    shuffle=max(0.0, shuffle_done - max(first_map_done, t0)),
+                    reduce=max(0.0, finish - shuffle_done),
                 )
 
-            finish = max(finish, maps_done, t0)
-            self.cluster.clock.advance_to(finish)
-
-            # pane-reduce finish spans double as the shuffle boundary.
-            shuffle_done = max(
-                (
-                    f
-                    for work in state.pane_work.values()
-                    for f in work.reduce_finish.values()
-                    if f > t0
-                ),
-                default=maps_done,
-            )
-            shuffle_done = min(max(shuffle_done, maps_done), finish)
-            phases = PhaseTimes(
-                map=max(0.0, maps_done - t0),
-                shuffle=max(0.0, shuffle_done - max(first_map_done, t0)),
-                reduce=max(0.0, finish - shuffle_done),
-            )
-
-            self._close_phase_spans(
-                t0, maps_done, first_map_done, shuffle_done, finish
-            )
+                self._close_phase_spans(
+                    t0, maps_done, first_map_done, shuffle_done, finish
+                )
         except TaskAttemptsExhaustedError as exc:
             # Graceful degradation: a task burned every attempt. Plain
             # Hadoop fails the job; Redoop abandons only this window —
@@ -930,6 +1014,8 @@ class RedoopRuntime:
         finally:
             self._phase_spans = None
             self._recurrence_cache_log = None
+        if self.reuse is not None:
+            self._flush_pane_publishes(degraded)
         self.tracer.end(
             rec_span,
             finish,
@@ -946,6 +1032,8 @@ class RedoopRuntime:
 
         output_pairs = [pair for _p, pairs in sorted(outputs.items()) for pair in pairs]
         self._write_output(query, recurrence, output_pairs, finish)
+        if self.reuse is not None and not degraded:
+            self._reuse_publish_window(state, recurrence, output_pairs, finish)
 
         # ----- post-execution bookkeeping -------------------------------
         result = RecurrenceResult(
@@ -1148,6 +1236,12 @@ class RedoopRuntime:
         pid = state.qpid(source, idx)
         if self.enable_caching and self._pane_caches_intact(state, pid):
             counters.increment("cache.pane_hits")
+            return None
+        if (
+            self.enable_caching
+            and self.reuse is not None
+            and self._try_seed_pane(state, source, idx, start, counters)
+        ):
             return None
         partial = state.partials.pop((source, idx), None)
         if partial is not None:
@@ -1419,6 +1513,24 @@ class RedoopRuntime:
                     len(rout_pairs) * job.output_pair_size,
                     finish,
                 )
+        if self.reuse is not None:
+            routs_payload = None
+            if aggregation and all(p[1] is not None for p in prepared):
+                routs_payload = [list(p[1]) for p in prepared]
+            record = (
+                query.name,
+                source,
+                idx,
+                [list(p[0]) for p in prepared],
+                routs_payload,
+                max([map_finish, *work.reduce_finish.values()]),
+            )
+            if self._recurrence_cache_log is not None:
+                # Publication waits for the window to finish un-degraded.
+                self._pending_publishes.append(record)
+            else:
+                # Proactive seal outside a recurrence: publish now.
+                self._reuse_publish_pane(*record)
         return work
 
     @staticmethod
@@ -1850,6 +1962,393 @@ class RedoopRuntime:
         return nbytes, node_id
 
     # ------------------------------------------------------------------
+    # cross-query reuse: seeding, window short-circuit, publication
+    # ------------------------------------------------------------------
+
+    def _pane_records(
+        self, state: _QueryState, source: str, idx: int
+    ) -> Optional[Tuple[Record, ...]]:
+        """A packed pane's input records, or None when not yet sealed."""
+        packer = state.packers[source]
+        if not packer.is_packed(idx):
+            return None
+        records, _charged = packer.read_pane(idx)
+        return tuple(records)
+
+    @staticmethod
+    def _slice_records_ms(
+        records: Sequence[Record], t0_ms: int, t1_ms: int
+    ) -> List[Record]:
+        """Records whose millisecond pane-time falls in ``[t0, t1)``.
+
+        Uses the same ``+1e-9`` fudge as ``pane_of_time`` so a record
+        sitting exactly on a boundary slices into the same sub-range
+        the producer's finer-grained packer assigned it to.
+        """
+        import math
+
+        out = []
+        for r in records:
+            ts_ms = math.floor((r.ts + 1e-9) * 1000)
+            if t0_ms <= ts_ms < t1_ms:
+                out.append(r)
+        return out
+
+    def _try_seed_pane(
+        self,
+        state: _QueryState,
+        source: str,
+        idx: int,
+        start: float,
+        counters: Counters,
+    ) -> bool:
+        """Seed one pane's caches from the reuse store, all-or-nothing.
+
+        A stored artifact (exact range match, or a subsumption chain of
+        finer panes tiling the range) replaces the pane's map + shuffle
+        + sort work with a remote read + cache write per partition. The
+        fingerprint guarantees the *plan* matches; the lineage sha over
+        the producer's input records is checked against this query's
+        own pane data, so a matching plan over different data is a
+        silent miss, never a wrong answer. If any partition is refused
+        admission mid-seed, the already-seeded partitions roll back —
+        a half-seeded pane must read as uncached.
+        """
+        from ..reuse.store import records_sha
+
+        fp = state.reuse_pane_fps.get(source)
+        if fp is None:
+            return False
+        spec = state.spec(source)
+        t0, t1 = spec.pane_bounds(idx)
+        chain = self.reuse.match_pane(fp, t0, t1, source)
+        if chain is None:
+            return False
+        records = self._pane_records(state, source, idx)
+        if records is None:
+            return False
+        t0_ms, t1_ms = round(t0 * 1000), round(t1 * 1000)
+        reads = []
+        for entry in chain:
+            if (entry.t_start_ms, entry.t_end_ms) == (t0_ms, t1_ms):
+                sliced: Sequence[Record] = records
+            else:
+                sliced = self._slice_records_ms(
+                    records, entry.t_start_ms, entry.t_end_ms
+                )
+            if records_sha(sliced) != entry.lineage.input_sha:
+                self.counters.increment("reuse.lineage_mismatches")
+                return False
+            payload = self.reuse.read_pane(entry)
+            if payload is None:
+                return False
+            reads.append(payload)
+
+        query = state.query
+        job = query.job
+        if len(reads) == 1:
+            rins = [list(run) for run in reads[0][0]]
+            routs = reads[0][1]
+            routs = None if routs is None else [list(r) for r in routs]
+        else:
+            # Compose the chain: concatenate each partition's runs in
+            # time order and re-sort. sort_pairs is stable and key-only,
+            # so the composition is digest-equivalent to the full-pane
+            # run (same contract the adaptive sub-pane path relies on).
+            rins = []
+            for partition in range(job.num_reducers):
+                merged: List[KeyValue] = []
+                for chain_rins, _chain_routs in reads:
+                    merged.extend(chain_rins[partition])
+                rins.append(sort_pairs(merged))
+            routs = None
+
+        pid = state.qpid(source, idx)
+        aggregation = query.num_sources == 1
+        cost = self.cluster.cost_model
+        self._map_eligible.discard(pid)
+        work = _PaneWork(map_finish=start)
+        seeded: List[Tuple[int, int, int]] = []
+
+        def rollback() -> None:
+            for node_id, ctype, partition in reversed(seeded):
+                self.discard_cache(
+                    node_id, pid, ctype, partition,
+                    reason="reuse-aborted", drop_tasks=False,
+                )
+                if self._recurrence_cache_log is not None:
+                    try:
+                        self._recurrence_cache_log.remove(
+                            (node_id, pid, ctype, partition)
+                        )
+                    except ValueError:
+                        pass
+            state.pane_work.pop((source, idx), None)
+            self.counters.increment("reuse.seed_rejected")
+
+        total_bytes = 0
+        for partition in range(job.num_reducers):
+            run = rins[partition]
+            rin_bytes = len(run) * job.intermediate_pair_size
+            target = self._seed_target(state, partition, start)
+            duration = (
+                self.cluster.config.task_overhead
+                + cost.remote_read_time(rin_bytes)
+                + cost.cache_write_time(rin_bytes)
+            )
+            rout_pairs = None
+            rout_bytes = 0
+            if aggregation and self.enable_output_cache:
+                rout_pairs = (
+                    routs[partition]
+                    if routs is not None
+                    else self._reduce_group(job, run)
+                )
+                rout_bytes = len(rout_pairs) * job.output_pair_size
+                duration += cost.cache_write_time(rout_bytes)
+            finish = target.occupy_slot(REDUCE_SLOT, start, duration)
+            self._emit_task(
+                "pane-reduce",
+                f"reuse-seed/{pid}/p{partition}",
+                finish - duration / target.speed,
+                finish,
+                target.node_id,
+                slot="reduce",
+                bytes=rin_bytes,
+                reused=True,
+            )
+            if not self._store_cache(
+                state, target.node_id, pid, REDUCE_INPUT, partition,
+                run, rin_bytes, finish,
+            ):
+                rollback()
+                return False
+            seeded.append((target.node_id, REDUCE_INPUT, partition))
+            total_bytes += rin_bytes
+            if rout_pairs is not None:
+                # A refused rout is tolerable — the combine phase
+                # rebuilds it from the seeded reduce input.
+                if self._store_cache(
+                    state, target.node_id, pid, REDUCE_OUTPUT, partition,
+                    rout_pairs, rout_bytes, finish,
+                ):
+                    seeded.append((target.node_id, REDUCE_OUTPUT, partition))
+                    total_bytes += rout_bytes
+            work.reduce_finish[partition] = finish
+
+        state.pane_work[(source, idx)] = work
+        state.partials.pop((source, idx), None)
+        for bag in (counters, self.counters):
+            bag.increment("reuse.panes_seeded")
+            bag.increment("reuse.bytes_saved", total_bytes)
+        return True
+
+    def _seed_target(
+        self, state: _QueryState, partition: int, now: float
+    ) -> TaskNode:
+        """Node hosting a seeded partition: sticky placement, like Eq. 4."""
+        node_id = state.partition_nodes.get(partition)
+        if node_id is not None:
+            node = self.cluster.node(node_id)
+            if node.alive and not self.scheduler.is_blacklisted(node_id, now):
+                return node
+        live = sorted(n.node_id for n in self.cluster.live_nodes())
+        if not live:
+            raise RuntimeError("no live nodes to seed reuse caches onto")
+        node = self.cluster.node(live[partition % len(live)])
+        state.partition_nodes[partition] = node.node_id
+        return node
+
+    def _window_input_sha(
+        self, state: _QueryState, recurrence: int
+    ) -> Optional[Tuple[str, int, int]]:
+        """Identity of a window's full input: ``(sha, records, bytes)``.
+
+        Hashed per source over the concatenated pane records in time
+        order, so the digest is independent of pane granularity — a
+        producer whose shared GCD pane was finer still verifies.
+        Returns None while any pane of the window is unpacked.
+        """
+        from ..reuse.store import content_sha, records_sha
+
+        per_source = []
+        n_records = 0
+        n_bytes = 0
+        for source in state.query.sources:
+            recs: List[Record] = []
+            for idx in state.spec(source).panes_in_window(recurrence):
+                pane_records = self._pane_records(state, source, idx)
+                if pane_records is None:
+                    return None
+                recs.extend(pane_records)
+            per_source.append(records_sha(recs))
+            n_records += len(recs)
+            n_bytes += int(sum(r.size for r in recs))
+        return content_sha(per_source), n_records, n_bytes
+
+    def _try_reuse_window(
+        self,
+        state: _QueryState,
+        recurrence: int,
+        t0: float,
+        counters: Counters,
+    ) -> Optional[Tuple[Dict[int, List[KeyValue]], float]]:
+        """Serve a whole recurrence from a stored window artifact.
+
+        On a fingerprint + bounds + input-lineage match the recurrence
+        collapses to one remote read + HDFS write of the stored output;
+        the status matrix is marked done exactly as the combine phase
+        would have, so purge accounting and ``remaining_uses`` are
+        indistinguishable from a locally computed window.
+        """
+        fp = state.reuse_plan_fp
+        if fp is None:
+            return None
+        query = state.query
+        bounds = query.window_bounds(recurrence)
+        entry = self.reuse.match_window(fp, bounds)
+        if entry is None:
+            return None
+        identity = self._window_input_sha(state, recurrence)
+        if identity is None:
+            return None
+        if identity[0] != entry.lineage.input_sha:
+            self.counters.increment("reuse.lineage_mismatches")
+            return None
+        pairs = self.reuse.read_window(entry)
+        if pairs is None:
+            return None
+        cost = self.cluster.cost_model
+        out_bytes = entry.size
+        duration = (
+            self.cluster.config.task_overhead
+            + cost.remote_read_time(out_bytes)
+            + cost.hdfs_write_time(out_bytes)
+        )
+        live = sorted(self.cluster.live_nodes(), key=lambda n: n.node_id)
+        if not live:
+            return None
+        node = live[0]
+        finish = node.occupy_slot(REDUCE_SLOT, t0, duration)
+        self._emit_task(
+            "combine",
+            f"reuse-window/w{recurrence}",
+            finish - duration / node.speed,
+            finish,
+            node.node_id,
+            slot="reduce",
+            bytes=out_bytes,
+            reused=True,
+        )
+        matrix = self.controller.matrix(query.name)
+        if query.num_sources == 1:
+            source = query.sources[0]
+            for idx in state.spec(source).panes_in_window(recurrence):
+                matrix.mark_done({state.qsource(source): idx})
+        else:
+            window_panes = {
+                src: state.spec(src).panes_in_window(recurrence)
+                for src in query.sources
+            }
+            for combo in self._window_combinations(window_panes):
+                matrix.mark_done(
+                    {state.qsource(src): idx for src, idx in combo.items()}
+                )
+        for bag in (counters, self.counters):
+            bag.increment("reuse.window_hits")
+            bag.increment("reuse.bytes_saved", out_bytes)
+        return {0: list(pairs)}, finish
+
+    def _reuse_publish_pane(
+        self,
+        query_name: str,
+        source: str,
+        idx: int,
+        rins: List[List[KeyValue]],
+        routs: Optional[List[List[KeyValue]]],
+        created_at: float,
+    ) -> None:
+        from ..reuse.store import ReuseLineage, records_sha
+
+        state = self._states.get(query_name)
+        if state is None:
+            return
+        fp = state.reuse_pane_fps.get(source)
+        if fp is None:
+            return
+        t0, t1 = state.spec(source).pane_bounds(idx)
+        if self.reuse.has_pane(fp, t0, t1, source):
+            return
+        records = self._pane_records(state, source, idx)
+        if records is None:
+            return
+        job = state.query.job
+        input_bytes = int(sum(r.size for r in records))
+        lineage = ReuseLineage(
+            producer=query_name,
+            job=job.name,
+            created_at=created_at,
+            input_records=len(records),
+            input_bytes=input_bytes,
+            input_sha=records_sha(records),
+            recompute_cost=float(max(1, input_bytes)),
+        )
+        self.reuse.publish_pane(
+            fp, source, t0, t1, rins, routs,
+            pair_size=job.intermediate_pair_size,
+            out_pair_size=job.output_pair_size,
+            lineage=lineage,
+        )
+
+    def _flush_pane_publishes(self, degraded: bool) -> None:
+        """Publish panes buffered during the finished recurrence.
+
+        A degraded window drops its buffer: its caches were rolled
+        back, and artifacts from an abandoned window must never be
+        matchable by other queries.
+        """
+        pending, self._pending_publishes = self._pending_publishes, []
+        if degraded or self.reuse is None:
+            return
+        for record in pending:
+            self._reuse_publish_pane(*record)
+
+    def _reuse_publish_window(
+        self,
+        state: _QueryState,
+        recurrence: int,
+        output_pairs: List[KeyValue],
+        finish: float,
+    ) -> None:
+        from ..reuse.store import ReuseLineage
+
+        fp = state.reuse_plan_fp
+        if fp is None:
+            return
+        query = state.query
+        bounds = query.window_bounds(recurrence)
+        if self.reuse.has_window(fp, bounds):
+            return
+        identity = self._window_input_sha(state, recurrence)
+        if identity is None:
+            return
+        input_sha, n_records, n_bytes = identity
+        lineage = ReuseLineage(
+            producer=query.name,
+            job=query.job.name,
+            created_at=finish,
+            input_records=n_records,
+            input_bytes=n_bytes,
+            input_sha=input_sha,
+            recompute_cost=float(max(1, n_bytes)),
+        )
+        self.reuse.publish_window(
+            fp, bounds, output_pairs,
+            out_pair_size=query.job.output_pair_size,
+            lineage=lineage,
+        )
+
+    # ------------------------------------------------------------------
     # cache plumbing
     # ------------------------------------------------------------------
 
@@ -1979,7 +2478,7 @@ class RedoopRuntime:
         payload: Any,
         nbytes: int,
         now: float,
-    ) -> None:
+    ) -> bool:
         registry = self._registry(node_id)
         if not self._make_room(registry, pid, cache_type, partition, nbytes, now):
             # Budget refusal: the write is dropped, not the window. A
@@ -1995,7 +2494,7 @@ class RedoopRuntime:
                     payload,
                     created_at=now,
                 )
-            return
+            return False
         registry.add_entry(pid, cache_type, partition, nbytes, payload, now=now)
         self.controller.cache_created(pid, cache_type, partition, node_id)
         self.counters.increment("cache.bytes_written", nbytes)
@@ -2003,6 +2502,7 @@ class RedoopRuntime:
             self._recurrence_cache_log.append(
                 (node_id, pid, cache_type, partition)
             )
+        return True
 
     def discard_cache(
         self,
@@ -2047,6 +2547,11 @@ class RedoopRuntime:
         elif reason == "evicted":
             # Planned invalidation under the byte budget, not a fault.
             self.counters.increment("cache.evicted")
+        elif reason == "reuse-aborted":
+            # All-or-nothing seeding rollback: a later partition of a
+            # store-seeded pane was refused admission, so the earlier
+            # ones retract (a half-seeded pane must read as uncached).
+            self.counters.increment("reuse.seed_rollbacks")
         else:
             self.counters.increment("faults.caches_destroyed")
         self.tracer.instant(
@@ -2119,6 +2624,22 @@ class RedoopRuntime:
         }
         state.pane_work = {
             key: work for key, work in state.pane_work.items() if key in current
+        }
+        # Drop proactive partials for panes that have left the window —
+        # they can never seal into a future window. Without this, panes
+        # skipped wholesale (cache hit, reuse seed, window-level reuse)
+        # would leak their partial map state forever.
+        first_next = {
+            src: min(
+                state.spec(src).panes_in_window(result.recurrence + 1),
+                default=0,
+            )
+            for src in query.sources
+        }
+        state.partials = {
+            (src, idx): partial
+            for (src, idx), partial in state.partials.items()
+            if idx >= first_next.get(src, 0)
         }
 
         # Expiration + purge notifications (PurgeCycle = slide).

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping
 
 from ..hadoop.config import ClusterConfig
 from .panes import WindowSpec
@@ -93,6 +93,22 @@ class PartitionPlan:
         if pane_index < 0:
             raise ValueError("pane indices are non-negative")
         return pane_index // self.panes_per_file
+
+
+def pane_divides(finer: float, coarser: float) -> bool:
+    """Does pane size ``finer`` tile pane size ``coarser`` exactly?
+
+    Millisecond-exact, like every pane computation in the analyzer. The
+    cross-query reuse store uses this to decide subsumption: a stored
+    artifact materialised at a finer pane granularity can be composed
+    into a new query's coarser GCD pane only when the finer pane
+    divides it (otherwise stored ranges cannot tile the new pane).
+    """
+    finer_ms = round(finer * 1000)
+    coarser_ms = round(coarser * 1000)
+    if finer_ms <= 0 or coarser_ms <= 0:
+        return False
+    return coarser_ms % finer_ms == 0
 
 
 def shared_pane_seconds(specs: "list[WindowSpec]") -> float:

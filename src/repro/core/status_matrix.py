@@ -23,7 +23,7 @@ done — so discarding them loses no information.
 from __future__ import annotations
 
 from itertools import product
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Sequence, Set, Tuple
+from typing import Dict, List, Mapping, Sequence, Set, Tuple
 
 from .panes import WindowSpec
 

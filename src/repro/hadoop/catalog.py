@@ -11,9 +11,8 @@ relevant to a window without scanning record contents.
 
 from __future__ import annotations
 
-import bisect
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 __all__ = ["BatchFile", "BatchCatalog"]
 

@@ -10,7 +10,7 @@ are apples-to-apples.
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterator, List, Optional, Set
+from typing import Dict, Iterator, List, Optional
 
 from .config import ClusterConfig, DEFAULT_CONFIG
 from .costmodel import CostModel

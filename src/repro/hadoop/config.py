@@ -9,7 +9,7 @@ matching the SOPA observation the paper relies on for Eq. 4.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional
 
 from .types import MEGABYTE

@@ -9,7 +9,7 @@ byte- and record-level work the cost model charges for.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, Mapping, Tuple
 
 __all__ = ["Counters", "PhaseTimes"]

@@ -14,8 +14,8 @@ from __future__ import annotations
 
 import fnmatch
 import random
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
 
 from .config import ClusterConfig
 from .counters import Counters
@@ -132,6 +132,28 @@ class SimulatedHDFS:
         self.counters.increment("hdfs.bytes_written", size)
         self.counters.increment("hdfs.files_created")
         return hfile
+
+    def create_isolated(
+        self,
+        path: str,
+        records: Sequence[Record],
+        *,
+        created_at: float = 0.0,
+    ) -> HDFSFile:
+        """Like :meth:`create`, without advancing the placement RNG.
+
+        For bookkeeping side-files (e.g. reuse-store artifacts) written
+        *during* a simulation: block placement draws from a throwaway
+        RNG keyed on the path, so whether such a file is written has no
+        effect on where every later file's replicas land — runs with
+        and without the side-channel stay placement-identical.
+        """
+        state = self._rng.getstate()
+        self._rng.seed(path)
+        try:
+            return self.create(path, records, created_at=created_at)
+        finally:
+            self._rng.setstate(state)
 
     def open(self, path: str) -> HDFSFile:
         """Return the file at ``path``.

@@ -20,7 +20,7 @@ Functions follow Hadoop's contracts:
 from __future__ import annotations
 
 import zlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Optional
 
 from .types import KeyValue, Record

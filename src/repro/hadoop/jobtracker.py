@@ -21,7 +21,7 @@ task does. Phase spans are recorded the way the paper measures them
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.exec import ExecBackend, SerialBackend
 from repro.trace import CAT_JOB, CAT_PHASE, CAT_RUN, CAT_TASK, Span, Tracer
@@ -178,7 +178,6 @@ class JobTracker:
             a ``"window"`` key labels it for per-window reports.
         """
         cluster = self.cluster
-        cost = cluster.cost_model
         counters = Counters()
         t_submit = max(cluster.clock.now, start if start is not None else 0.0)
         t0 = t_submit + cluster.config.job_overhead

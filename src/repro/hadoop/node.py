@@ -14,8 +14,8 @@ which is exactly why cache loss on node failure needs special recovery
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, List
 
 __all__ = ["LocalFile", "TaskNode", "SlotKind", "NodeError"]
 

@@ -11,7 +11,7 @@ windows is paid again each time — the inefficiency Redoop removes.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.trace import Tracer
 

@@ -9,8 +9,8 @@ functions are pure data transformations.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Sequence
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
 
 from .job import MapReduceJob
 from .shuffle import (

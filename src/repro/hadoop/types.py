@@ -13,8 +13,8 @@ charge I/O without serialising anything.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Iterable, Iterator, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Sequence, Tuple
 
 __all__ = [
     "Record",

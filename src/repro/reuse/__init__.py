@@ -1,0 +1,40 @@
+"""Cross-query result reuse: fingerprints, store, and rewrite support.
+
+Redoop's intra-query caches (paper Sec. 4) share pane work only among
+queries co-registered at the same instant. This package adds the
+ReStore-style tier above them: pane and window outputs are fingerprinted
+by plan semantics, materialized into the simulated HDFS with lineage and
+checksums, and offered to *later* queries — other tenants, later
+submissions, restarted servers — whose plans match exactly or by pane
+subsumption. See ``docs/reuse.md``.
+"""
+
+from .fingerprint import (
+    FINGERPRINT_SCHEMA,
+    FingerprintError,
+    callable_fingerprint,
+    pane_fingerprint,
+    plan_fingerprint,
+)
+from .store import (
+    REUSE_CACHE_TYPE,
+    ReuseEntry,
+    ReuseLineage,
+    ReuseStore,
+    content_sha,
+    records_sha,
+)
+
+__all__ = [
+    "FINGERPRINT_SCHEMA",
+    "FingerprintError",
+    "REUSE_CACHE_TYPE",
+    "ReuseEntry",
+    "ReuseLineage",
+    "ReuseStore",
+    "callable_fingerprint",
+    "content_sha",
+    "pane_fingerprint",
+    "plan_fingerprint",
+    "records_sha",
+]

@@ -1,0 +1,564 @@
+"""The cross-query result-reuse store (ReStore for recurring queries).
+
+A :class:`ReuseStore` materializes pane- and window-level outputs into
+the simulated HDFS so that *later* queries — submitted minutes later,
+by another tenant, or after a server restart — can skip map/shuffle
+work Redoop's intra-query caches can no longer help with. Three layers:
+
+**Artifacts.** A pane artifact holds one time range's per-partition
+reduce-input runs (and, for aggregations, the pane's reduce-output
+partials); a window artifact holds a recurrence's final output pairs.
+Every artifact is addressed by a semantic fingerprint (see
+:mod:`repro.reuse.fingerprint`) plus its millisecond-exact time range,
+carries a full-content sha256 per file, and records lineage — who
+produced it, from how much input, and a sha over that *input* so a
+match is honored only when the consumer's pane files hold byte-for-byte
+the same records (same plan + same range is not enough: a different
+workload seed must never be served another seed's answers).
+
+**Matching.** Exact lookups key on ``(fingerprint, range)``. Pane
+lookups additionally try *subsumption*: when stored artifacts at a
+finer pane granularity exactly tile the requested range (their
+granularity divides the new query's GCD pane —
+:func:`~repro.core.semantic_analyzer.pane_divides`), the chain is
+returned for the runtime to compose.
+
+**Retention.** The store is budget-bounded. Admission and eviction run
+through the shared :mod:`repro.core.eviction` machinery with the
+ReStore-style :class:`~repro.core.eviction.CostBenefitPolicy`: benefit
+is ``bytes x recompute-cost / staleness`` on the store's monotonic use
+clock. Corrupt-on-read artifacts (checksum mismatch, missing file) are
+discarded immediately, mirroring the runtime's cache discard path.
+
+The store is picklable and travels inside service checkpoints; it can
+also be re-attached to a *new* cluster's HDFS (:meth:`attach`
+re-materializes every artifact), and saved/loaded standalone
+(:meth:`save` / :meth:`load`) for warm-start benchmarks across
+processes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.eviction import CostBenefitPolicy, select_victims
+from ..core.semantic_analyzer import pane_divides
+from ..hadoop.counters import Counters
+from ..hadoop.types import Record
+
+__all__ = [
+    "REUSE_CACHE_TYPE",
+    "ReuseEntry",
+    "ReuseLineage",
+    "ReuseStore",
+    "content_sha",
+    "records_sha",
+]
+
+#: Cache-type tag reuse entries expose to the shared eviction machinery
+#: (the node registries use 1=reduce-input, 2=reduce-output).
+REUSE_CACHE_TYPE = 3
+
+
+def _ms(seconds: float) -> int:
+    return int(round(seconds * 1000))
+
+
+def content_sha(payload: Sequence[Any]) -> str:
+    """Full sha256 over a payload's canonical (repr) form."""
+    joined = "\n".join(map(repr, payload))
+    return hashlib.sha256(joined.encode("utf-8")).hexdigest()
+
+
+def records_sha(records: Sequence[Record]) -> str:
+    """Input-lineage digest: sha256 over the records themselves."""
+    return content_sha(records)
+
+
+@dataclass(slots=True)
+class ReuseLineage:
+    """Provenance of one artifact, for audit and input verification."""
+
+    producer: str  #: query name that published the artifact
+    job: str  #: job name it ran under
+    created_at: float  #: virtual time of publication
+    input_records: int  #: records in the producing input range
+    input_bytes: int  #: bytes of that input range
+    input_sha: str  #: sha256 over the input records (identity guard)
+    #: Estimated cost of recomputing the artifact from HDFS, in input
+    #: bytes — the cost term of the ReStore benefit score.
+    recompute_cost: float = 0.0
+
+
+@dataclass
+class ReuseEntry:
+    """One stored artifact: a pane's runs or a window's output."""
+
+    key: str  #: canonical store key (also the HDFS path stem)
+    fingerprint: str
+    kind: str  #: ``"pane"`` or ``"window"``
+    source: str  #: source name; ``""`` for window artifacts
+    t_start_ms: int
+    t_end_ms: int
+    partitions: int  #: reduce partitions (1 for window artifacts)
+    has_rout: bool
+    size: int  #: total payload bytes across all files
+    checksums: Dict[str, str]  #: file suffix -> sha256 of its payload
+    lineage: ReuseLineage
+    hits: int = 0
+    last_used: int = 0  #: store use-clock value of the last read
+
+    # Duck-typed CacheEntry surface for repro.core.eviction.
+    @property
+    def pid(self) -> str:
+        return self.key
+
+    @property
+    def cache_type(self) -> int:
+        return REUSE_CACHE_TYPE
+
+    @property
+    def partition(self) -> int:
+        return 0
+
+    @property
+    def recompute_cost(self) -> float:
+        return max(1.0, self.lineage.recompute_cost)
+
+    @property
+    def pane_ms(self) -> int:
+        return self.t_end_ms - self.t_start_ms
+
+    def paths(self) -> List[str]:
+        return [f"/reuse/{self.key}/{suffix}" for suffix in sorted(self.checksums)]
+
+
+def _pane_key(fingerprint: str, source: str, t0_ms: int, t1_ms: int) -> str:
+    return f"pane/{fingerprint}/{source}/{t0_ms}-{t1_ms}"
+
+
+def _bounds_token(bounds: Mapping[str, Tuple[float, float]]) -> str:
+    return ";".join(
+        f"{src}:{_ms(bounds[src][0])}-{_ms(bounds[src][1])}"
+        for src in sorted(bounds)
+    )
+
+
+def _window_key(fingerprint: str, bounds: Mapping[str, Tuple[float, float]]) -> str:
+    return f"window/{fingerprint}/{_bounds_token(bounds)}"
+
+
+class ReuseStore:
+    """Budget-bounded, checksummed cross-query artifact store.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Byte budget for all stored artifacts; ``None`` = unbounded.
+        Publications that would overflow it evict lowest-benefit
+        entries first (cost-benefit policy) and are rejected when even
+        that cannot make room.
+    hdfs:
+        The simulated HDFS to materialize into. May be attached later
+        (and re-attached to a different cluster) via :meth:`attach`.
+    counters:
+        Counter bag for the ``reuse.*`` family; the owning runtime
+        injects its own bag on attach so store activity lands next to
+        cache and scheduler counters.
+    """
+
+    def __init__(
+        self,
+        *,
+        capacity_bytes: Optional[int] = None,
+        hdfs=None,
+        counters: Optional[Counters] = None,
+    ) -> None:
+        if capacity_bytes is not None and capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive when set")
+        self.capacity_bytes = capacity_bytes
+        self.counters = counters if counters is not None else Counters()
+        self._entries: Dict[str, ReuseEntry] = {}
+        self._hdfs = None
+        #: path -> (records, created_at) staged while detached from HDFS.
+        self._staged: Dict[str, Tuple[Tuple[Record, ...], float]] = {}
+        self._use_clock = 0
+        if hdfs is not None:
+            self.attach(hdfs)
+
+    # ------------------------------------------------------------------
+    # attachment and persistence
+    # ------------------------------------------------------------------
+
+    def attach(self, hdfs, *, counters: Optional[Counters] = None) -> None:
+        """(Re-)materialize every artifact into ``hdfs``.
+
+        Idempotent for the currently attached filesystem. Attaching to
+        a *different* cluster's HDFS (warm start, server restart on a
+        fresh cluster) copies every artifact's records across; entries
+        whose bytes cannot be recovered are dropped through the corrupt
+        path rather than left dangling.
+        """
+        if counters is not None:
+            self.counters = counters
+        if hdfs is self._hdfs:
+            return
+        payloads: Dict[str, Tuple[Tuple[Record, ...], float]] = {}
+        lost: List[ReuseEntry] = []
+        for key in sorted(self._entries):
+            entry = self._entries[key]
+            ok = True
+            for path in entry.paths():
+                if self._hdfs is not None and self._hdfs.exists(path):
+                    f = self._hdfs.open(path)
+                    payloads[path] = (f.records, f.created_at)
+                elif path in self._staged:
+                    payloads[path] = self._staged[path]
+                else:
+                    ok = False
+                    break
+            if not ok:
+                lost.append(entry)
+        for entry in lost:
+            self.discard(entry, reason="corrupt")
+        self._hdfs = hdfs
+        self._staged.clear()
+        for key in sorted(self._entries):
+            for path in self._entries[key].paths():
+                records, created_at = payloads[path]
+                if hdfs.exists(path):
+                    hdfs.delete(path)
+                hdfs.create_isolated(path, records, created_at=created_at)
+
+    def save(self, path) -> None:
+        """Persist the manifest plus every artifact's records to a file."""
+        files: Dict[str, Tuple[Tuple[Record, ...], float]] = {}
+        for key in sorted(self._entries):
+            for p in self._entries[key].paths():
+                if self._hdfs is not None and self._hdfs.exists(p):
+                    f = self._hdfs.open(p)
+                    files[p] = (f.records, f.created_at)
+                elif p in self._staged:
+                    files[p] = self._staged[p]
+        blob = {
+            "entries": self._entries,
+            "files": files,
+            "use_clock": self._use_clock,
+            "capacity_bytes": self.capacity_bytes,
+        }
+        with open(path, "wb") as fh:
+            pickle.dump(blob, fh)
+
+    @classmethod
+    def load(cls, path, *, hdfs=None, counters=None) -> "ReuseStore":
+        """Rebuild a store saved with :meth:`save`; optionally attach."""
+        with open(path, "rb") as fh:
+            blob = pickle.load(fh)
+        store = cls(capacity_bytes=blob["capacity_bytes"], counters=counters)
+        store._entries = blob["entries"]
+        store._staged = dict(blob["files"])
+        store._use_clock = blob["use_clock"]
+        if hdfs is not None:
+            store.attach(hdfs)
+        return store
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def entries(self) -> List[ReuseEntry]:
+        return [self._entries[k] for k in sorted(self._entries)]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(e.size for e in self._entries.values())
+
+    @property
+    def hdfs(self):
+        return self._hdfs
+
+    def count_matches(self, fingerprints) -> int:
+        """Stored artifacts whose fingerprint is in ``fingerprints``."""
+        wanted = set(fingerprints)
+        return sum(1 for e in self._entries.values() if e.fingerprint in wanted)
+
+    # ------------------------------------------------------------------
+    # publication
+    # ------------------------------------------------------------------
+
+    def has_pane(self, fingerprint: str, t0: float, t1: float, source: str) -> bool:
+        return _pane_key(fingerprint, source, _ms(t0), _ms(t1)) in self._entries
+
+    def has_window(
+        self, fingerprint: str, bounds: Mapping[str, Tuple[float, float]]
+    ) -> bool:
+        return _window_key(fingerprint, bounds) in self._entries
+
+    def publish_pane(
+        self,
+        fingerprint: str,
+        source: str,
+        t0: float,
+        t1: float,
+        rins: Sequence[Sequence[Any]],
+        routs: Optional[Sequence[Sequence[Any]]],
+        *,
+        pair_size: int,
+        out_pair_size: int,
+        lineage: ReuseLineage,
+    ) -> bool:
+        """Materialize one pane's per-partition runs; returns success.
+
+        Idempotent: a pane already stored under the same key is left
+        untouched. Rejection (budget) and acceptance are both silent to
+        the producer — publication must never affect its own window.
+        """
+        key = _pane_key(fingerprint, source, _ms(t0), _ms(t1))
+        if key in self._entries:
+            return False
+        if routs is not None and len(routs) != len(rins):
+            raise ValueError("rout partition count must match rin partition count")
+        files: Dict[str, Tuple[List[Any], int]] = {}
+        for p, run in enumerate(rins):
+            files[f"rin-p{p:05d}"] = (list(run), len(run) * pair_size)
+        if routs is not None:
+            for p, run in enumerate(routs):
+                files[f"rout-p{p:05d}"] = (list(run), len(run) * out_pair_size)
+        entry = ReuseEntry(
+            key=key,
+            fingerprint=fingerprint,
+            kind="pane",
+            source=source,
+            t_start_ms=_ms(t0),
+            t_end_ms=_ms(t1),
+            partitions=len(rins),
+            has_rout=routs is not None,
+            size=sum(nbytes for _payload, nbytes in files.values()),
+            checksums={},
+            lineage=lineage,
+        )
+        return self._admit(entry, files)
+
+    def publish_window(
+        self,
+        fingerprint: str,
+        bounds: Mapping[str, Tuple[float, float]],
+        pairs: Sequence[Any],
+        *,
+        out_pair_size: int,
+        lineage: ReuseLineage,
+    ) -> bool:
+        """Materialize one recurrence's final output pairs."""
+        key = _window_key(fingerprint, bounds)
+        if key in self._entries:
+            return False
+        starts = [_ms(lo) for lo, _hi in bounds.values()]
+        ends = [_ms(hi) for _lo, hi in bounds.values()]
+        entry = ReuseEntry(
+            key=key,
+            fingerprint=fingerprint,
+            kind="window",
+            source="",
+            t_start_ms=min(starts),
+            t_end_ms=max(ends),
+            partitions=1,
+            has_rout=False,
+            size=len(pairs) * out_pair_size,
+            checksums={},
+            lineage=lineage,
+        )
+        return self._admit(entry, {"out": (list(pairs), entry.size)})
+
+    def _admit(
+        self, entry: ReuseEntry, files: Mapping[str, Tuple[List[Any], int]]
+    ) -> bool:
+        if self._hdfs is None:
+            raise RuntimeError("reuse store is not attached to an HDFS")
+        if not self._make_room(entry.size):
+            self.counters.increment("reuse.admission_rejected")
+            return False
+        entry.last_used = self._tick()
+        for suffix in sorted(files):
+            payload, nbytes = files[suffix]
+            entry.checksums[suffix] = content_sha(payload)
+            path = f"/reuse/{entry.key}/{suffix}"
+            if self._hdfs.exists(path):
+                self._hdfs.delete(path)
+            records = tuple(
+                Record(
+                    ts=entry.lineage.created_at,
+                    value=pair,
+                    size=max(1, nbytes // max(1, len(payload))),
+                )
+                for pair in payload
+            )
+            self._hdfs.create_isolated(
+                path, records, created_at=entry.lineage.created_at
+            )
+        self._entries[entry.key] = entry
+        self.counters.increment("reuse.publishes")
+        self.counters.increment("reuse.bytes_published", entry.size)
+        return True
+
+    def _make_room(self, need: int) -> bool:
+        cap = self.capacity_bytes
+        if cap is None:
+            return True
+        if need > cap:
+            return False
+        overflow = self.total_bytes + need - cap
+        if overflow <= 0:
+            return True
+        policy = CostBenefitPolicy(now=float(self._use_clock))
+        victims = select_victims(
+            policy, self.entries(), overflow, lambda _pid: 0
+        )
+        if sum(v.size for v in victims) < overflow:
+            return False
+        for victim in victims:
+            self.discard(victim, reason="evicted")
+        return True
+
+    # ------------------------------------------------------------------
+    # matching
+    # ------------------------------------------------------------------
+
+    def match_pane(
+        self, fingerprint: str, t0: float, t1: float, source: str
+    ) -> Optional[List[ReuseEntry]]:
+        """Stored pane entries covering ``[t0, t1)`` exactly, or None.
+
+        A single-entry result is an exact match; a multi-entry result
+        is a subsumption chain of finer-granularity artifacts, in time
+        order, whose granularity divides the requested pane and whose
+        ranges tile it without gap or overlap.
+        """
+        t0_ms, t1_ms = _ms(t0), _ms(t1)
+        exact = self._entries.get(_pane_key(fingerprint, source, t0_ms, t1_ms))
+        if exact is not None:
+            return [exact]
+        span = (t1 - t0) if t1 > t0 else 0.0
+        by_start: Dict[int, ReuseEntry] = {}
+        for key in sorted(self._entries):
+            e = self._entries[key]
+            if (
+                e.kind != "pane"
+                or e.fingerprint != fingerprint
+                or e.source != source
+                or e.t_start_ms < t0_ms
+                or e.t_end_ms > t1_ms
+                or not pane_divides(e.pane_ms / 1000.0, span)
+            ):
+                continue
+            best = by_start.get(e.t_start_ms)
+            # Prefer the coarsest stored granularity (fewest pieces).
+            if best is None or e.t_end_ms > best.t_end_ms:
+                by_start[e.t_start_ms] = e
+        chain: List[ReuseEntry] = []
+        cursor = t0_ms
+        while cursor < t1_ms:
+            e = by_start.get(cursor)
+            if e is None:
+                self.counters.increment("reuse.misses")
+                return None
+            chain.append(e)
+            cursor = e.t_end_ms
+        if cursor != t1_ms or not chain:
+            self.counters.increment("reuse.misses")
+            return None
+        return chain
+
+    def match_window(
+        self, fingerprint: str, bounds: Mapping[str, Tuple[float, float]]
+    ) -> Optional[ReuseEntry]:
+        entry = self._entries.get(_window_key(fingerprint, bounds))
+        if entry is None:
+            self.counters.increment("reuse.misses")
+        return entry
+
+    # ------------------------------------------------------------------
+    # reads (checksum-verified)
+    # ------------------------------------------------------------------
+
+    def read_pane(
+        self, entry: ReuseEntry
+    ) -> Optional[Tuple[List[List[Any]], Optional[List[List[Any]]]]]:
+        """Read one pane artifact's runs: ``(rins, routs_or_None)``.
+
+        Any missing or checksum-mismatched file drops the whole entry
+        through the corrupt path and returns ``None`` — a torn artifact
+        must never be partially served.
+        """
+        rins: List[List[Any]] = []
+        for p in range(entry.partitions):
+            payload = self._read_file(entry, f"rin-p{p:05d}")
+            if payload is None:
+                return None
+            rins.append(payload)
+        routs: Optional[List[List[Any]]] = None
+        if entry.has_rout:
+            routs = []
+            for p in range(entry.partitions):
+                payload = self._read_file(entry, f"rout-p{p:05d}")
+                if payload is None:
+                    return None
+                routs.append(payload)
+        self._record_hit(entry)
+        return rins, routs
+
+    def read_window(self, entry: ReuseEntry) -> Optional[List[Any]]:
+        """Read a window artifact's final output pairs (or None)."""
+        payload = self._read_file(entry, "out")
+        if payload is None:
+            return None
+        self._record_hit(entry)
+        return payload
+
+    def _read_file(self, entry: ReuseEntry, suffix: str) -> Optional[List[Any]]:
+        if self._hdfs is None:
+            raise RuntimeError("reuse store is not attached to an HDFS")
+        path = f"/reuse/{entry.key}/{suffix}"
+        want = entry.checksums.get(suffix)
+        if want is None or not self._hdfs.exists(path):
+            self.discard(entry, reason="corrupt")
+            return None
+        payload = [r.value for r in self._hdfs.read_records(path)]
+        if content_sha(payload) != want:
+            self.discard(entry, reason="corrupt")
+            return None
+        return payload
+
+    def _record_hit(self, entry: ReuseEntry) -> None:
+        entry.hits += 1
+        entry.last_used = self._tick()
+        self.counters.increment("reuse.hits")
+
+    def _tick(self) -> int:
+        self._use_clock += 1
+        return self._use_clock
+
+    # ------------------------------------------------------------------
+    # discard (the store's corrupt/evicted funnel)
+    # ------------------------------------------------------------------
+
+    def discard(self, entry: ReuseEntry, *, reason: str) -> None:
+        """Drop an artifact and its files; mirrors the cache discard path."""
+        if self._entries.pop(entry.key, None) is None:
+            return
+        if self._hdfs is not None:
+            for path in entry.paths():
+                if self._hdfs.exists(path):
+                    self._hdfs.delete(path)
+        for path in entry.paths():
+            self._staged.pop(path, None)
+        if reason == "evicted":
+            self.counters.increment("reuse.evicted")
+            self.counters.increment("reuse.bytes_evicted", entry.size)
+        else:
+            self.counters.increment("reuse.corrupt_dropped")

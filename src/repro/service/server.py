@@ -176,6 +176,17 @@ class QueryServer:
                 )
         self.counters.increment("service.queries_submitted")
         self._event("submit", query=spec.name, factory=spec.factory)
+        # Rewrite-on-submit: when the runtime's reuse store already
+        # holds artifacts matching this plan's fingerprints, the tenant
+        # will be served from them instead of recomputing — surface the
+        # rewrite at submit time so operators can see it happened.
+        if getattr(self.runtime, "reuse", None) is not None:
+            matches = self.runtime.reuse_matches(spec.name)
+            if matches:
+                self.counters.increment("reuse.rewrites")
+                self._event(
+                    "reuse-rewrite", query=spec.name, matches=matches
+                )
         return query
 
     def pause(self, name: str) -> None:

@@ -24,7 +24,7 @@ rides in each event's ``args``.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+from typing import Any, Dict, List, Mapping, Tuple, Union
 
 from .spine import Span, Tracer
 

@@ -13,8 +13,7 @@ workload).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Iterator, List, Sequence, Set, Tuple
+from typing import Callable, Iterator, List, Set, Tuple
 
 from ..hadoop.catalog import BatchFile
 from ..hadoop.types import Record

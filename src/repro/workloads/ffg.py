@@ -16,10 +16,9 @@ by the number of players and per-interval sample counts.
 
 from __future__ import annotations
 
-import math
 import random
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from ..hadoop.types import Record
 
@@ -57,10 +56,11 @@ def generate_position_records(
     t_end: float,
     rate: float,
     *,
-    config: FFGConfig = FFGConfig(),
+    config: Optional[FFGConfig] = None,
     seed: int = 0,
 ) -> List[Record]:
     """Player position samples covering ``[t_start, t_end)``."""
+    config = config if config is not None else FFGConfig()
     count = _count(rate, t_start, t_end, config.record_size)
     rng = random.Random((seed, "pos", round(t_start * 1000)).__hash__())
     duration = t_end - t_start
@@ -90,10 +90,11 @@ def generate_event_records(
     t_end: float,
     rate: float,
     *,
-    config: FFGConfig = FFGConfig(),
+    config: Optional[FFGConfig] = None,
     seed: int = 0,
 ) -> List[Record]:
     """Per-player event annotations covering ``[t_start, t_end)``."""
+    config = config if config is not None else FFGConfig()
     count = _count(rate, t_start, t_end, config.record_size)
     rng = random.Random((seed, "evt", round(t_start * 1000)).__hash__())
     duration = t_end - t_start

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Iterator, List
+from typing import List, Optional
 
 from ..hadoop.types import Record
 
@@ -54,7 +54,7 @@ def generate_wcc_records(
     t_end: float,
     rate: float,
     *,
-    config: WCCConfig = WCCConfig(),
+    config: Optional[WCCConfig] = None,
     seed: int = 0,
 ) -> List[Record]:
     """Click records covering ``[t_start, t_end)`` at ``rate`` bytes/s.
@@ -63,6 +63,7 @@ def generate_wcc_records(
     timestamps spread uniformly over the interval so panes receive
     proportional shares.
     """
+    config = config if config is not None else WCCConfig()
     if t_end <= t_start:
         raise ValueError(f"empty interval [{t_start}, {t_end})")
     if rate <= 0:

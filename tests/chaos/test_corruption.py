@@ -9,11 +9,10 @@ from repro.core import (
     REDUCE_OUTPUT,
     CacheCorruptionError,
     RecoveryManager,
-    RedoopRuntime,
 )
-from repro.hadoop import Cluster, FaultInjector, small_test_config
+from repro.hadoop import FaultInjector
 
-from tests.core.test_runtime import RATE, feed, make_query, make_runtime
+from tests.core.test_runtime import feed, make_runtime
 
 
 @pytest.fixture

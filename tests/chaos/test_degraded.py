@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core import RedoopRuntime
 from repro.hadoop import Cluster, FaultInjector, small_test_config
@@ -10,7 +9,6 @@ from repro.trace import CAT_FAULT
 
 from tests.core.test_runtime import RATE, feed, make_query
 
-from .conftest import mini_config
 
 
 def make_doomed_runtime(doom: str = "/w2/") -> RedoopRuntime:

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.bench.harness import build_workload, run_redoop_series
 from repro.chaos import ChaosEvent, ChaosSchedule, run_chaos_series

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import random
-from typing import Iterable, List, Sequence
+from typing import List
 
 import pytest
 

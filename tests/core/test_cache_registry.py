@@ -7,7 +7,6 @@ import pytest
 from repro.core.cache_registry import (
     REDUCE_INPUT,
     REDUCE_OUTPUT,
-    CacheEntry,
     LocalCacheRegistry,
     cache_file_name,
 )

@@ -10,7 +10,6 @@ cache purging across the queries.
 from __future__ import annotations
 
 from collections import Counter as PyCounter
-from dataclasses import replace
 
 import pytest
 

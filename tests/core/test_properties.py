@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -11,7 +10,7 @@ from repro.core.cache_controller import (
     HDFS_AVAILABLE,
     WindowAwareCacheController,
 )
-from repro.core.cache_registry import REDUCE_INPUT, REDUCE_OUTPUT, LocalCacheRegistry
+from repro.core.cache_registry import REDUCE_INPUT, LocalCacheRegistry
 from repro.core.data_packer import DynamicDataPacker
 from repro.core.panes import WindowSpec
 from repro.core.semantic_analyzer import PartitionPlan

@@ -12,11 +12,10 @@ from repro.core import (
     HDFS_AVAILABLE,
     LostCache,
     RecoveryManager,
-    RedoopRuntime,
 )
-from repro.hadoop import Cluster, FaultInjector, small_test_config
+from repro.hadoop import FaultInjector
 
-from .test_runtime import RATE, batch, feed, make_query, make_runtime
+from .test_runtime import feed, make_runtime
 
 
 @pytest.fixture

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core import RecurringQuery, RedoopRuntime, WindowSpec, merging_finalizer
 from repro.hadoop import Cluster, small_test_config

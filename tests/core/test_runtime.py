@@ -218,7 +218,7 @@ class TestCachingBehaviour:
         runtime = RedoopRuntime(cluster, enable_output_cache=False)
         runtime.register_query(make_query(), {"S1": RATE})
         records = feed(runtime, 50.0)
-        r1 = runtime.run_recurrence("wc", 1)
+        runtime.run_recurrence("wc", 1)
         r2 = runtime.run_recurrence("wc", 2)
         assert r2.counters.get("cache.rin_rebuilds") > 0
         start, end = r2.window_bounds["S1"]

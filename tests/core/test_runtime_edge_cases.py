@@ -4,7 +4,6 @@ from __future__ import annotations
 
 from collections import Counter as PyCounter
 
-import pytest
 
 from repro.core import RecurringQuery, RedoopRuntime, WindowSpec, merging_finalizer
 from repro.hadoop import BatchFile, Cluster, Record, small_test_config

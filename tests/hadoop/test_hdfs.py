@@ -8,7 +8,6 @@ from hypothesis import strategies as st
 
 from repro.hadoop.config import ClusterConfig, small_test_config
 from repro.hadoop.hdfs import HDFSError, SimulatedHDFS
-from repro.hadoop.types import MEGABYTE, Record
 
 from ..conftest import make_records
 

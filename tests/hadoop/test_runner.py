@@ -4,14 +4,11 @@ from __future__ import annotations
 
 from collections import Counter
 
-import pytest
 
 from repro.hadoop import (
     BatchCatalog,
     BatchFile,
-    Cluster,
     PlainHadoopDriver,
-    small_test_config,
     window_filtered_job,
 )
 from repro.hadoop.types import Record

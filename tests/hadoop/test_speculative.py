@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.hadoop import Cluster, JobTracker, small_test_config
 from repro.hadoop.config import DEFAULT_CONFIG

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.hadoop.task import execute_map, execute_reduce
 from repro.hadoop.types import Record

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 from collections import Counter as PyCounter
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,0 +1,47 @@
+"""The reuse differential oracle, fault-free and under chaos."""
+
+from __future__ import annotations
+
+from repro.bench.experiments import join_config
+from repro.chaos import ChaosEvent, ChaosSchedule, run_reuse_differential
+
+CONFIG = join_config(0.75, scale=0.05, num_windows=3)
+
+
+class TestReuseDifferential:
+    def test_fault_free_parity_and_hits(self):
+        report = run_reuse_differential(CONFIG)
+        assert report.ok, report.summary()
+        assert report.mismatched_windows == []
+        assert report.violations == []
+        assert report.warm_hits > 0
+        assert report.warm_reuse_counters["reuse.bytes_saved"] > 0
+        assert "verdict: OK" in report.summary()
+
+    def test_parity_holds_under_chaos_schedule(self):
+        schedule = ChaosSchedule(
+            seed=3,
+            events=(
+                ChaosEvent(at=40.0, kind="task-kill", prob=0.25),
+                ChaosEvent(at=120.0, kind="cache-loss", cache_type=1, fraction=0.5),
+                ChaosEvent(at=200.0, kind="task-kill", prob=0.0),
+                ChaosEvent(at=400.0, kind="cache-corrupt", cache_type=2, fraction=0.5),
+            ),
+        )
+        report = run_reuse_differential(CONFIG, schedule)
+        assert report.mismatched_windows == []
+        assert report.violations == []
+
+    def test_random_seeded_schedules(self):
+        for seed in (1, 2):
+            schedule = ChaosSchedule.random(
+                seed,
+                horizon=CONFIG.horizon,
+                num_nodes=CONFIG.cluster_config.num_nodes,
+                num_windows=CONFIG.num_windows,
+                slide=CONFIG.slide,
+                events_per_window=1.0,
+            )
+            report = run_reuse_differential(CONFIG, schedule)
+            assert report.mismatched_windows == [], report.summary()
+            assert report.violations == [], report.summary()

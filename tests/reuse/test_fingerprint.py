@@ -1,0 +1,151 @@
+"""Property tests for plan fingerprint canonicalization.
+
+The reuse tier is only sound if fingerprints behave like value
+semantics: equal query *semantics* give equal digests (regardless of
+names, rates, window parameters, or which process computed them), and
+any semantic difference gives a different digest.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.reuse import (
+    FingerprintError,
+    callable_fingerprint,
+    pane_fingerprint,
+    plan_fingerprint,
+)
+from repro.workloads.queries import aggregation_query, join_query
+
+AGG_SOURCE = "wcc"
+
+_KEY_FIELDS = ("object", "client")
+
+_win_slide = st.tuples(
+    st.integers(2, 12), st.integers(1, 6)
+).map(lambda ws: (ws[0] * 300.0, min(ws[0], ws[1]) * 300.0))
+
+
+def _fingerprints_of(query):
+    return (
+        plan_fingerprint(query),
+        tuple(pane_fingerprint(query, src) for src in query.sources),
+    )
+
+
+def _agg_fingerprints(win, slide, name, key_field, num_reducers):
+    """Module-level so a worker process can import and run it."""
+    query = aggregation_query(
+        win, slide, name=name, key_field=key_field, num_reducers=num_reducers
+    )
+    return _fingerprints_of(query)
+
+
+class TestEqualSemanticsEqualDigests:
+    @given(
+        ws=_win_slide,
+        key_field=st.sampled_from(_KEY_FIELDS),
+        num_reducers=st.integers(1, 8),
+        names=st.tuples(st.text(min_size=1, max_size=8), st.text(min_size=1, max_size=8)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_independent_constructions_agree(
+        self, ws, key_field, num_reducers, names
+    ):
+        win, slide = ws
+        a = aggregation_query(
+            win, slide, name=names[0], key_field=key_field,
+            num_reducers=num_reducers,
+        )
+        b = aggregation_query(
+            win, slide, name=names[1], key_field=key_field,
+            num_reducers=num_reducers,
+        )
+        assert _fingerprints_of(a) == _fingerprints_of(b)
+
+    @given(ws_a=_win_slide, ws_b=_win_slide)
+    @settings(max_examples=30, deadline=None)
+    def test_window_params_never_enter_the_digest(self, ws_a, ws_b):
+        # Artifacts are keyed by time range, not win/slide — subsumption
+        # across window geometries depends on this exclusion.
+        a = aggregation_query(*ws_a)
+        b = aggregation_query(*ws_b)
+        assert _fingerprints_of(a) == _fingerprints_of(b)
+
+    @given(ws=_win_slide)
+    @settings(max_examples=20, deadline=None)
+    def test_pickle_round_trip_is_stable(self, ws):
+        query = join_query(*ws, num_reducers=4)
+        clone = pickle.loads(pickle.dumps(query))
+        assert _fingerprints_of(query) == _fingerprints_of(clone)
+
+
+class TestDistinctSemanticsDistinctDigests:
+    @given(ws=_win_slide, reducers=st.tuples(st.integers(1, 8), st.integers(1, 8)))
+    @settings(max_examples=30, deadline=None)
+    def test_num_reducers_distinguishes(self, ws, reducers):
+        a = aggregation_query(*ws, num_reducers=reducers[0])
+        b = aggregation_query(*ws, num_reducers=reducers[1])
+        same = reducers[0] == reducers[1]
+        assert (plan_fingerprint(a) == plan_fingerprint(b)) == same
+        assert (
+            pane_fingerprint(a, AGG_SOURCE) == pane_fingerprint(b, AGG_SOURCE)
+        ) == same
+
+    def test_key_field_distinguishes(self):
+        a = aggregation_query(3600.0, 900.0, key_field="object")
+        b = aggregation_query(3600.0, 900.0, key_field="client")
+        assert plan_fingerprint(a) != plan_fingerprint(b)
+
+    def test_query_kinds_distinguish(self):
+        agg = aggregation_query(3600.0, 900.0)
+        join = join_query(3600.0, 900.0)
+        assert plan_fingerprint(agg) != plan_fingerprint(join)
+
+
+class TestCrossProcessStability:
+    def test_worker_pool_digests_match_parent(self):
+        args = (3600.0, 900.0, "other-name", "object", 4)
+        local = _agg_fingerprints(*args)
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            remote = pool.submit(_agg_fingerprints, *args).result(timeout=60)
+        assert local == remote
+
+
+class TestUnfingerprintable:
+    def test_lambda_raises(self):
+        with pytest.raises(FingerprintError):
+            callable_fingerprint(lambda r: r)
+
+    def test_local_function_raises(self):
+        def local_mapper(record):
+            yield record.value, 1
+
+        with pytest.raises(FingerprintError):
+            callable_fingerprint(local_mapper)
+
+    def test_bound_method_raises(self):
+        with pytest.raises(FingerprintError):
+            callable_fingerprint("abc".upper)
+
+    def test_unknown_source_raises(self):
+        query = aggregation_query(3600.0, 900.0)
+        with pytest.raises(KeyError):
+            pane_fingerprint(query, "nonexistent")
+
+
+class TestCallableCanonicalization:
+    def test_instance_config_is_captured(self):
+        from repro.workloads.queries import _AggMapper
+
+        a = callable_fingerprint(_AggMapper("object"))
+        b = callable_fingerprint(_AggMapper("object"))
+        c = callable_fingerprint(_AggMapper("client"))
+        assert a == b
+        assert a != c

@@ -1,0 +1,85 @@
+"""Service-layer reuse: rewrite-on-submit, checkpoint/restore survival."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.bench.service import (
+    ServiceScenario,
+    build_server,
+    drive_scenario,
+)
+from repro.reuse import ReuseStore
+from repro.service import QueryServer
+
+SCENARIO = ServiceScenario(tenants=3, recurrences=8, churn=False)
+
+
+def reuse_counters(server) -> dict:
+    return {
+        name: value
+        for name, value in server.counters.as_dict().items()
+        if name.startswith("reuse.")
+    }
+
+
+class TestRewriteOnSubmit:
+    def test_submissions_against_a_warm_store_are_rewritten(self):
+        # Warm the store with one full run, then stand up a fresh server
+        # on the same store: every tenant shares the scenario's operator
+        # chain, so each submission finds stored plans to match.
+        store = ReuseStore()
+        drive_scenario(SCENARIO, build_server(SCENARIO, reuse_store=store))
+        assert len(store) > 0
+        server = build_server(SCENARIO, reuse_store=store)
+        assert server.counters.as_dict()["reuse.rewrites"] == SCENARIO.tenants
+        events = [
+            e for e in server.tracer.events() if e.name == "reuse-rewrite"
+        ]
+        assert events and all(e.attrs["matches"] > 0 for e in events)
+
+    def test_no_store_no_rewrite_counter(self):
+        server = build_server(SCENARIO)
+        assert "reuse.rewrites" not in server.counters.as_dict()
+
+    def test_tenants_share_pane_artifacts(self):
+        server = build_server(SCENARIO, reuse_store=ReuseStore())
+        run = drive_scenario(SCENARIO, server)
+        counters = reuse_counters(server)
+        assert counters["reuse.hits"] > 0
+        assert counters["reuse.panes_seeded"] > 0
+        # Shared artifacts must not change any tenant's answers.
+        baseline = drive_scenario(SCENARIO, build_server(SCENARIO))
+        assert run.digests == baseline.digests
+
+
+class TestCheckpointSurvival:
+    def test_store_rides_checkpoints_and_keeps_serving(self, tmp_path):
+        ckpt_dir = Path(tmp_path) / "ckpts"
+        ckpt_dir.mkdir()
+        server = build_server(
+            SCENARIO,
+            checkpoint_dir=ckpt_dir,
+            checkpoint_every=1,
+            reuse_store=ReuseStore(),
+        )
+        drive_scenario(SCENARIO, server, stop_after_recurrences=5)
+        published = len(server.runtime.reuse)
+        assert published > 0
+
+        newest = sorted(ckpt_dir.glob("ckpt-r*.bin"))[-1]
+        restored = QueryServer.restore(newest)
+        store = restored.runtime.reuse
+        assert store is not None
+        assert len(store) == published
+        assert store.hdfs is restored.runtime.cluster.hdfs
+
+        # Finishing the drive on the restored server reproduces both the
+        # clean with-store run and the store-free run byte-for-byte.
+        resumed = drive_scenario(SCENARIO, restored)
+        clean = drive_scenario(
+            SCENARIO, build_server(SCENARIO, reuse_store=ReuseStore())
+        )
+        off = drive_scenario(SCENARIO, build_server(SCENARIO))
+        assert resumed.digests == clean.digests == off.digests
+        assert reuse_counters(restored)["reuse.hits"] > 0

@@ -1,0 +1,200 @@
+"""Unit tests for the cross-query artifact store itself."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hadoop.config import small_test_config
+from repro.hadoop.counters import Counters
+from repro.hadoop.hdfs import SimulatedHDFS
+from repro.hadoop.types import Record
+from repro.reuse import ReuseLineage, ReuseStore, content_sha
+
+FP = "f" * 64
+OTHER_FP = "0" * 64
+
+
+def fresh_hdfs() -> SimulatedHDFS:
+    return SimulatedHDFS(small_test_config(4))
+
+
+def lineage(sha: str = "dead", *, cost: float = 100.0) -> ReuseLineage:
+    return ReuseLineage(
+        producer="q1",
+        job="j1",
+        created_at=10.0,
+        input_records=10,
+        input_bytes=1000,
+        input_sha=sha,
+        recompute_cost=cost,
+    )
+
+
+def make_store(**kwargs) -> ReuseStore:
+    return ReuseStore(hdfs=fresh_hdfs(), **kwargs)
+
+
+def publish(store, t0, t1, *, fp=FP, source="s", rins=None, routs=None):
+    rins = rins if rins is not None else [[("a", 1)], [("b", 2)]]
+    return store.publish_pane(
+        fp, source, t0, t1, rins, routs,
+        pair_size=48, out_pair_size=48, lineage=lineage(),
+    )
+
+
+class TestPublishAndMatch:
+    def test_exact_match_round_trips(self):
+        store = make_store()
+        rins = [[("a", 1), ("a", 2)], [("b", 3)]]
+        routs = [[("a", 3)], [("b", 3)]]
+        assert publish(store, 0.0, 900.0, rins=rins, routs=routs)
+        chain = store.match_pane(FP, 0.0, 900.0, "s")
+        assert chain is not None and len(chain) == 1
+        got = store.read_pane(chain[0])
+        assert got == (rins, routs)
+        assert store.counters.as_dict()["reuse.hits"] == 1
+
+    def test_republish_same_key_is_a_noop(self):
+        store = make_store()
+        assert publish(store, 0.0, 900.0)
+        assert not publish(store, 0.0, 900.0)
+        assert len(store) == 1
+
+    def test_mismatched_rout_partitions_rejected(self):
+        store = make_store()
+        with pytest.raises(ValueError):
+            publish(store, 0.0, 900.0, rins=[[("a", 1)], [("b", 2)]],
+                    routs=[[("a", 1)]])
+
+    def test_no_match_for_wrong_fingerprint_source_or_range(self):
+        store = make_store()
+        publish(store, 0.0, 900.0)
+        assert store.match_pane(OTHER_FP, 0.0, 900.0, "s") is None
+        assert store.match_pane(FP, 0.0, 900.0, "other") is None
+        assert store.match_pane(FP, 900.0, 1800.0, "s") is None
+        assert store.counters.as_dict()["reuse.misses"] == 3
+
+    def test_subsumption_chain_tiles_the_coarser_pane(self):
+        store = make_store()
+        for k in range(4):
+            publish(store, k * 900.0, (k + 1) * 900.0)
+        chain = store.match_pane(FP, 0.0, 1800.0, "s")
+        assert chain is not None
+        assert [(e.t_start_ms, e.t_end_ms) for e in chain] == [
+            (0, 900_000), (900_000, 1_800_000)
+        ]
+        # A gap in the tiling is a miss, not a partial serve.
+        assert store.match_pane(FP, 0.0, 4500.0, "s") is None
+
+    def test_non_dividing_granularity_is_not_chained(self):
+        store = make_store()
+        publish(store, 0.0, 700.0)
+        publish(store, 700.0, 1400.0)
+        assert store.match_pane(FP, 0.0, 1800.0, "s") is None
+
+    def test_window_artifacts(self):
+        store = make_store()
+        bounds = {"s": (0.0, 3600.0)}
+        pairs = [("k", 7), ("l", 9)]
+        assert store.publish_window(
+            FP, bounds, pairs, out_pair_size=48, lineage=lineage()
+        )
+        assert store.has_window(FP, bounds)
+        entry = store.match_window(FP, bounds)
+        assert entry is not None
+        assert store.read_window(entry) == pairs
+        assert store.match_window(FP, {"s": (0.0, 1800.0)}) is None
+
+
+class TestChecksumsAndCorruption:
+    def test_tampered_file_is_discarded_whole(self):
+        store = make_store()
+        publish(store, 0.0, 900.0)
+        [entry] = store.entries()
+        path = entry.paths()[0]
+        store.hdfs.delete(path)
+        store.hdfs.create(path, (Record(ts=0.0, value=("evil", 1), size=8),))
+        assert store.read_pane(entry) is None
+        assert len(store) == 0
+        assert store.counters.as_dict()["reuse.corrupt_dropped"] == 1
+
+    def test_missing_file_is_discarded_whole(self):
+        store = make_store()
+        publish(store, 0.0, 900.0)
+        [entry] = store.entries()
+        store.hdfs.delete(entry.paths()[-1])
+        assert store.read_pane(entry) is None
+        assert len(store) == 0
+
+
+class TestBudget:
+    def test_eviction_respects_capacity(self):
+        pair_size = 48
+        store = make_store(capacity_bytes=3 * 2 * pair_size)
+        for k in range(5):
+            publish(store, k * 900.0, (k + 1) * 900.0,
+                    rins=[[("a", k)], [("b", k)]])
+        assert store.total_bytes <= store.capacity_bytes
+        counters = store.counters.as_dict()
+        assert counters["reuse.evicted"] >= 1
+        assert counters["reuse.publishes"] == 5
+
+    def test_oversized_publication_is_rejected(self):
+        store = make_store(capacity_bytes=10)
+        assert not publish(store, 0.0, 900.0)
+        assert len(store) == 0
+        assert store.counters.as_dict()["reuse.admission_rejected"] == 1
+
+    def test_recently_hit_entries_survive_eviction(self):
+        pair_size = 48
+        store = make_store(capacity_bytes=2 * 2 * pair_size)
+        publish(store, 0.0, 900.0)
+        publish(store, 900.0, 1800.0)
+        # Touch the first entry so the second is the stale victim.
+        [first] = store.match_pane(FP, 0.0, 900.0, "s")
+        assert store.read_pane(first) is not None
+        publish(store, 1800.0, 2700.0)
+        keys = {e.t_start_ms for e in store.entries()}
+        assert 0 in keys
+
+
+class TestPersistenceAndAttach:
+    def test_save_load_round_trip(self, tmp_path):
+        store = make_store()
+        rins = [[("a", 1)], [("b", 2)]]
+        publish(store, 0.0, 900.0, rins=rins)
+        blob = tmp_path / "store.bin"
+        store.save(blob)
+        revived = ReuseStore.load(blob, hdfs=fresh_hdfs())
+        chain = revived.match_pane(FP, 0.0, 900.0, "s")
+        assert chain is not None
+        assert revived.read_pane(chain[0]) == (rins, None)
+
+    def test_attach_migrates_artifacts_to_new_hdfs(self):
+        store = make_store()
+        rins = [[("a", 1)], [("b", 2)]]
+        publish(store, 0.0, 900.0, rins=rins)
+        new_hdfs = fresh_hdfs()
+        store.attach(new_hdfs)
+        assert store.hdfs is new_hdfs
+        [entry] = store.entries()
+        for path in entry.paths():
+            assert new_hdfs.exists(path)
+        assert store.read_pane(entry) == (rins, None)
+
+    def test_attach_swaps_counter_bag(self):
+        store = make_store()
+        mine = Counters()
+        store.attach(store.hdfs, counters=mine)
+        publish(store, 0.0, 900.0)
+        assert mine.as_dict()["reuse.publishes"] == 1
+
+
+class TestContentSha:
+    def test_order_sensitivity(self):
+        assert content_sha([("a", 1), ("b", 2)]) != content_sha(
+            [("b", 2), ("a", 1)]
+        )
+
+    def test_stability(self):
+        assert content_sha([("a", 1)]) == content_sha([("a", 1)])

@@ -4,10 +4,9 @@ from __future__ import annotations
 
 from collections import defaultdict
 
-import pytest
 
 from repro.core import RedoopRuntime
-from repro.hadoop import BatchFile, Cluster, Record, small_test_config
+from repro.hadoop import BatchFile, Cluster, small_test_config
 from repro.hadoop.shuffle import run_reduce_partition
 from repro.workloads.queries import distinct_count_query, extrema_query
 from repro.workloads.wcc import WCCConfig, generate_wcc_records

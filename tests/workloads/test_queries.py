@@ -2,9 +2,8 @@
 
 from __future__ import annotations
 
-import pytest
 
-from repro.hadoop.shuffle import run_reduce_partition, sort_pairs
+from repro.hadoop.shuffle import run_reduce_partition
 from repro.hadoop.types import Record
 from repro.workloads.queries import (
     JOIN_SOURCES,
