@@ -23,9 +23,10 @@ import json
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
-from ..exec import ExecBackend, ProcessPoolBackend, SerialBackend
+from ..exec import ExecBackend, ProcessPoolBackend, SerialBackend, WorkerFaultPlan
+from ..hadoop.counters import Counters
 from ..hadoop.job import MapReduceJob
 from ..hadoop.task import execute_map
 from ..hadoop.types import KeyValue, Record
@@ -104,9 +105,13 @@ class ThroughputPoint:
     records_per_sec: float
     #: Speedup over the 1-worker (serial) measurement of the same run.
     speedup: float = 1.0
+    #: ``exec.*`` recovery counters when worker faults were injected
+    #: (retries, worker_lost, quarantined, pool_rebuilds); empty when
+    #: the point ran fault-free.
+    fault_counters: Dict[str, float] = field(default_factory=dict)
 
     def as_row(self) -> Dict[str, object]:
-        return {
+        row = {
             "workers": self.workers,
             "backend": self.backend,
             "records": self.records,
@@ -114,6 +119,11 @@ class ThroughputPoint:
             "records_per_sec": round(self.records_per_sec, 1),
             "speedup": round(self.speedup, 3),
         }
+        if self.fault_counters:
+            row["fault_counters"] = {
+                k: int(v) for k, v in sorted(self.fault_counters.items())
+            }
+        return row
 
 
 @dataclass(slots=True)
@@ -143,10 +153,14 @@ class ThroughputReport:
         return json.dumps(self.as_report(), **kwargs)
 
 
-def _backend_for(workers: int) -> ExecBackend:
+def _backend_for(
+    workers: int, batch_deadline: Optional[float] = None
+) -> ExecBackend:
     """1 worker -> the serial backend (no pool, the true baseline)."""
     if workers <= 1:
         return SerialBackend()
+    if batch_deadline is not None:
+        return ProcessPoolBackend(workers=workers, batch_deadline=batch_deadline)
     return ProcessPoolBackend(workers=workers)
 
 
@@ -157,6 +171,10 @@ def run_throughput_bench(
     num_splits: int = 32,
     spins: int = 4000,
     repeats: int = 1,
+    fault_kills: int = 0,
+    fault_hangs: int = 0,
+    fault_seed: int = 1,
+    batch_deadline: Optional[float] = None,
 ) -> ThroughputReport:
     """Measure map wall-clock throughput at each worker count.
 
@@ -166,6 +184,13 @@ def run_throughput_bench(
     warmed with one untimed batch first, so process start-up cost is
     not billed to the workload). Points carry ``speedup`` relative to
     the 1-worker point when one is present.
+
+    ``fault_kills`` / ``fault_hangs`` arm a seeded
+    :class:`~repro.exec.WorkerFaultPlan` on each process-backend point
+    before the timed batches, so the sweep measures throughput *under
+    supervised recovery* — the overhead of reaping, rebuilding and
+    retrying shows up in wall seconds, the recovery itself in the
+    point's ``fault_counters``. Hangs require ``batch_deadline``.
     """
     if not worker_counts:
         raise ValueError("need at least one worker count")
@@ -182,13 +207,27 @@ def run_throughput_bench(
         num_records=num_records, num_splits=len(splits), spins=spins
     )
     for workers in worker_counts:
-        backend = _backend_for(workers)
+        backend = _backend_for(workers, batch_deadline)
+        counters = Counters()
         try:
             backend.run_tasks(execute_map, calls[:1], phase="warmup")
+            if (fault_kills or fault_hangs) and getattr(
+                backend, "parallel", False
+            ):
+                backend.arm_worker_fault_plan(
+                    WorkerFaultPlan(
+                        seed=fault_seed,
+                        kills=fault_kills,
+                        hangs=fault_hangs,
+                        span=max(len(calls), fault_kills + fault_hangs),
+                    )
+                )
             best = float("inf")
             for _ in range(max(1, repeats)):
                 t0 = time.perf_counter()
-                backend.run_tasks(execute_map, calls, phase="bench")
+                backend.run_tasks(
+                    execute_map, calls, phase="bench", counters=counters
+                )
                 best = min(best, time.perf_counter() - t0)
         finally:
             backend.close()
@@ -199,6 +238,17 @@ def run_throughput_bench(
                 records=len(records),
                 wall_seconds=best,
                 records_per_sec=len(records) / best if best > 0 else 0.0,
+                fault_counters={
+                    name: value
+                    for name, value in counters.as_dict().items()
+                    if name
+                    in (
+                        "exec.retries",
+                        "exec.worker_lost",
+                        "exec.quarantined",
+                        "exec.pool_rebuilds",
+                    )
+                },
             )
         )
 
@@ -219,8 +269,15 @@ def format_throughput_table(report: ThroughputReport) -> str:
         f"{'records/s':>10}  {'speedup':>7}",
     ]
     for p in report.points:
-        lines.append(
+        line = (
             f"{p.workers:>7}  {p.backend:<8}  {p.wall_seconds:>8.3f}  "
             f"{p.records_per_sec:>10.1f}  {p.speedup:>6.2f}x"
         )
+        if p.fault_counters:
+            detail = " ".join(
+                f"{name.split('.', 1)[1]}={int(value)}"
+                for name, value in sorted(p.fault_counters.items())
+            )
+            line += f"  [{detail}]"
+        lines.append(line)
     return "\n".join(lines)

@@ -19,7 +19,11 @@ turns that claim into an executable check:
   oracle: fault-free vs. chaos run, digests compared per window;
 * :func:`~repro.chaos.oracle.run_reuse_differential` — the same
   contract for the cross-query reuse store: store-off vs. cold vs.
-  warm runs must agree on every non-degraded window digest.
+  warm runs must agree on every non-degraded window digest;
+* :func:`~repro.chaos.oracle.run_worker_fault_differential` — the
+  *real-process* extension: a fault-free serial run vs. a supervised
+  process-backend run whose actual OS workers are crashed
+  (``os._exit``) and hung by ``worker-kill`` / ``worker-hang`` events.
 
 See ``docs/fault-tolerance.md`` for the failure domains and semantics.
 """
@@ -30,8 +34,10 @@ from .driver import ChaosReport, run_chaos_series
 from .oracle import (
     DifferentialReport,
     ReuseDifferentialReport,
+    WorkerFaultDifferentialReport,
     run_differential,
     run_reuse_differential,
+    run_worker_fault_differential,
 )
 
 __all__ = [
@@ -40,9 +46,11 @@ __all__ = [
     "ChaosSchedule",
     "DifferentialReport",
     "ReuseDifferentialReport",
+    "WorkerFaultDifferentialReport",
     "EVENT_KINDS",
     "check_invariants",
     "run_chaos_series",
     "run_differential",
     "run_reuse_differential",
+    "run_worker_fault_differential",
 ]

@@ -154,6 +154,22 @@ class _ChaosRun:
                 self.cursor += 1
                 burst += 1
             applied = burst > 0
+        elif event.kind in ("worker-kill", "worker-hang"):
+            # Real process faults: arm the supervised backend so the
+            # next first-attempt pool submissions crash or hang inside
+            # an actual worker. Skipped (applied=False) on backends
+            # that cannot host them — serial, or hang without a batch
+            # deadline to reap it.
+            backend = self.runtime.backend
+            inject = getattr(backend, "inject_worker_faults", None)
+            if inject is None or not getattr(backend, "parallel", False):
+                applied = False
+            else:
+                kind = "kill" if event.kind == "worker-kill" else "hang"
+                try:
+                    inject(kind, count=event.count or 1)
+                except ValueError:
+                    applied = False
 
         if not applied:
             return
@@ -209,6 +225,12 @@ class _ChaosRun:
         while ei < len(events):
             self.apply(events[ei])
             ei += 1
+        # Worker faults armed too late to be consumed must not leak
+        # into whatever runs next on a shared backend (the next seed's
+        # fault-free baseline, say) — output-neutral, but noisy.
+        drain = getattr(self.runtime.backend, "drain_worker_faults", None)
+        if drain is not None:
+            drain()
 
         self.report.series = SeriesResult(
             label=self.label,

@@ -164,4 +164,15 @@ def check_invariants(runtime) -> List[str]:
                 f"budget of {cap}"
             )
 
+    # 9. Real worker-fault supervision: the execution backend never
+    #    parks on a broken process pool between batches — the
+    #    supervisor either rebuilt it or raised into the degraded-
+    #    window path. A lingering broken pool would turn the *next*
+    #    batch into an unsupervised crash.
+    probe = getattr(getattr(runtime, "backend", None), "pool_healthy", None)
+    if probe is not None and not probe():
+        violations.append(
+            "execution backend left a broken process pool behind"
+        )
+
     return violations

@@ -31,8 +31,10 @@ from .schedule import ChaosSchedule
 __all__ = [
     "DifferentialReport",
     "ReuseDifferentialReport",
+    "WorkerFaultDifferentialReport",
     "run_differential",
     "run_reuse_differential",
+    "run_worker_fault_differential",
 ]
 
 
@@ -126,6 +128,131 @@ def run_differential(
         baseline=baseline,
         chaos=chaos,
         mismatched_windows=mismatched,
+    )
+
+
+@dataclass(slots=True)
+class WorkerFaultDifferentialReport(DifferentialReport):
+    """Fault-free *serial* run vs. process backend under *real* worker
+    faults (crashed / hung pool workers).
+
+    Strengthens :class:`DifferentialReport` two ways: the baseline is
+    the serial backend (so parity spans backends *and* faults at
+    once), and ``ok`` additionally demands the injection actually
+    bit — a worker-fault schedule that lost no worker proves nothing.
+    """
+
+    #: ``exec.*`` counters of the chaos run (retries, worker_lost, …).
+    exec_counters: dict = field(default_factory=dict)
+
+    @property
+    def worker_events_applied(self) -> bool:
+        return any(
+            "worker-kill" in desc or "worker-hang" in desc
+            for desc in self.chaos.events_applied
+        )
+
+    @property
+    def faults_exercised(self) -> bool:
+        """The supervisor really saw workers die (not a no-op run)."""
+        return self.exec_counters.get("exec.worker_lost", 0) > 0
+
+    @property
+    def ok(self) -> bool:
+        if not DifferentialReport.ok.fget(self):  # type: ignore[union-attr]
+            return False
+        return not self.worker_events_applied or self.faults_exercised
+
+    def summary(self) -> str:
+        lines = [DifferentialReport.summary(self)]
+        shown = {
+            k: int(v)
+            for k, v in sorted(self.exec_counters.items())
+            if k in (
+                "exec.retries",
+                "exec.worker_lost",
+                "exec.quarantined",
+                "exec.pool_rebuilds",
+            )
+        }
+        if shown:
+            lines.append(
+                "  recovery: "
+                + " ".join(f"{k.split('.', 1)[1]}={v}" for k, v in shown.items())
+            )
+        if self.worker_events_applied and not self.faults_exercised:
+            lines.append("  WORKER FAULTS ARMED BUT NO WORKER WAS LOST")
+        return "\n".join(lines)
+
+
+def run_worker_fault_differential(
+    config: ExperimentConfig,
+    schedule: ChaosSchedule,
+    *,
+    check: bool = True,
+    backend=None,
+    workers: int = 2,
+    batch_deadline: float = 5.0,
+    max_task_retries: int = 2,
+    max_pool_rebuilds: int = 3,
+) -> WorkerFaultDifferentialReport:
+    """The real-process extension of :func:`run_differential`.
+
+    The baseline runs fault-free on the **serial** backend; the chaos
+    run executes on a supervised **process** backend while the
+    schedule's ``worker-kill`` / ``worker-hang`` events crash and hang
+    its actual OS workers (any simulated events ride along as usual).
+    Byte-identical non-degraded digests then prove the whole ladder —
+    deadline reaping, pool rebuild, retry, quarantine — is output-
+    neutral, not just the metadata-level recovery.
+
+    Pass ``backend`` to reuse a supervised process backend across
+    seeds; otherwise one is built from the keyword knobs and closed
+    before returning.
+    """
+    from ..exec import ProcessPoolBackend
+
+    workload = build_workload(config)
+    baseline = run_redoop_series(
+        config, label="fault-free-serial", workload=workload
+    )
+    owned = backend is None
+    chaos_backend = backend if backend is not None else ProcessPoolBackend(
+        workers=workers,
+        batch_deadline=batch_deadline,
+        max_task_retries=max_task_retries,
+        max_pool_rebuilds=max_pool_rebuilds,
+    )
+    try:
+        chaos = run_chaos_series(
+            config,
+            schedule,
+            label="worker-chaos",
+            workload=workload,
+            check=check,
+            backend=chaos_backend,
+        )
+    finally:
+        if owned:
+            chaos_backend.close()
+    degraded = set(chaos.degraded_windows)
+    mismatched = [
+        i + 1
+        for i, (want, got) in enumerate(
+            zip(baseline.output_digests, chaos.series.output_digests)
+        )
+        if (i + 1) not in degraded and want != got
+    ]
+    return WorkerFaultDifferentialReport(
+        schedule=schedule,
+        baseline=baseline,
+        chaos=chaos,
+        mismatched_windows=mismatched,
+        exec_counters={
+            name: value
+            for name, value in chaos.series.runtime_counters.items()
+            if name.startswith("exec.")
+        },
     )
 
 

@@ -30,6 +30,8 @@ EVENT_KINDS = (
     "cache-corrupt",   # silently tamper a fraction of live caches
     "slow-node",       # straggler: change one node's relative speed
     "ingest-burst",    # deliver the next N batches ahead of schedule
+    "worker-kill",     # crash real pool workers (os._exit) on next tasks
+    "worker-hang",     # hang real pool workers past the batch deadline
 )
 
 
@@ -50,7 +52,16 @@ class ChaosEvent:
     cache-corrupt  ``fraction``, ``cache_type``
     slow-node      ``node_id``, ``speed`` (1.0 restores full speed)
     ingest-burst   ``count`` (batches delivered early)
+    worker-kill    ``count`` (tasks armed to crash their worker; 1)
+    worker-hang    ``count`` (tasks armed to hang their worker; 1)
     =============  ==================================================
+
+    The two ``worker-*`` kinds inject *real* process faults: they arm
+    the runtime's supervised process backend so the next ``count``
+    first-attempt pool submissions crash (``os._exit``) or hang past
+    the batch deadline inside an actual worker. On a serial backend
+    (or one without a deadline, for hangs) the event is skipped —
+    ``applied`` stays false, like a ``node-kill`` on the last node.
     """
 
     at: float
@@ -81,6 +92,12 @@ class ChaosEvent:
             raise ValueError("slow-node needs node_id and speed")
         if self.kind == "ingest-burst" and not self.count:
             raise ValueError("ingest-burst needs a positive count")
+        if (
+            self.kind in ("worker-kill", "worker-hang")
+            and self.count is not None
+            and self.count < 1
+        ):
+            raise ValueError(f"{self.kind} count must be positive")
 
     def describe(self) -> str:
         """One human-readable line for logs and CLI output."""
@@ -134,6 +151,8 @@ class ChaosSchedule:
         ),
         events_per_window: float = 1.0,
         exhaust_window: Optional[int] = None,
+        worker_kills: int = 0,
+        worker_hangs: int = 0,
     ) -> "ChaosSchedule":
         """Compose a randomized-but-reproducible schedule.
 
@@ -145,6 +164,10 @@ class ChaosSchedule:
         cached to lose earlier). ``exhaust_window`` additionally dooms
         that window's combine task — the one *non*-recoverable fault,
         expected to surface as a degraded window, not a wrong answer.
+        ``worker_kills`` / ``worker_hangs`` scatter that many *real*
+        process-fault events (``worker-kill`` / ``worker-hang``) over
+        the same horizon; they only bite when the run executes on a
+        supervised process backend.
         """
         if num_windows < 2:
             raise ValueError("chaos needs at least two windows")
@@ -211,6 +234,20 @@ class ChaosSchedule:
             elif kind == "ingest-burst":
                 events.append(
                     ChaosEvent(at=at, kind="ingest-burst", count=rng.randint(1, 4))
+                )
+            elif kind in ("worker-kill", "worker-hang"):
+                events.append(
+                    ChaosEvent(at=at, kind=kind, count=rng.randint(1, 2))
+                )
+        for kind, extra in (
+            ("worker-kill", worker_kills),
+            ("worker-hang", worker_hangs),
+        ):
+            for _ in range(extra):
+                events.append(
+                    ChaosEvent(
+                        at=round(rng.uniform(lo, hi), 1), kind=kind, count=1
+                    )
                 )
         if exhaust_window is not None:
             if not 1 <= exhaust_window <= num_windows:

@@ -234,6 +234,51 @@ def build_parser() -> argparse.ArgumentParser:
         "warm runs under each schedule must agree on every non-degraded "
         "window digest, and the warm run must actually hit the store",
     )
+    worker_faults = chaos.add_argument_group(
+        "real worker faults",
+        "crash/hang actual process-pool workers (implies a supervised "
+        "process backend for the chaos run; the baseline stays serial "
+        "and fault-free)",
+    )
+    worker_faults.add_argument(
+        "--worker-fault-kills",
+        type=int,
+        default=0,
+        metavar="N",
+        help="scatter N worker-kill events (os._exit in a real worker) "
+        "over each generated schedule (default 0)",
+    )
+    worker_faults.add_argument(
+        "--worker-fault-hangs",
+        type=int,
+        default=0,
+        metavar="N",
+        help="scatter N worker-hang events (worker sleeps past the "
+        "batch deadline) over each generated schedule (default 0)",
+    )
+    worker_faults.add_argument(
+        "--worker-fault-deadline",
+        type=float,
+        default=5.0,
+        metavar="S",
+        help="supervisor batch deadline in wall seconds; hung workers "
+        "are reaped when it expires (default 5.0)",
+    )
+    worker_faults.add_argument(
+        "--worker-fault-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="per-task retries before quarantine (default 2)",
+    )
+    worker_faults.add_argument(
+        "--worker-fault-rebuilds",
+        type=int,
+        default=3,
+        metavar="N",
+        help="pool rebuilds per batch before the terminal degraded-"
+        "window path (default 3)",
+    )
     capacity = sub.add_parser("capacity", help=_EXPERIMENTS["capacity"])
     add_backend(capacity)
     capacity.add_argument(
@@ -312,6 +357,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--json-out",
         metavar="FILE",
         help="also write the report as JSON here",
+    )
+    throughput.add_argument(
+        "--worker-fault-kills",
+        type=int,
+        default=0,
+        metavar="N",
+        help="arm N seeded worker crashes per process-backend point to "
+        "measure throughput under supervised recovery (default 0)",
+    )
+    throughput.add_argument(
+        "--worker-fault-hangs",
+        type=int,
+        default=0,
+        metavar="N",
+        help="arm N seeded worker hangs per process-backend point "
+        "(requires the batch deadline; default 0)",
+    )
+    throughput.add_argument(
+        "--worker-fault-deadline",
+        type=float,
+        default=5.0,
+        metavar="S",
+        help="supervisor batch deadline for the fault points "
+        "(default 5.0)",
+    )
+    throughput.add_argument(
+        "--worker-fault-seed",
+        type=int,
+        default=1,
+        metavar="N",
+        help="seed of the fault placement plan (default 1)",
     )
     headline = sub.add_parser("headline", help=_EXPERIMENTS["headline"])
     headline.add_argument("--scale", type=float, default=0.5)
@@ -639,9 +715,22 @@ def _run_chaos(args) -> int:
 
     from .bench import build_workload, join_config, run_redoop_series
     from .chaos import ChaosSchedule, run_differential
-    from .chaos.oracle import run_reuse_differential
+    from .chaos.oracle import run_reuse_differential, run_worker_fault_differential
+    from .exec import ProcessPoolBackend
 
     backend = _backend_from(args)
+    worker_faults = args.worker_fault_kills + args.worker_fault_hangs > 0
+    wf_backend = None
+    if worker_faults:
+        # Real process faults need a supervised process backend for the
+        # chaos run; one instance is shared across seeds (the supervisor
+        # rebuilds its pool as faults destroy it).
+        wf_backend = ProcessPoolBackend(
+            workers=getattr(args, "workers", None),
+            batch_deadline=args.worker_fault_deadline,
+            max_task_retries=args.worker_fault_retries,
+            max_pool_rebuilds=args.worker_fault_rebuilds,
+        )
     config = join_config(0.5, scale=args.scale, num_windows=args.windows)
     if args.capacity_fraction is not None:
         # Probe a fault-free unbounded run for the peak cached working
@@ -688,9 +777,25 @@ def _run_chaos(args) -> int:
                 slide=config.slide,
                 events_per_window=args.events_per_window,
                 exhaust_window=args.exhaust_window,
+                worker_kills=args.worker_fault_kills,
+                worker_hangs=args.worker_fault_hangs,
             )
+        has_worker_events = any(
+            e.kind in ("worker-kill", "worker-hang") for e in schedule.events
+        )
         if args.reuse:
-            report = run_reuse_differential(config, schedule, backend=backend)
+            report = run_reuse_differential(
+                config, schedule, backend=wf_backend or backend
+            )
+        elif worker_faults or (has_worker_events and wf_backend is None):
+            report = run_worker_fault_differential(
+                config,
+                schedule,
+                backend=wf_backend,
+                batch_deadline=args.worker_fault_deadline,
+                max_task_retries=args.worker_fault_retries,
+                max_pool_rebuilds=args.worker_fault_rebuilds,
+            )
         else:
             report = run_differential(config, schedule, backend=backend)
         print(report.summary())
@@ -719,6 +824,8 @@ def _run_chaos(args) -> int:
             }
         count = export_chrome_trace(tracers, args.trace_out)
         print(f"wrote {count} trace events to {args.trace_out}")
+    if wf_backend is not None:
+        wf_backend.close()
     if backend is not None:
         backend.close()
     return 1 if failures else 0
@@ -820,6 +927,14 @@ def _run_throughput(args) -> int:
 
     report = run_throughput_bench(
         worker_counts=tuple(args.workers),
+        fault_kills=args.worker_fault_kills,
+        fault_hangs=args.worker_fault_hangs,
+        fault_seed=args.worker_fault_seed,
+        batch_deadline=(
+            args.worker_fault_deadline
+            if (args.worker_fault_kills or args.worker_fault_hangs)
+            else None
+        ),
         num_records=args.records,
         num_splits=args.splits,
         spins=args.spins,

@@ -1,9 +1,11 @@
-"""Pluggable task-execution backends (serial and process-pool).
+"""Pluggable task-execution backends (serial and supervised process-pool).
 
 See ``docs/parallelism.md`` for the architecture and the determinism
 contract; the short version: backends parallelise the *pure* task
 bodies only, virtual time and scheduling stay sequential, and window
-digests are byte-identical whichever backend ran the tasks.
+digests are byte-identical whichever backend ran the tasks — even
+under real worker faults, which the supervisor recovers (retry,
+rebuild, quarantine) or funnels into the degraded-window machinery.
 """
 
 from .backends import (
@@ -13,11 +15,29 @@ from .backends import (
     SerialBackend,
     make_backend,
 )
+from .supervisor import (
+    BatchStats,
+    SupervisionConfig,
+    WorkerFaultError,
+    WorkerSupervisor,
+)
+from .worker_faults import (
+    WORKER_FAULT_KINDS,
+    WorkerFault,
+    WorkerFaultPlan,
+)
 
 __all__ = [
     "BACKENDS",
+    "BatchStats",
     "ExecBackend",
     "ProcessPoolBackend",
     "SerialBackend",
+    "SupervisionConfig",
+    "WORKER_FAULT_KINDS",
+    "WorkerFault",
+    "WorkerFaultError",
+    "WorkerFaultPlan",
+    "WorkerSupervisor",
     "make_backend",
 ]

@@ -22,11 +22,24 @@ differential oracle enforces recovery neutrality.
 Fallback ladder
 ---------------
 :class:`ProcessPoolBackend` probes each batch for picklability (the
-function *and* its first call's arguments must survive
-``pickle.dumps``). Non-picklable jobs fall back to a thread pool
-(counted in ``exec.pickle_fallbacks``); an environment where process
-pools cannot start at all (sandboxes without working semaphores)
-degrades to threads permanently (``exec.process_pool_unavailable``).
+function *and every call's* arguments must survive ``pickle.dumps``).
+Non-picklable jobs fall back to a thread pool (counted in
+``exec.pickle_fallbacks``); an environment where process pools cannot
+start at all (sandboxes without working semaphores) degrades to
+threads permanently (``exec.process_pool_unavailable``).
+
+Supervision
+-----------
+Process-mode batches run under the :class:`~repro.exec.supervisor.
+WorkerSupervisor` recovery ladder: per-batch deadlines reap hung
+workers, broken pools are rebuilt a bounded number of times, lost
+tasks retry with deterministic backoff, poison tasks are quarantined
+to in-process serial execution, and a spent rebuild budget raises
+:class:`~repro.exec.supervisor.WorkerFaultError` into the runtime's
+degraded-window machinery. Recovery is accounted in ``exec.retries``,
+``exec.worker_lost``, ``exec.quarantined`` and ``exec.pool_rebuilds``
+plus an ``exec.recovery`` trace instant — all at virtual time, never
+perturbing the cost model. See ``docs/parallelism.md``.
 
 Observability
 -------------
@@ -43,8 +56,16 @@ import os
 import pickle
 import threading
 import time
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import Executor, ThreadPoolExecutor
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from .supervisor import (
+    SupervisionConfig,
+    WorkerFaultError,
+    WorkerSupervisor,
+    _DoneCounter,
+)
+from .worker_faults import WorkerFaultPlan
 
 __all__ = [
     "BACKENDS",
@@ -207,31 +228,63 @@ class SerialBackend(ExecBackend):
 
 
 class ProcessPoolBackend(ExecBackend):
-    """Run task bodies across a ``ProcessPoolExecutor``.
+    """Run task bodies across a supervised ``ProcessPoolExecutor``.
 
     Pools are created lazily (a restored checkpoint or a run that never
-    batches more than one task never forks). Each batch is probed for
-    picklability; jobs carrying unpicklable callables run on a thread
-    pool instead so no workload is ever rejected. Results are gathered
-    from the futures in submission order, which is the whole
-    determinism story: completion order never matters.
+    batches more than one task never forks) and owned by a
+    :class:`~repro.exec.supervisor.WorkerSupervisor`, which gathers
+    every batch under the deadline/retry/rebuild/quarantine ladder.
+    Each batch is probed for picklability; jobs carrying unpicklable
+    payloads run on a thread pool instead so no workload is ever
+    rejected. Results come back in submission order whichever path ran
+    them, which is the whole determinism story: completion order — and
+    recovery — never matters.
     """
 
     name = "process"
     parallel = True
 
-    def __init__(self, workers: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        *,
+        batch_deadline: Optional[float] = SupervisionConfig.batch_deadline,
+        max_task_retries: int = SupervisionConfig.max_task_retries,
+        max_pool_rebuilds: int = SupervisionConfig.max_pool_rebuilds,
+        backoff_base: float = SupervisionConfig.backoff_base,
+    ) -> None:
         if workers is not None and workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers if workers else max(2, (os.cpu_count() or 2) - 1)
-        self._pool: Optional[Executor] = None
+        self._supervisor = WorkerSupervisor(
+            self.workers,
+            SupervisionConfig(
+                batch_deadline=batch_deadline,
+                max_task_retries=max_task_retries,
+                max_pool_rebuilds=max_pool_rebuilds,
+                backoff_base=backoff_base,
+            ),
+        )
         self._thread_pool: Optional[Executor] = None
-        #: Set when process pools cannot start in this environment.
-        self._process_unavailable = False
         #: (pid, thread ident) -> dense lane index, stable per backend.
         self._lane_ids: Dict[Tuple[int, int], int] = {}
+        #: Stats of the last supervised batch, for ``_account``.
+        self._last_stats = None
 
     # -- pool management ------------------------------------------------
+
+    @property
+    def _pool(self) -> Optional[Executor]:
+        """The supervisor's live executor (``None`` until first use)."""
+        return self._supervisor._pool
+
+    @property
+    def _process_unavailable(self) -> bool:
+        return self._supervisor._unavailable
+
+    @property
+    def supervision(self) -> SupervisionConfig:
+        return self._supervisor.config
 
     def _threads(self) -> Executor:
         if self._thread_pool is None:
@@ -240,41 +293,68 @@ class ProcessPoolBackend(ExecBackend):
             )
         return self._thread_pool
 
-    def _processes(self) -> Optional[Executor]:
-        if self._process_unavailable:
-            return None
-        if self._pool is None:
-            try:
-                self._pool = ProcessPoolExecutor(max_workers=self.workers)
-            except (OSError, PermissionError, ValueError):
-                self._process_unavailable = True
-                return None
-        return self._pool
-
     def close(self) -> None:
-        for pool in (self._pool, self._thread_pool):
-            if pool is not None:
-                pool.shutdown(wait=True, cancel_futures=True)
-        self._pool = None
-        self._thread_pool = None
+        """Release both pools. Idempotent, and exception-safe: a
+        failing process-pool shutdown never leaks the thread pool."""
+        threads, self._thread_pool = self._thread_pool, None
+        errors: List[BaseException] = []
+        try:
+            self._supervisor.close()
+        except BaseException as exc:  # noqa: B036 - re-raised below
+            errors.append(exc)
+        if threads is not None:
+            try:
+                threads.shutdown(wait=True, cancel_futures=True)
+            except BaseException as exc:  # noqa: B036 - re-raised below
+                errors.append(exc)
+        if errors:
+            raise errors[0]
+
+    def pool_healthy(self) -> bool:
+        """Chaos-invariant probe: no broken pool left behind."""
+        return self._supervisor.healthy()
+
+    # -- worker fault injection (chaos events, CLI flags) ---------------
+
+    def inject_worker_faults(self, kind: str, count: int = 1) -> None:
+        """Arm real faults (``kill``/``hang``/``slow``) on the next
+        ``count`` first-attempt process-pool submissions."""
+        self._supervisor.arm(kind, count)
+
+    def arm_worker_fault_plan(self, plan: WorkerFaultPlan) -> None:
+        self._supervisor.arm_plan(plan)
+
+    def pending_worker_faults(self) -> int:
+        return self._supervisor.pending_faults()
+
+    def drain_worker_faults(self) -> int:
+        """Discard unconsumed armed faults (end-of-run hygiene)."""
+        return self._supervisor.drain_faults()
 
     # -- pickling (service checkpoints snapshot the whole runtime) ------
 
     def __getstate__(self):
         state = self.__dict__.copy()
         # Live executors cannot (and must not) ride a checkpoint; a
-        # restored backend re-creates them lazily on first use.
-        state["_pool"] = None
+        # restored backend re-creates them lazily on first use, with
+        # lanes reset and pool availability re-probed (a checkpoint
+        # taken on a degraded sandbox must not pin a healthy restore
+        # host to threads). The supervisor strips its own pool handle
+        # and transient fault state.
         state["_thread_pool"] = None
         state["_lane_ids"] = {}
+        state["_last_stats"] = None
         return state
 
     # -- execution ------------------------------------------------------
 
     @staticmethod
     def _batch_picklable(fn: Callable[..., Any], calls: Sequence[TaskCall]) -> bool:
+        # The probe must cover the *whole* batch: a batch whose later
+        # call is unpicklable would otherwise be submitted to the
+        # process pool and die mid-gather with a PicklingError.
         try:
-            pickle.dumps((fn, calls[0]))
+            pickle.dumps((fn, list(calls)))
         except Exception:
             return False
         return True
@@ -287,23 +367,37 @@ class ProcessPoolBackend(ExecBackend):
         return lane
 
     def _execute(self, fn, calls):
-        mode = "process"
-        pool: Optional[Executor] = None
-        if not self._batch_picklable(fn, calls):
-            mode = "thread"
+        self._last_stats = None
+        if self._batch_picklable(fn, calls):
+            if self._supervisor.pool() is not None:
+                raw, lanes_raw, queue_peak, stats = self._supervisor.run_batch(
+                    fn, calls
+                )
+                self._last_stats = stats
+                lanes: Dict[int, Tuple[int, float]] = {}
+                for key, (tasks, busy) in lanes_raw.items():
+                    lane = self._lane(key)
+                    have_tasks, have_busy = lanes.get(lane, (0, 0.0))
+                    lanes[lane] = (have_tasks + tasks, have_busy + busy)
+                return raw, lanes, "process", queue_peak
+            mode = "thread-degraded"
         else:
-            pool = self._processes()
-            if pool is None:
-                mode = "thread-degraded"
-        if pool is None:
-            pool = self._threads()
+            mode = "thread"
+        return self._execute_threads(fn, calls, mode)
 
+    def _execute_threads(self, fn, calls, mode):
+        pool = self._threads()
         futures = []
+        done = _DoneCounter()
         queue_peak = 0
         for args, kwargs in calls:
-            futures.append(pool.submit(_timed_invoke, fn, args, kwargs))
-            pending = sum(1 for f in futures if not f.done())
-            queue_peak = max(queue_peak, max(0, pending - self.workers))
+            future = pool.submit(_timed_invoke, fn, args, kwargs)
+            future.add_done_callback(done.hit)
+            futures.append(future)
+            # Incremental pending count: O(1) per submit instead of the
+            # O(n) future scan that made long batches quadratic.
+            in_flight = len(futures) - done.value()
+            queue_peak = max(queue_peak, max(0, in_flight - self.workers))
 
         results: List[Any] = []
         lanes: Dict[int, Tuple[int, float]] = {}
@@ -315,6 +409,46 @@ class ProcessPoolBackend(ExecBackend):
             results.append(result)
         return results, lanes, mode, queue_peak
 
+    def run_tasks(self, fn, calls, *, phase="task", counters=None,
+                  tracer=None, now=None):
+        try:
+            return super().run_tasks(
+                fn, calls, phase=phase, counters=counters, tracer=tracer, now=now
+            )
+        except WorkerFaultError as exc:
+            # Terminal batch death: flush the partial recovery
+            # accounting before the error funnels into the runtime's
+            # degraded-window path, so the retries/rebuilds that were
+            # attempted stay visible.
+            self._flush_recovery(exc.stats, phase, counters, tracer, now)
+            raise
+
+    def _flush_recovery(self, stats, phase, counters, tracer, now) -> None:
+        if stats is None or not stats.any():
+            return
+        if counters is not None:
+            if stats.retries:
+                counters.increment("exec.retries", stats.retries)
+            if stats.worker_lost:
+                counters.increment("exec.worker_lost", stats.worker_lost)
+            if stats.quarantined:
+                counters.increment("exec.quarantined", stats.quarantined)
+            if stats.rebuilds:
+                counters.increment("exec.pool_rebuilds", stats.rebuilds)
+        if tracer is not None and now is not None:
+            tracer.instant(
+                "exec.recovery",
+                CAT_EXEC,
+                time=now,
+                phase=phase,
+                retries=stats.retries,
+                worker_lost=stats.worker_lost,
+                quarantined=stats.quarantined,
+                rebuilds=stats.rebuilds,
+                deadline_reaps=stats.deadline_reaps,
+                backoff_ms=round(stats.backoff_seconds * 1000, 3),
+            )
+
     def _account(self, phase, n_tasks, wall, mode, lanes, queue_peak,
                  counters, tracer, now):
         if counters is not None:
@@ -322,17 +456,30 @@ class ProcessPoolBackend(ExecBackend):
                 counters.increment("exec.pickle_fallbacks")
             elif mode == "thread-degraded":
                 counters.increment("exec.process_pool_unavailable")
+        stats, self._last_stats = self._last_stats, None
+        self._flush_recovery(stats, phase, counters, tracer, now)
         super()._account(
             phase, n_tasks, wall, mode, lanes, queue_peak, counters, tracer, now
         )
 
 
-def make_backend(name: str, workers: Optional[int] = None) -> ExecBackend:
-    """Build a backend from its registry name (``serial`` | ``process``)."""
+def make_backend(
+    name: str,
+    workers: Optional[int] = None,
+    **supervision: Any,
+) -> ExecBackend:
+    """Build a backend from its registry name (``serial`` | ``process``).
+
+    ``supervision`` keywords (``batch_deadline``, ``max_task_retries``,
+    ``max_pool_rebuilds``, ``backoff_base``) tune the process backend's
+    recovery ladder and are rejected for the serial backend.
+    """
     if name == "serial":
+        if supervision:
+            raise ValueError("the serial backend takes no supervision knobs")
         return SerialBackend()
     if name == "process":
-        return ProcessPoolBackend(workers)
+        return ProcessPoolBackend(workers, **supervision)
     raise ValueError(
         f"unknown execution backend {name!r}; expected one of {BACKENDS}"
     )

@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
-from repro.exec import ExecBackend, SerialBackend
+from repro.exec import ExecBackend, SerialBackend, WorkerFaultError
 from repro.trace import CAT_JOB, CAT_PHASE, CAT_RUN, CAT_TASK, Span, Tracer
 
 from .cluster import Cluster
@@ -278,13 +278,13 @@ class JobTracker:
         # Task bodies first (possibly in parallel — results come back in
         # split order), then the sequential list-scheduling pass below
         # charges virtual time exactly as before.
-        execs: List[MapExecution] = self.backend.run_tasks(
+        execs: List[MapExecution] = self._run_backend(
             execute_map,
             [((job, split.records), {"input_bytes": split.size}) for split in splits],
             phase="map",
             counters=counters,
-            tracer=self.tracer,
             now=t0,
+            task_key=f"{job.name}/exec-map",
         )
         for split, ex in zip(splits, execs):
             node = self.scheduler.choose_node(
@@ -415,13 +415,13 @@ class JobTracker:
         rexes: Dict[int, ReduceExecution] = dict(
             zip(
                 partitions,
-                self.backend.run_tasks(
+                self._run_backend(
                     execute_reduce,
                     [((job, p, by_partition[p]), {}) for p in partitions],
                     phase="reduce",
                     counters=counters,
-                    tracer=self.tracer,
                     now=maps_done,
+                    task_key=f"{job.name}/exec-reduce",
                 ),
             )
         )
@@ -488,6 +488,43 @@ class JobTracker:
     # ------------------------------------------------------------------
     # helpers
     # ------------------------------------------------------------------
+
+    def _run_backend(
+        self,
+        fn,
+        calls,
+        *,
+        phase: str,
+        counters: Counters,
+        now: float,
+        task_key: str,
+    ):
+        """Run a task batch through the execution backend.
+
+        A terminal worker-pool failure maps onto attempt exhaustion:
+        plain Hadoop has no degraded-window notion, so — exactly like
+        a simulated exhausted task — it fails the whole job.
+        """
+        try:
+            return self.backend.run_tasks(
+                fn,
+                calls,
+                phase=phase,
+                counters=counters,
+                tracer=self.tracer,
+                now=now,
+            )
+        except WorkerFaultError as exc:
+            counters.increment("task.exhausted")
+            self.tracer.instant(
+                "task.exhausted",
+                "fault",
+                time=now,
+                node_id=None,
+                task=task_key,
+                attempts=exc.attempts,
+            )
+            raise TaskAttemptsExhaustedError(task_key, exc.attempts) from exc
 
     def _with_faults(
         self,

@@ -22,6 +22,13 @@ RedoopRuntime` / cluster:
 * **fault tolerance** — :meth:`checkpoint` snapshots the whole server
   between recurrences (see :mod:`repro.service.checkpoint`);
   :meth:`QueryServer.restore` brings a killed server back mid-stream.
+  Real worker-pool breakage mid-batch is absorbed the same way any
+  attempt exhaustion is: the supervised process backend retries and
+  rebuilds; its *terminal* failure degrades only the affected window
+  (cache rollback included) and the event loop keeps serving every
+  other tenant. Supervisor state is checkpoint-safe — pool handles and
+  armed faults are stripped, so a restored server re-probes pools
+  lazily on a clean slate (``tests/service/test_worker_faults.py``).
 
 Everything the server does is observable: admission verdicts and
 lifecycle transitions land as ``service.*`` counters on the runtime's

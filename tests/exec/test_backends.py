@@ -26,6 +26,10 @@ def square(x: int) -> int:
     return x * x
 
 
+def describe(x) -> str:
+    return type(x).__name__
+
+
 def offset(x: int, *, base: int = 0) -> int:
     return base + x
 
@@ -134,6 +138,23 @@ class TestCounters:
         assert out == [1, 2, 3, 4]
         assert counters.get("exec.pickle_fallbacks") == 1
 
+    def test_pickle_probe_covers_the_whole_batch(self):
+        # The fn and the first call are picklable; a *later* call is
+        # not. Probing only calls[0] would ship the batch to the
+        # process pool and die mid-gather with a PicklingError — the
+        # probe must cover every call's arguments.
+        import threading
+
+        counters = Counters()
+        backend = ProcessPoolBackend(workers=2)
+        calls = [(("fine",), {}), ((threading.Lock(),), {})]
+        try:
+            out = backend.run_tasks(describe, calls, counters=counters)
+        finally:
+            backend.close()
+        assert out == ["str", "lock"]
+        assert counters.get("exec.pickle_fallbacks") == 1
+
 
 class TestTraceInstants:
     def test_batch_and_worker_instants_at_virtual_time(self):
@@ -173,6 +194,58 @@ class TestCheckpointPickling:
         # And the revived backend still executes.
         try:
             assert revived.run_tasks(square, [((3,), {})]) == [9]
+        finally:
+            revived.close()
+
+
+class TestLifecycle:
+    def test_close_is_idempotent(self):
+        backend = ProcessPoolBackend(workers=2)
+        backend.run_tasks(square, [((i,), {}) for i in range(4)])
+        backend.close()
+        backend.close()  # second close is a no-op, not an error
+        assert backend._pool is None
+        assert backend._thread_pool is None
+
+    def test_close_survives_a_failing_process_pool_shutdown(self):
+        # Exception-safety: the first pool's shutdown raising must not
+        # leak the second. The thread pool is torn down even when the
+        # supervisor's close explodes, and the error still surfaces.
+        backend = ProcessPoolBackend(workers=2)
+        backend.run_tasks(square, [((1,), {})])  # spin up process pool
+        unpicklable = lambda x: x  # noqa: E731 - forces the thread path
+        backend.run_tasks(unpicklable, [((1,), {})])
+        threads = backend._thread_pool
+        assert threads is not None
+
+        def explode():
+            raise RuntimeError("shutdown failed")
+
+        backend._supervisor.close()  # release the real pool first
+        backend._supervisor.close = explode
+        with pytest.raises(RuntimeError, match="shutdown failed"):
+            backend.close()
+        assert backend._thread_pool is None
+        assert threads._shutdown  # the second pool did not leak
+
+    def test_restored_backend_reprobes_availability_and_resets_lanes(self):
+        backend = ProcessPoolBackend(workers=2)
+        try:
+            backend.run_tasks(square, [((i,), {}) for i in range(6)])
+            assert backend._lane_ids  # lanes were assigned
+            # Simulate a degraded sandbox: pools could not start here.
+            backend._supervisor._unavailable = True
+            assert backend._process_unavailable
+            revived = pickle.loads(pickle.dumps(backend))
+        finally:
+            backend.close()
+        # The checkpoint must not pin a healthy restore host to the
+        # thread fallback: availability is re-probed, lanes start dense.
+        assert revived._process_unavailable is False
+        assert revived._lane_ids == {}
+        try:
+            assert revived.run_tasks(square, [((4,), {})]) == [16]
+            assert revived._lane_ids  # fresh lanes on the restore host
         finally:
             revived.close()
 

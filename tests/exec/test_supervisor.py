@@ -1,0 +1,300 @@
+"""The worker supervision ladder, exercised with real process faults.
+
+Every test here crashes, hangs, or starves an actual OS worker and
+asserts the supervisor's contract: correct results in submission
+order, bounded wall-clock (a hang never outlives the batch deadline),
+recovery visible in ``exec.*`` counters and the ``exec.recovery``
+instant, and a terminal :class:`WorkerFaultError` once the rebuild
+budget is gone. Deadlines are kept small so no test can block longer
+than its configured deadline plus one retry round.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+
+import pytest
+
+from repro.exec import (
+    ProcessPoolBackend,
+    SupervisionConfig,
+    WorkerFault,
+    WorkerFaultError,
+    WorkerFaultPlan,
+    WorkerSupervisor,
+)
+from repro.exec.worker_faults import faulty_invoke
+from repro.hadoop.counters import Counters
+from repro.trace import Tracer
+
+
+def square(x: int) -> int:
+    return x * x
+
+
+def boom(x: int) -> int:
+    if x == 3:
+        raise ValueError("user code exploded on 3")
+    return x
+
+
+class TestSupervisionConfig:
+    def test_backoff_ladder_is_deterministic_and_capped(self):
+        cfg = SupervisionConfig(
+            backoff_base=0.01, backoff_factor=2.0, backoff_cap=0.04
+        )
+        assert [cfg.backoff(r) for r in (1, 2, 3, 4)] == [
+            0.01,
+            0.02,
+            0.04,
+            0.04,
+        ]
+        # Same inputs, same schedule — no RNG, no clock.
+        assert cfg.backoff(2) == cfg.backoff(2)
+
+    def test_hang_seconds_clears_the_deadline(self):
+        cfg = SupervisionConfig(batch_deadline=0.5)
+        assert cfg.hang_seconds() > cfg.batch_deadline
+
+    def test_hang_seconds_refuses_undeadlined_pool(self):
+        with pytest.raises(ValueError, match="batch deadline"):
+            SupervisionConfig(batch_deadline=None).hang_seconds()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SupervisionConfig(batch_deadline=0.0)
+        with pytest.raises(ValueError):
+            SupervisionConfig(max_task_retries=-1)
+        with pytest.raises(ValueError):
+            SupervisionConfig(max_pool_rebuilds=-1)
+
+
+class TestWorkerFault:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown worker fault"):
+            WorkerFault("segfault")
+
+    def test_hang_and_slow_need_durations(self):
+        with pytest.raises(ValueError, match="positive seconds"):
+            WorkerFault("hang")
+        with pytest.raises(ValueError, match="positive seconds"):
+            WorkerFault("slow", seconds=0.0)
+
+    def test_faultless_invoke_matches_timed_payload(self):
+        pid, ident, wall, result = faulty_invoke(None, square, (4,), {})
+        assert result == 16
+        assert wall >= 0
+        assert isinstance(pid, int) and isinstance(ident, int)
+
+
+class TestWorkerFaultPlan:
+    def test_assignment_is_deterministic(self):
+        plan = WorkerFaultPlan(seed=7, kills=2, hangs=1, span=16)
+        a = plan.assign(0, hang_seconds=1.0)
+        b = plan.assign(0, hang_seconds=1.0)
+        assert a == b
+        assert len(a) == 3
+        assert sorted(f.kind for f in a.values()) == ["hang", "kill", "kill"]
+
+    def test_assignment_shifts_with_start_ordinal(self):
+        plan = WorkerFaultPlan(seed=7, kills=2, span=16)
+        base = plan.assign(0, hang_seconds=1.0)
+        shifted = plan.assign(10, hang_seconds=1.0)
+        assert set(shifted) == {k + 10 for k in base}
+
+    def test_faults_must_fit_the_span(self):
+        with pytest.raises(ValueError, match="do not fit"):
+            WorkerFaultPlan(seed=1, kills=3, span=2)
+
+    def test_plan_pickles(self):
+        plan = WorkerFaultPlan(seed=1, kills=1, hangs=1, span=8)
+        assert pickle.loads(pickle.dumps(plan)) == plan
+
+
+class TestKillRecovery:
+    def test_crashed_worker_is_recovered_invisibly(self):
+        counters = Counters()
+        tracer = Tracer()
+        backend = ProcessPoolBackend(
+            workers=2, batch_deadline=10.0, backoff_base=0.01
+        )
+        try:
+            backend.inject_worker_faults("kill")
+            out = backend.run_tasks(
+                square,
+                [((i,), {}) for i in range(12)],
+                phase="map",
+                counters=counters,
+                tracer=tracer,
+                now=40.0,
+            )
+        finally:
+            backend.close()
+        assert out == [i * i for i in range(12)]
+        assert counters.get("exec.worker_lost") >= 1
+        assert counters.get("exec.pool_rebuilds") >= 1
+        assert counters.get("exec.retries") >= 1
+        assert backend.pool_healthy()
+        recovery = next(
+            e
+            for e in tracer.events(category="exec")
+            if e.name == "exec.recovery"
+        )
+        # Physical recovery facts ride the instant at *virtual* time.
+        assert recovery.time == 40.0
+        assert recovery.attrs["worker_lost"] >= 1
+        assert recovery.attrs["backoff_ms"] > 0
+
+    def test_retries_run_clean_so_every_fault_is_recoverable(self):
+        backend = ProcessPoolBackend(
+            workers=2, batch_deadline=10.0, backoff_base=0.01
+        )
+        try:
+            backend.inject_worker_faults("kill", count=2)
+            out = backend.run_tasks(square, [((i,), {}) for i in range(8)])
+            # Both faults were consumed by first attempts; none linger.
+            assert backend.pending_worker_faults() == 0
+        finally:
+            backend.close()
+        assert out == [i * i for i in range(8)]
+
+
+class TestHangReap:
+    def test_hung_worker_is_reaped_at_the_deadline(self):
+        counters = Counters()
+        tracer = Tracer()
+        backend = ProcessPoolBackend(
+            workers=2, batch_deadline=0.5, backoff_base=0.01
+        )
+        hang_sleep = backend.supervision.hang_seconds()
+        try:
+            backend.inject_worker_faults("hang")
+            t0 = time.monotonic()
+            out = backend.run_tasks(
+                square,
+                [((i,), {}) for i in range(6)],
+                phase="map",
+                counters=counters,
+                tracer=tracer,
+                now=1.0,
+            )
+            elapsed = time.monotonic() - t0
+        finally:
+            backend.close()
+        assert out == [i * i for i in range(6)]
+        # The reap ended the batch long before the hang would have.
+        assert elapsed < hang_sleep
+        assert counters.get("exec.worker_lost") >= 1
+        recovery = next(
+            e
+            for e in tracer.events(category="exec")
+            if e.name == "exec.recovery"
+        )
+        assert recovery.attrs["deadline_reaps"] >= 1
+
+
+class TestQuarantine:
+    def test_exhausted_task_runs_serially_in_process(self):
+        counters = Counters()
+        backend = ProcessPoolBackend(
+            workers=2,
+            batch_deadline=10.0,
+            max_task_retries=0,
+            backoff_base=0.01,
+        )
+        try:
+            backend.inject_worker_faults("kill")
+            out = backend.run_tasks(
+                square, [((i,), {}) for i in range(4)], counters=counters
+            )
+        finally:
+            backend.close()
+        assert out == [0, 1, 4, 9]
+        # With zero retries every surviving loss goes straight to the
+        # in-process quarantine — and still produces correct output.
+        assert counters.get("exec.quarantined") >= 1
+        assert counters.get("exec.retries") == 0
+
+    def test_genuine_user_exception_propagates_untouched(self):
+        backend = ProcessPoolBackend(workers=2, batch_deadline=10.0)
+        try:
+            with pytest.raises(ValueError, match="exploded on 3"):
+                backend.run_tasks(boom, [((i,), {}) for i in range(5)])
+        finally:
+            backend.close()
+
+
+class TestTerminalPath:
+    def test_spent_rebuild_budget_raises_worker_fault_error(self):
+        counters = Counters()
+        backend = ProcessPoolBackend(
+            workers=2,
+            batch_deadline=10.0,
+            max_pool_rebuilds=0,
+            backoff_base=0.01,
+        )
+        try:
+            backend.inject_worker_faults("kill")
+            with pytest.raises(WorkerFaultError) as err:
+                backend.run_tasks(
+                    square, [((i,), {}) for i in range(6)], counters=counters
+                )
+            assert err.value.tasks_lost >= 1
+            assert err.value.attempts >= 1
+            # Partial recovery accounting is flushed before the raise.
+            assert counters.get("exec.worker_lost") >= 1
+            assert counters.get("exec.pool_rebuilds") == 1
+            # The broken pool was reaped, not leaked; the backend can
+            # still serve the next batch on a fresh pool.
+            assert backend.pool_healthy()
+            assert backend.run_tasks(square, [((5,), {})]) == [25]
+        finally:
+            backend.close()
+
+
+class TestArming:
+    def test_arm_validation(self):
+        sup = WorkerSupervisor(2)
+        with pytest.raises(ValueError, match="unknown worker fault"):
+            sup.arm("meteor")
+        with pytest.raises(ValueError, match=">= 1"):
+            sup.arm("kill", count=0)
+
+    def test_hang_refuses_to_arm_without_a_deadline(self):
+        sup = WorkerSupervisor(2, SupervisionConfig(batch_deadline=None))
+        with pytest.raises(ValueError, match="batch deadline"):
+            sup.arm("hang")
+        with pytest.raises(ValueError, match="batch deadline"):
+            sup.arm_plan(WorkerFaultPlan(seed=1, hangs=1, span=4))
+
+    def test_arming_is_cumulative_and_drainable(self):
+        sup = WorkerSupervisor(2)
+        sup.arm("kill", count=2)
+        sup.arm("slow")
+        assert sup.pending_faults() == 3
+        assert sup.drain_faults() == 3
+        assert sup.pending_faults() == 0
+
+
+class TestCheckpointState:
+    def test_supervisor_strips_transients(self):
+        backend = ProcessPoolBackend(workers=2)
+        try:
+            backend.run_tasks(square, [((i,), {}) for i in range(4)])
+            backend.inject_worker_faults("kill", count=2)
+            revived = pickle.loads(pickle.dumps(backend))
+        finally:
+            backend.drain_worker_faults()
+            backend.close()
+        sup = revived._supervisor
+        assert sup._pool is None
+        assert sup._unavailable is False
+        assert sup._armed == {}
+        assert sup._ordinal == 0
+        assert sup.last_stats is None
+        # A restored supervisor serves batches on a fresh pool.
+        try:
+            assert revived.run_tasks(square, [((7,), {})]) == [49]
+        finally:
+            revived.close()

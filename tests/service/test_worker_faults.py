@@ -1,0 +1,165 @@
+"""The long-running server on a supervised process backend under
+real worker faults.
+
+Referenced by ``repro.service.server``'s fault-tolerance notes: a
+crashed or hung pool worker mid-batch is absorbed by the supervision
+ladder (invisible to tenants), a *terminal* pool failure degrades only
+the affected window while the event loop keeps serving, and supervisor
+state never rides a checkpoint — a restored server starts with a
+clean, healthy pool.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import RedoopRuntime
+from repro.exec import ProcessPoolBackend
+from repro.hadoop import BatchFile, Cluster, Record, small_test_config
+from repro.service import ACCEPTED, QuerySpec, QueryServer
+
+FACTORY = "tests.service.factories:wordcount_query"
+RATE = 500_000.0
+
+
+def spec_for(name="q1", win=40.0, slide=10.0):
+    kwargs = {"win": win, "slide": slide, "name": name}
+    return QuerySpec(
+        name=name, factory=FACTORY, kwargs=kwargs, rates={"S1": RATE}
+    )
+
+
+def make_server(backend=None) -> QueryServer:
+    cluster = Cluster(small_test_config(), seed=3)
+    return QueryServer(RedoopRuntime(cluster, backend=backend))
+
+
+def batch(i, t0, t1, n=20, key_space=5):
+    rng = random.Random(i)
+    dt = (t1 - t0) / n
+    records = [
+        Record(ts=t0 + j * dt, value=f"w{rng.randrange(key_space)}", size=100)
+        for j in range(n)
+    ]
+    return (
+        BatchFile(path=f"/b/S1/{i}", source="S1", t_start=t0, t_end=t1),
+        records,
+    )
+
+
+def drive(server, upto, batch_seconds=10.0):
+    i, t = 0, 0.0
+    while t < upto - 1e-9:
+        b, records = batch(i, t, t + batch_seconds)
+        assert server.offer(b, records) == ACCEPTED
+        server.run_until(t + batch_seconds)
+        i += 1
+        t += batch_seconds
+
+
+def fingerprints(server):
+    return [
+        (r.query, r.recurrence, dict(r.output), r.degraded)
+        for r in server.results
+    ]
+
+
+class TestRecoverableFaults:
+    def test_crashed_worker_is_invisible_to_tenants(self):
+        baseline = make_server()
+        baseline.submit(spec_for())
+        drive(baseline, 60.0)
+        assert len(baseline.results) == 3
+
+        backend = ProcessPoolBackend(
+            workers=2, batch_deadline=5.0, backoff_base=0.01
+        )
+        server = make_server(backend)
+        try:
+            server.submit(spec_for())
+            backend.inject_worker_faults("kill")
+            drive(server, 60.0)
+        finally:
+            backend.close()
+        # Identical outputs, recurrence for recurrence — the retry that
+        # absorbed the crash never surfaced to the tenant.
+        assert fingerprints(server) == fingerprints(baseline)
+        assert server.counters.get("exec.worker_lost") >= 1
+        assert server.counters.get("exec.pool_rebuilds") >= 1
+        assert server.counters.get("faults.windows_degraded") == 0
+
+
+class TestTerminalFaults:
+    def test_dead_pool_degrades_one_window_and_the_loop_continues(self):
+        baseline = make_server()
+        baseline.submit(spec_for())
+        drive(baseline, 70.0)
+
+        backend = ProcessPoolBackend(
+            workers=2,
+            batch_deadline=5.0,
+            max_task_retries=0,
+            max_pool_rebuilds=0,
+        )
+        server = make_server(backend)
+        try:
+            server.submit(spec_for())
+            backend.inject_worker_faults("kill")
+            drive(server, 70.0)
+            assert backend.pool_healthy()
+        finally:
+            backend.close()
+        # The terminal WorkerFaultError funnelled into the degraded-
+        # window path: exactly the affected window was abandoned, the
+        # server kept firing, and every other recurrence matches the
+        # serial baseline.
+        degraded = [r.recurrence for r in server.results if r.degraded]
+        assert len(degraded) >= 1
+        assert server.counters.get("faults.windows_degraded") >= 1
+        assert server.counters.get("task.exhausted") >= 1
+        assert len(server.results) == len(baseline.results)
+        clean = {
+            r.recurrence: dict(r.output)
+            for r in server.results
+            if not r.degraded
+        }
+        expected = {
+            r.recurrence: dict(r.output)
+            for r in baseline.results
+            if r.recurrence in clean
+        }
+        assert clean == expected
+        assert clean  # the loop really did continue past the dead pool
+
+
+class TestCheckpointHygiene:
+    def test_restored_server_starts_with_a_clean_supervisor(self, tmp_path):
+        backend = ProcessPoolBackend(workers=2, batch_deadline=5.0)
+        server = make_server(backend)
+        try:
+            server.submit(spec_for())
+            drive(server, 50.0)
+            # Armed-but-unconsumed faults are transient chaos state;
+            # they must not ride the checkpoint.
+            backend.inject_worker_faults("kill", count=2)
+            path = server.checkpoint(tmp_path / "ck.bin")
+            dead = fingerprints(server)
+        finally:
+            backend.close()
+
+        restored = QueryServer.restore(path)
+        revived = restored.runtime.backend
+        try:
+            assert isinstance(revived, ProcessPoolBackend)
+            assert revived.pending_worker_faults() == 0
+            assert revived._pool is None  # pools are rebuilt lazily
+            assert revived.pool_healthy()
+            assert fingerprints(restored) == dead
+            # And the restored server still executes on a fresh pool.
+            b, records = batch(5, 50.0, 60.0)
+            assert restored.offer(b, records) == ACCEPTED
+            restored.run_until(60.0)
+        finally:
+            revived.close()
+        assert len(restored.results) == len(dead) + 1
+        assert not restored.results[-1].degraded
