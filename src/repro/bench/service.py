@@ -187,18 +187,32 @@ def build_server(
     checkpoint_every: int = 0,
     backend=None,
     reuse_store=None,
+    share_scans: bool = False,
 ) -> QueryServer:
     """A fresh server with the scenario's initial tenants submitted.
 
     ``reuse_store`` enables the cross-query reuse tier: overlapping
     tenants (and a server restarted against the same store) are served
     from stored pane/window artifacts instead of recomputing.
+    ``share_scans`` enables the plan-IR shared-scan optimizer: tenants
+    whose Scan → Map → Shuffle prefixes are IR-equal (the scenario's
+    whole fleet — same mapper config, same reducer fan-out) execute
+    each pane's map phase once and fan the output out.
     """
     cluster = Cluster(
         small_test_config(scenario.num_nodes), seed=scenario.seed
     )
+    scan_sharing = None
+    if share_scans:
+        from ..plan import SharedScanRegistry
+
+        scan_sharing = SharedScanRegistry()
     runtime = RedoopRuntime(
-        cluster, tracer=tracer, backend=backend, reuse_store=reuse_store
+        cluster,
+        tracer=tracer,
+        backend=backend,
+        reuse_store=reuse_store,
+        scan_sharing=scan_sharing,
     )
     server = QueryServer(
         runtime,
@@ -289,6 +303,6 @@ def summarize(server: QueryServer) -> ScenarioRun:
         counters={
             name: value
             for name, value in server.counters.as_dict().items()
-            if name.startswith(("service.", "runtime.", "reuse."))
+            if name.startswith(("service.", "runtime.", "reuse.", "plan."))
         },
     )

@@ -1,0 +1,204 @@
+"""Shared-scan differential oracle: sharing on vs. off, byte-identical.
+
+The shared-scan optimizer (``docs/plan.md``) must be a pure performance
+optimization — fanning one tenant's partitioned map output into another
+tenant's shuffle may never change an answer. This module pins that the
+same way the chaos and reuse tiers pin their guarantees: run the
+multi-tenant service scenario twice, once with sharing off (the
+baseline) and once with sharing on, and require every tenant's
+per-window output digest to match byte-for-byte, while the shared run
+actually shares (``plan.shared_scans`` > 0, ``plan.shared_map_bytes_saved``
+> 0 — an oracle that never exercises the optimizer proves nothing).
+
+A deterministic *fault plan* (node kills/recoveries at fixed virtual
+times, applied identically to both runs) extends the differential to
+chaos schedules: a failed node loses its caches, the re-mapped panes go
+through the registry's absorb path, and the digests still must match.
+Process backends ride through the ``backend_factory`` hook — each run
+gets a fresh backend so pool state never leaks between them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from .service import (
+    ScenarioRun,
+    ServiceScenario,
+    build_server,
+    drive_scenario,
+)
+
+__all__ = [
+    "FaultAction",
+    "SharingDifferentialReport",
+    "default_fault_plan",
+    "run_sharing_differential",
+]
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One deterministic fault step: kill or recover a node by id."""
+
+    time: float
+    kind: str  # "node-kill" | "node-recover"
+    node_id: int
+
+
+def default_fault_plan(scenario: ServiceScenario) -> List[FaultAction]:
+    """Kill one node mid-horizon, recover it a few slides later."""
+    h, s = scenario.horizon, scenario.slide
+    victim = scenario.num_nodes - 1
+    return [
+        FaultAction(time=round(h * 0.4 / s) * s, kind="node-kill", node_id=victim),
+        FaultAction(time=round(h * 0.7 / s) * s, kind="node-recover", node_id=victim),
+    ]
+
+
+@dataclass
+class SharingDifferentialReport:
+    """Outcome of one shared-vs-unshared differential run."""
+
+    scenario: ServiceScenario
+    baseline: ScenarioRun
+    shared: ScenarioRun
+    #: human-readable digest mismatches (empty = byte-identical).
+    mismatches: List[str] = field(default_factory=list)
+    faults_applied: int = 0
+
+    @property
+    def shared_scans(self) -> float:
+        return self.shared.counters.get("plan.shared_scans", 0.0)
+
+    @property
+    def shared_map_bytes_saved(self) -> float:
+        return self.shared.counters.get("plan.shared_map_bytes_saved", 0.0)
+
+    @property
+    def ok(self) -> bool:
+        return (
+            not self.mismatches
+            and self.shared_scans > 0
+            and self.shared_map_bytes_saved > 0
+        )
+
+    def summary(self) -> str:
+        lines = [
+            f"tenants={self.scenario.tenants} "
+            f"recurrences={self.scenario.recurrences} "
+            f"faults_applied={self.faults_applied}",
+            f"baseline fired {self.baseline.recurrences_fired}, "
+            f"shared fired {self.shared.recurrences_fired}",
+            f"plan.shared_scans            {self.shared_scans:10.0f}",
+            f"plan.shared_map_bytes_saved  {self.shared_map_bytes_saved:10.0f}",
+        ]
+        published = self.shared.counters.get("plan.map_outputs_published", 0.0)
+        retired = self.shared.counters.get("plan.map_outputs_retired", 0.0)
+        lines.append(f"plan.map_outputs_published   {published:10.0f}")
+        lines.append(f"plan.map_outputs_retired     {retired:10.0f}")
+        if self.mismatches:
+            lines.append("DIGEST MISMATCHES:")
+            lines.extend(f"  {m}" for m in self.mismatches)
+        elif self.shared_scans <= 0:
+            lines.append("FAILED: the shared run never shared a scan")
+        else:
+            lines.append(
+                "ok: all window digests byte-identical, sharing exercised"
+            )
+        return "\n".join(lines)
+
+
+def _compare(baseline: ScenarioRun, shared: ScenarioRun) -> List[str]:
+    mismatches: List[str] = []
+    tenants = sorted(set(baseline.digests) | set(shared.digests))
+    for tenant in tenants:
+        base = baseline.digests.get(tenant, [])
+        with_sharing = shared.digests.get(tenant, [])
+        if len(base) != len(with_sharing):
+            mismatches.append(
+                f"{tenant}: baseline fired {len(base)} windows, "
+                f"shared fired {len(with_sharing)}"
+            )
+        for (br, bd), (sr, sd) in zip(base, with_sharing):
+            if br != sr or bd != sd:
+                mismatches.append(
+                    f"{tenant}: window {br} digest {bd[:12]}… vs "
+                    f"window {sr} digest {sd[:12]}…"
+                )
+    return mismatches
+
+
+def _drive_one(
+    scenario: ServiceScenario,
+    *,
+    share_scans: bool,
+    backend,
+    fault_plan: Sequence[FaultAction],
+) -> Tuple[ScenarioRun, int]:
+    server = build_server(scenario, backend=backend, share_scans=share_scans)
+    applied = 0
+    if fault_plan:
+        from ..core.recovery import RecoveryManager
+
+        recovery = RecoveryManager(server.runtime)
+        pending = sorted(fault_plan, key=lambda a: (a.time, a.node_id))
+        cursor = [0]
+
+        def pace(now: float) -> None:
+            while cursor[0] < len(pending) and pending[cursor[0]].time <= now + 1e-9:
+                action = pending[cursor[0]]
+                cursor[0] += 1
+                node = server.runtime.cluster.node(action.node_id)
+                if action.kind == "node-kill" and node.alive:
+                    recovery.fail_node(action.node_id)
+                elif action.kind == "node-recover" and not node.alive:
+                    recovery.recover_node(action.node_id)
+                else:
+                    continue
+
+        run = drive_scenario(scenario, server, pace=pace)
+        applied = cursor[0]
+    else:
+        run = drive_scenario(scenario, server)
+    return run, applied
+
+
+def run_sharing_differential(
+    scenario: Optional[ServiceScenario] = None,
+    *,
+    backend_factory: Optional[Callable[[], object]] = None,
+    fault_plan: Sequence[FaultAction] = (),
+) -> SharingDifferentialReport:
+    """Drive the scenario with sharing off then on; compare digests.
+
+    Both runs see the identical batch schedule, churn plan, and fault
+    plan — the only difference is the shared-scan registry. The report
+    is ``ok`` when every tenant's per-window digests match
+    byte-for-byte AND the shared run actually skipped map phases.
+    """
+    scenario = scenario if scenario is not None else ServiceScenario()
+    runs = []
+    applied = 0
+    for share in (False, True):
+        backend = backend_factory() if backend_factory is not None else None
+        try:
+            run, applied = _drive_one(
+                scenario,
+                share_scans=share,
+                backend=backend,
+                fault_plan=fault_plan,
+            )
+        finally:
+            if backend is not None:
+                backend.close()
+        runs.append(run)
+    baseline, shared = runs
+    return SharingDifferentialReport(
+        scenario=scenario,
+        baseline=baseline,
+        shared=shared,
+        mismatches=_compare(baseline, shared),
+        faults_applied=applied,
+    )

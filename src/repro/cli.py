@@ -63,6 +63,7 @@ _EXPERIMENTS = {
     "report": "per-window phase/cache/task report from a --trace-out JSON",
     "serve": "multi-tenant query server soak (churn, checkpoints, restore)",
     "reuse-bench": "cross-query reuse store: warm-vs-cold response times",
+    "plan": "logical-plan IR trees, fingerprints, and shared-scan analysis",
 }
 
 
@@ -482,6 +483,73 @@ def build_parser() -> argparse.ArgumentParser:
         help="bound the reuse store at this many megabytes (cost-benefit "
         "eviction; default: unbounded; implies --reuse)",
     )
+    serve.add_argument(
+        "--share-scans",
+        action="store_true",
+        help="enable the plan-IR shared-scan optimizer: tenants with "
+        "IR-equal Scan → Map → Shuffle prefixes run each pane's map "
+        "phase once and fan the output out (outputs are byte-identical "
+        "either way — see `repro plan --differential`)",
+    )
+    plan_cmd = sub.add_parser("plan", help=_EXPERIMENTS["plan"])
+    add_backend(plan_cmd)
+    plan_cmd.add_argument(
+        "workloads",
+        nargs="*",
+        metavar="WORKLOAD",
+        help="figure workloads to plan (aggregation, join, distinct, "
+        "extrema; default: all four)",
+    )
+    plan_cmd.add_argument(
+        "--win", type=float, default=60.0, help="window size in s (default 60)"
+    )
+    plan_cmd.add_argument(
+        "--slide", type=float, default=30.0, help="window slide in s (default 30)"
+    )
+    plan_cmd.add_argument(
+        "--num-reducers", type=int, default=4, help="reduce fan-out (default 4)"
+    )
+    plan_cmd.add_argument(
+        "--serve-fleet",
+        action="store_true",
+        help="plan the multi-tenant serve scenario's fleet instead of the "
+        "figure workloads (all tenants share one source — the sharing "
+        "report shows the shared prefix groups)",
+    )
+    plan_cmd.add_argument(
+        "--differential",
+        action="store_true",
+        help="run the shared-scan differential oracle: drive the serve "
+        "scenario with sharing off then on and require byte-identical "
+        "window digests while sharing is actually exercised (exit 1 "
+        "otherwise)",
+    )
+    plan_cmd.add_argument(
+        "--tenants", type=int, default=3,
+        help="fleet size for --serve-fleet / --differential (default 3)",
+    )
+    plan_cmd.add_argument(
+        "--recurrences", type=int, default=8,
+        help="base-slide recurrences for --differential (default 8)",
+    )
+    plan_cmd.add_argument(
+        "--scale", type=float, default=1.0,
+        help="multiplier on the differential's arrival rate (default 1.0)",
+    )
+    plan_cmd.add_argument(
+        "--seed", type=int, default=0, help="seed for data + cluster RNG"
+    )
+    plan_cmd.add_argument(
+        "--no-churn",
+        action="store_true",
+        help="disable the differential's mid-run churn schedule",
+    )
+    plan_cmd.add_argument(
+        "--faults",
+        action="store_true",
+        help="apply the deterministic node kill/recover plan to both "
+        "differential runs (chaos-extended oracle)",
+    )
     reuse_bench = sub.add_parser(
         "reuse-bench", help=_EXPERIMENTS["reuse-bench"]
     )
@@ -666,6 +734,7 @@ def _run_serve(args) -> int:
                 ),
                 backend=backend,
                 reuse_store=reuse_store,
+                share_scans=args.share_scans,
             )
     except CheckpointError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -699,6 +768,84 @@ def _run_serve(args) -> int:
     if args.trace_out:
         count = export_chrome_trace({"serve": server.tracer}, args.trace_out)
         print(f"wrote {count} trace events to {args.trace_out}")
+    return 0
+
+
+def _run_plan(args) -> int:
+    """Print IR trees + fingerprints, or run the sharing differential."""
+    from .plan import format_sharing_report, render_plan, sharing_report
+
+    if args.differential:
+        from .bench.service import ServiceScenario
+        from .bench.sharing import default_fault_plan, run_sharing_differential
+
+        scenario = ServiceScenario(
+            tenants=args.tenants,
+            recurrences=args.recurrences,
+            rate=200_000.0 * args.scale,
+            seed=args.seed,
+            churn=not args.no_churn,
+        )
+        backend_factory = None
+        if getattr(args, "backend", "serial") != "serial":
+            def backend_factory():
+                return make_backend(args.backend, workers=args.workers)
+
+        report = run_sharing_differential(
+            scenario,
+            backend_factory=backend_factory,
+            fault_plan=default_fault_plan(scenario) if args.faults else (),
+        )
+        print(report.summary())
+        if not report.ok:
+            print("plan --differential: FAILED", file=sys.stderr)
+            return 1
+        return 0
+
+    plans = {}
+    if args.serve_fleet:
+        from .bench.service import ServiceScenario, tenant_specs
+        from .service import build_query
+
+        scenario = ServiceScenario(
+            tenants=args.tenants, churn=not args.no_churn
+        )
+        for spec in tenant_specs(scenario):
+            plans[spec.name] = build_query(spec).plan()
+    else:
+        from .workloads.queries import (
+            aggregation_query,
+            distinct_count_query,
+            extrema_query,
+            join_query,
+        )
+
+        factories = {
+            "aggregation": aggregation_query,
+            "join": join_query,
+            "distinct": distinct_count_query,
+            "extrema": extrema_query,
+        }
+        names = args.workloads or list(factories)
+        for label in names:
+            factory = factories.get(label)
+            if factory is None:
+                print(
+                    f"error: unknown workload {label!r}; choose from "
+                    + ", ".join(factories),
+                    file=sys.stderr,
+                )
+                return 2
+            query = factory(
+                args.win, args.slide, num_reducers=args.num_reducers
+            )
+            plans[query.name] = query.plan()
+    for name in sorted(plans):
+        print(f"--- {name} ---")
+        print(render_plan(plans[name]))
+        print()
+    print("sharing report:")
+    print(format_sharing_report(sharing_report(plans)))
     return 0
 
 
@@ -957,6 +1104,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.command == "serve":
         return _run_serve(args)
+
+    if args.command == "plan":
+        return _run_plan(args)
 
     if args.command == "chaos":
         return _run_chaos(args)

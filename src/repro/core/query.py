@@ -22,11 +22,24 @@ A :class:`RecurringQuery` is a plain MapReduce job plus:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterable, Mapping, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
 
 from ..hadoop.job import MapReduceJob
 from ..hadoop.types import KeyValue
 from .panes import WindowSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..plan import LogicalPlan
 
 __all__ = [
     "MergingFinalizer",
@@ -35,11 +48,15 @@ __all__ = [
     "merging_finalizer",
 ]
 
-FinalizeFn = Callable[[Any, list], Iterable[KeyValue]]
+#: A window finalizer: ``(key, [pane partial values]) -> output pairs``.
+#: The runtime always passes the partials as a list (never a lazy
+#: iterable) — merge functions may index and re-iterate it.
+FinalizeFn = Callable[[Any, List[Any]], Iterable[KeyValue]]
+#: The paper's GetOutputPaths hook: ``recurrence number -> HDFS path``.
 PathFn = Callable[[int], str]
 
 
-def concat_finalizer(key: Any, partials: list) -> Iterable[KeyValue]:
+def concat_finalizer(key: Any, partials: List[Any]) -> Iterable[KeyValue]:
     """The default finalizer: emit every partial value unchanged.
 
     Correct whenever the reducer's output pairs are independent across
@@ -59,21 +76,23 @@ class MergingFinalizer:
 
     __slots__ = ("merge",)
 
-    def __init__(self, merge: Callable[[list], Any]) -> None:
+    def __init__(self, merge: Callable[[List[Any]], Any]) -> None:
         self.merge = merge
 
-    def __call__(self, key: Any, partials: list) -> Iterable[KeyValue]:
+    def __call__(self, key: Any, partials: List[Any]) -> Iterable[KeyValue]:
         yield key, self.merge(partials)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"MergingFinalizer({getattr(self.merge, '__name__', self.merge)!r})"
 
 
-def merging_finalizer(merge: Callable[[list], Any]) -> FinalizeFn:
+def merging_finalizer(merge: Callable[[List[Any]], Any]) -> MergingFinalizer:
     """Build a finalizer that folds pane partials with ``merge``.
 
     Example: ``merging_finalizer(sum)`` turns per-pane counts into a
-    window count.
+    window count. Returns the concrete :class:`MergingFinalizer`
+    instance (a valid :data:`FinalizeFn`), so callers can reach its
+    ``merge`` attribute — fingerprinting and pickling both do.
     """
     return MergingFinalizer(merge)
 
@@ -102,6 +121,20 @@ class RecurringQuery:
     # ------------------------------------------------------------------
     # derived structure
     # ------------------------------------------------------------------
+
+    def plan(self) -> "LogicalPlan":
+        """The query's logical-plan IR (see :mod:`repro.plan`).
+
+        Built on demand from the query's callables: one Scan → Map →
+        Shuffle → Reduce pipeline per source plus the window-level
+        Finalize node. The IR is what the semantic analyzer, the reuse
+        fingerprinter, and the shared-scan optimizer consume; this
+        constructor-by-callables API remains the thin client-facing
+        shim over it.
+        """
+        from ..plan import LogicalPlan
+
+        return LogicalPlan.from_query(self)
 
     @property
     def sources(self) -> Tuple[str, ...]:

@@ -186,6 +186,13 @@ class _QueryState:
     reuse_pane_fps: Dict[str, str] = field(default_factory=dict)
     #: stored artifacts matching this plan at registration time.
     reuse_match_count: int = 0
+    #: the query's logical-plan IR (:class:`repro.plan.LogicalPlan`),
+    #: built once at registration — what the analyzer planned against.
+    ir: Optional[object] = None
+    #: source -> Scan→Map→Shuffle prefix fingerprint for shared-scan
+    #: matching (empty when sharing is off or the plan has no stable
+    #: fingerprint).
+    share_prefix_fps: Dict[str, str] = field(default_factory=dict)
 
     def spec(self, source: str) -> WindowSpec:
         """The source's window constraints over the *shared* pane size."""
@@ -245,6 +252,15 @@ class RedoopRuntime:
         window outputs are published into it, and matching stored
         artifacts seed the cache status matrix (skipping map/shuffle
         work) or short-circuit whole recurrences.
+    scan_sharing:
+        Optional :class:`~repro.plan.SharedScanRegistry` enabling the
+        multi-query shared-scan/shared-map optimizer (see
+        ``docs/plan.md``). Queries whose plan prefixes (Scan → Map →
+        Shuffle over a source) are IR-equal execute each pane's map
+        phase once; later consumers absorb the memoized partitioned
+        output and run only their own shuffle/pane-reduce. Off by
+        default — the unshared path stays byte-identical to a build
+        without the registry.
     """
 
     def __init__(
@@ -262,6 +278,7 @@ class RedoopRuntime:
         eviction_policy: Optional[str] = None,
         backend: Optional[ExecBackend] = None,
         reuse_store=None,
+        scan_sharing=None,
     ) -> None:
         self.cluster = cluster
         self.counters = Counters()
@@ -337,6 +354,11 @@ class RedoopRuntime:
         self.reuse = reuse_store
         if reuse_store is not None:
             reuse_store.attach(cluster.hdfs, counters=self.counters)
+        #: Shared-scan registry (None = optimizer disabled). Memoizes
+        #: per-pane partitioned map output across IR-equal plan
+        #: prefixes; probed/published in ``_process_pane`` and retired
+        #: by watermark after every recurrence.
+        self.scan_sharing = scan_sharing
         #: pane publications buffered during a recurrence; flushed only
         #: when the window completes un-degraded (a rolled-back window
         #: must never leave artifacts other queries could match).
@@ -389,8 +411,12 @@ class RedoopRuntime:
                 "rename the job"
             )
 
-        for src in query.sources:
-            self._source_specs.setdefault(src, {})[query.name] = query.spec(src)
+        # The logical-plan IR is the structural truth from here on: the
+        # analyzer plans off its Scan nodes, the reuse fingerprinter
+        # digests it, and the shared-scan optimizer matches its prefixes.
+        ir = query.plan()
+        for src in ir.sources:
+            self._source_specs.setdefault(src, {})[query.name] = ir.window(src)
             self._source_rates[src] = max(
                 self._source_rates.get(src, 0.0), rates[src]
             )
@@ -400,20 +426,23 @@ class RedoopRuntime:
         state = _QueryState(
             query=query,
             plans={
-                src: self.analyzer.plan(
-                    self._effective_spec(src, query),
+                src: self.analyzer.plan_pipeline(
+                    ir.pipeline(src).with_window(
+                        self._effective_spec(src, query)
+                    ),
                     SourceStats(source=src, rate=self._source_rates[src]),
                 )
-                for src in query.sources
+                for src in ir.sources
             },
-            packers={src: self._source_packers[src] for src in query.sources},
+            packers={src: self._source_packers[src] for src in ir.sources},
             eff_specs={
-                src: self._effective_spec(src, query) for src in query.sources
+                src: self._effective_spec(src, query) for src in ir.sources
             },
             profiler=ExecutionProfiler(),
             partition_nodes=self._job_partition_nodes.setdefault(
                 query.job.name, {}
             ),
+            ir=ir,
         )
         self._states[query.name] = state
         self.controller.register_query(
@@ -427,6 +456,7 @@ class RedoopRuntime:
         # this registration may have just lowered.
         self._refresh_purge_cycles()
         self._reuse_register(state)
+        self._share_register(state)
 
     def _reuse_register(self, state: _QueryState) -> None:
         """Fingerprint a newly registered plan and probe the reuse store.
@@ -471,6 +501,44 @@ class RedoopRuntime:
     def reuse_matches(self, name: str) -> int:
         """Stored reuse artifacts that matched ``name`` at registration."""
         return self._state(name).reuse_match_count
+
+    def _share_register(self, state: _QueryState) -> None:
+        """Fingerprint a plan's map prefixes for shared-scan matching.
+
+        Like reuse registration, unfingerprintable plans opt out
+        silently — the query maps every pane itself, exactly as with
+        the optimizer disabled.
+        """
+        if self.scan_sharing is None:
+            return
+        from ..plan import FingerprintError, prefix_fingerprint_ir
+
+        ir = state.ir if state.ir is not None else state.query.plan()
+        try:
+            state.share_prefix_fps = {
+                pipeline.source: prefix_fingerprint_ir(pipeline)
+                for pipeline in ir.pipelines
+            }
+        except FingerprintError:
+            state.share_prefix_fps = {}
+            self.counters.increment("plan.unshareable")
+
+    def shared_prefix_peers(self, name: str) -> Dict[str, List[str]]:
+        """source -> other registered queries sharing ``name``'s prefix.
+
+        Empty when sharing is disabled, the plan is unfingerprintable,
+        or no co-registered tenant's Scan → Map → Shuffle prefix is
+        IR-equal over a common source.
+        """
+        state = self._state(name)
+        peers: Dict[str, List[str]] = {}
+        for src, fp in state.share_prefix_fps.items():
+            for other in self._states.values():
+                if other is state:
+                    continue
+                if other.share_prefix_fps.get(src) == fp:
+                    peers.setdefault(src, []).append(other.query.name)
+        return {src: sorted(names) for src, names in peers.items()}
 
     def _shared_pane(self, source: str) -> float:
         from .semantic_analyzer import shared_pane_seconds
@@ -600,6 +668,10 @@ class RedoopRuntime:
         if rebuilt_sources:
             self._refresh_effective_specs(rebuilt_sources, except_query=name)
         self._refresh_purge_cycles()
+        if self.scan_sharing is not None:
+            # Sources the departed tenant alone read lose their memoized
+            # map output; shared sources re-derive their floors.
+            self._retire_shared_maps()
         self.counters.increment("runtime.queries_deregistered")
 
     def catch_up_query(self, name: str) -> int:
@@ -1304,6 +1376,20 @@ class RedoopRuntime:
         pid = state.qpid(source, idx)
         path = packer.pane(idx).path
 
+        # Shared-scan fast path: an IR-equal prefix already mapped this
+        # pane — absorb its partitioned output instead of re-scanning.
+        prefix_fp = (
+            state.share_prefix_fps.get(source)
+            if self.scan_sharing is not None
+            else None
+        )
+        if prefix_fp is not None:
+            entry = self.scan_sharing.lookup(prefix_fp, source, idx)
+            if entry is not None:
+                return self._absorb_shared_map(
+                    state, source, idx, entry, start, counters
+                )
+
         # Build the pane's map sub-tasks: (records, bytes, locations).
         if packer.is_shared(idx):
             records, charged_bytes = packer.read_pane(idx)
@@ -1349,6 +1435,9 @@ class RedoopRuntime:
 
         map_finish = start
         partitioned: Dict[int, List[KeyValue]] = {}
+        pane_records = 0
+        pane_input_bytes = 0
+        pane_output_bytes = 0
         for request, (task_no, ex) in self._drain_maps(contexts):
             node = self.scheduler.select_map_node(request, start)
             data_local = node.node_id in request.locations
@@ -1380,13 +1469,84 @@ class RedoopRuntime:
             )
             for partition, pairs in ex.partitioned.items():
                 partitioned.setdefault(partition, []).extend(pairs)
+            pane_records += ex.input_records
+            pane_input_bytes += request.input_bytes
+            pane_output_bytes += ex.output_bytes
             counters.increment("map.tasks")
             counters.increment("map.input_bytes", request.input_bytes)
             counters.increment("map.output_bytes", ex.output_bytes)
 
+        if prefix_fp is not None:
+            # Publish the pane's partitioned map output so IR-equal
+            # consumers can skip their map phase. Map output is a pure
+            # function of the shared pane files, so the entry needs no
+            # rollback even if this window later degrades.
+            self.scan_sharing.publish(
+                prefix_fp,
+                source,
+                idx,
+                partitioned,
+                input_records=pane_records,
+                input_bytes=pane_input_bytes,
+                output_bytes=pane_output_bytes,
+                producer=query.name,
+            )
+            for bag in (
+                (counters,)
+                if counters is self.counters
+                else (counters, self.counters)
+            ):
+                bag.increment("plan.map_outputs_published")
+
         counters.increment("panes.processed")
         return self._pane_reduce(
             state, source, idx, partitioned, map_finish, counters
+        )
+
+    def _absorb_shared_map(
+        self,
+        state: _QueryState,
+        source: str,
+        idx: int,
+        entry,
+        start: float,
+        counters: Counters,
+    ) -> _PaneWork:
+        """Fan a memoized IR-equal map output into this query's shuffle.
+
+        The map phase is skipped entirely: the entry was produced from
+        the same shared GCD pane files by a prefix-equal pipeline, so
+        its partitioned pairs are byte-identical to what a local map
+        would emit (the shared-scan differential oracle pins this). The
+        hand-off is an in-memory fan-out — no map slot is occupied and
+        the pane's shuffle starts at ``start``; the consumer still runs
+        its own pane-reduce and builds its own caches.
+        """
+        query = state.query
+        pid = state.qpid(source, idx)
+        self._map_eligible.discard(pid)
+        partitioned = entry.copy_partitioned()
+        for bag in (
+            (counters,)
+            if counters is self.counters
+            else (counters, self.counters)
+        ):
+            bag.increment("plan.shared_scans")
+            bag.increment("plan.shared_map_bytes_saved", entry.input_bytes)
+        self.tracer.instant(
+            "plan.shared-map",
+            CAT_RUN,
+            start,
+            parent=self._run_span,
+            query=query.name,
+            source=source,
+            pane=idx,
+            producer=entry.producer,
+            bytes_saved=entry.input_bytes,
+        )
+        counters.increment("panes.processed")
+        return self._pane_reduce(
+            state, source, idx, partitioned, start, counters
         )
 
     def _pane_reduce(
@@ -2657,6 +2817,11 @@ class RedoopRuntime:
                 if name.startswith(prefix):
                     node.delete_local(name)
 
+        # Shared-map entries below every reader's next-window floor can
+        # never be absorbed again; retire them (watermark GC).
+        if self.scan_sharing is not None:
+            self._retire_shared_maps()
+
         # Adaptive mode switch (Sec. 3.3): triggered by a forecast
         # execution-time change or by recent fluctuation, per the paper's
         # scale-factor mechanism.
@@ -2674,6 +2839,31 @@ class RedoopRuntime:
                         state.plans[src] = self.analyzer.replan_adaptive(
                             plan, factor
                         )
+
+    def _retire_shared_maps(self) -> None:
+        """Watermark GC over the shared-scan registry.
+
+        A source's floor is the lowest pane index any registered
+        reader's *next* window can still cover (paused tenants count —
+        their backlog fires on resume); entries below the floor, and
+        entries of sources nobody reads anymore, are dropped.
+        """
+        floors: Dict[str, int] = {}
+        for st in self._states.values():
+            for src in st.query.sources:
+                first = min(
+                    st.spec(src).panes_in_window(st.next_recurrence),
+                    default=0,
+                )
+                floors[src] = min(floors.get(src, first), first)
+        retired = 0
+        for src in self.scan_sharing.sources():
+            if src not in floors:
+                retired += self.scan_sharing.drop_source(src)
+            else:
+                retired += self.scan_sharing.retire(src, floors[src])
+        if retired:
+            self.counters.increment("plan.map_outputs_retired", retired)
 
     def _write_output(
         self,

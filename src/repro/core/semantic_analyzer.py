@@ -151,6 +151,23 @@ class SemanticAnalyzer:
             expected_pane_bytes=filesize,
         )
 
+    def plan_pipeline(self, pipeline, stats: SourceStats) -> PartitionPlan:
+        """Algorithm 1 driven off the logical-plan IR.
+
+        ``pipeline`` is a :class:`repro.plan.SourcePipeline`; the
+        window constraints are read off its Scan node — the IR, not the
+        query object, is the structural source of truth. Callers
+        re-expressing a window over a shared GCD pane do so on the IR
+        (:meth:`SourcePipeline.with_window
+        <repro.plan.ir.SourcePipeline.with_window>`) before planning.
+        """
+        if pipeline.source != stats.source:
+            raise ValueError(
+                f"pipeline reads {pipeline.source!r} but statistics "
+                f"describe {stats.source!r}"
+            )
+        return self.plan(pipeline.scan.window, stats)
+
     def plan_all(
         self,
         specs: Mapping[str, WindowSpec],

@@ -1,0 +1,75 @@
+"""The logical-plan IR and the optimizations built on it.
+
+``repro.plan`` makes a recurring query's operator structure explicit —
+Scan → Map → Shuffle → Reduce per source, plus a window-level Finalize
+— and is the single source of structural truth for the stack:
+
+* :mod:`repro.plan.canonical` — canonical forms + digests (the one
+  definition of plan equality; the reuse fingerprinter delegates here);
+* :mod:`repro.plan.ir` — the node set, :meth:`LogicalPlan.from_query`,
+  canonical payloads, and rendering;
+* :mod:`repro.plan.sharing` — the multi-query shared-scan/shared-map
+  registry and the static sharing report.
+
+See ``docs/plan.md``.
+"""
+
+from .canonical import (
+    FINGERPRINT_SCHEMA,
+    FingerprintError,
+    callable_fingerprint,
+    canonical_value,
+    digest,
+)
+from .ir import (
+    FinalizeNode,
+    LogicalPlan,
+    MapNode,
+    ReduceNode,
+    ScanNode,
+    ShuffleNode,
+    SourcePipeline,
+    pane_fingerprint_ir,
+    pane_payload,
+    plan_fingerprint_ir,
+    plan_payload,
+    prefix_fingerprint_ir,
+    prefix_payload,
+    render_plan,
+)
+from .sharing import (
+    SharedMapOutput,
+    SharedScanRegistry,
+    SharingGroup,
+    SharingReport,
+    format_sharing_report,
+    sharing_report,
+)
+
+__all__ = [
+    "FINGERPRINT_SCHEMA",
+    "FingerprintError",
+    "FinalizeNode",
+    "LogicalPlan",
+    "MapNode",
+    "ReduceNode",
+    "ScanNode",
+    "SharedMapOutput",
+    "SharedScanRegistry",
+    "SharingGroup",
+    "SharingReport",
+    "ShuffleNode",
+    "SourcePipeline",
+    "callable_fingerprint",
+    "canonical_value",
+    "digest",
+    "format_sharing_report",
+    "pane_fingerprint_ir",
+    "pane_payload",
+    "plan_fingerprint_ir",
+    "plan_payload",
+    "prefix_fingerprint_ir",
+    "prefix_payload",
+    "render_plan",
+    "sharing_report",
+]

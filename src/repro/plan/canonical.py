@@ -1,0 +1,125 @@
+"""Canonical forms and digests for logical-plan IR nodes.
+
+This is the single canonicalization authority for the repo: the reuse
+fingerprinter (:mod:`repro.reuse.fingerprint`) and the shared-scan
+optimizer both digest the *same* canonical JSON payloads built here, so
+"two plans are semantically equal" has exactly one definition.
+
+Canonicalization rules (unchanged since the fingerprint tier shipped —
+the payload layout is covered by a golden-digest fixture, so stored
+:class:`~repro.reuse.ReuseStore` artifacts keep matching):
+
+* plain functions (and builtins) are identified by
+  ``module:qualname`` — the same durable reference
+  :class:`~repro.service.spec.QuerySpec` factories use;
+* callable-class instances (the repo's picklable mapper/finalizer
+  idiom) are identified by their type's ``module:qualname`` plus a
+  recursively canonicalized config captured from ``__slots__`` and
+  ``__dict__`` — two separately constructed ``_AggMapper("object")``
+  instances fingerprint identically;
+* lambdas, closures, and locally defined classes have no stable
+  cross-process name and raise :class:`FingerprintError`; callers
+  treat such plans as non-reusable/non-shareable rather than guessing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+from typing import Any, Dict
+
+__all__ = [
+    "FINGERPRINT_SCHEMA",
+    "FingerprintError",
+    "callable_fingerprint",
+    "canonical_value",
+    "digest",
+]
+
+#: Bump when the canonical form changes; part of every digest, so old
+#: stored artifacts can never be matched by a newer incompatible layout.
+FINGERPRINT_SCHEMA = 1
+
+
+class FingerprintError(ValueError):
+    """The object has no stable cross-process canonical form."""
+
+
+def _require_named(module: Any, qualname: Any, what: str) -> str:
+    if not module or not qualname:
+        raise FingerprintError(f"{what} has no module-qualified name")
+    if "<lambda>" in qualname or "<locals>" in qualname:
+        raise FingerprintError(
+            f"{what} ({module}:{qualname}) is a lambda or local definition; "
+            "only module-level callables have a stable identity across "
+            "processes"
+        )
+    return f"{module}:{qualname}"
+
+
+def callable_fingerprint(obj: Any) -> Dict[str, Any]:
+    """Canonical JSON-able identity of a map/reduce/finalize callable."""
+    if inspect.isfunction(obj) or inspect.isbuiltin(obj) or inspect.isclass(obj):
+        ref = _require_named(
+            getattr(obj, "__module__", None),
+            getattr(obj, "__qualname__", None),
+            "callable",
+        )
+        return {"kind": "function", "ref": ref}
+    if inspect.ismethod(obj):
+        raise FingerprintError(
+            "bound methods carry instance state invisible to fingerprinting"
+        )
+    if callable(obj):
+        cls = type(obj)
+        ref = _require_named(cls.__module__, cls.__qualname__, "callable class")
+        config: Dict[str, Any] = {}
+        slots: set = set()
+        for klass in cls.__mro__:
+            declared = getattr(klass, "__slots__", ())
+            if isinstance(declared, str):
+                declared = (declared,)
+            slots.update(declared)
+        for name in sorted(slots):
+            if hasattr(obj, name):
+                config[name] = canonical_value(getattr(obj, name))
+        for name in sorted(getattr(obj, "__dict__", {})):
+            config[name] = canonical_value(obj.__dict__[name])
+        return {"kind": "instance", "ref": ref, "config": config}
+    raise FingerprintError(f"{obj!r} is not callable")
+
+
+def canonical_value(value: Any) -> Any:
+    """Recursively reduce ``value`` to a JSON-able canonical form."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        # repr is the shortest round-trippable form — stable across
+        # platforms and pickle round-trips, unlike formatted output.
+        return {"float": repr(value)}
+    if isinstance(value, (list, tuple)):
+        return [canonical_value(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return {"set": sorted(repr(v) for v in value)}
+    if isinstance(value, dict):
+        return {
+            "dict": [
+                [canonical_value(k), canonical_value(v)]
+                for k, v in sorted(value.items(), key=lambda kv: repr(kv[0]))
+            ]
+        }
+    if callable(value):
+        return callable_fingerprint(value)
+    raise FingerprintError(
+        f"config value {value!r} ({type(value).__name__}) has no canonical "
+        "form; use primitives, containers, or named callables"
+    )
+
+
+def digest(payload: Dict[str, Any]) -> str:
+    """sha256 over the sorted, separator-free JSON dump of ``payload``."""
+    canonical = json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

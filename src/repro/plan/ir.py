@@ -1,0 +1,353 @@
+"""The logical-plan IR: explicit operator structure for recurring queries.
+
+A :class:`~repro.core.query.RecurringQuery` used to be an opaque bundle
+of callables; every layer that needed to reason about *structure* — the
+semantic analyzer (window specs), the reuse fingerprinter (operator
+semantics), the service (sources, sharing opportunities) — re-derived
+it ad hoc. The IR makes the structure first-class, ReStore-style: per
+input source a linear operator pipeline
+
+    Scan(source, window) → Map(mapper, combiner)
+        → Shuffle(partitioner, num_reducers) → Reduce(reducer)
+
+plus one window-level Finalize node shared by all sources. The IR is
+the single source of structural truth:
+
+* :meth:`RecurringQuery.plan() <repro.core.query.RecurringQuery.plan>`
+  builds it from the query's callables;
+* :mod:`repro.reuse.fingerprint` digests its canonical serialization
+  (:func:`pane_payload` / :func:`plan_payload` — byte-identical to the
+  pre-IR payload layout, so stored artifacts keep matching);
+* the semantic analyzer plans partitioning off the Scan node's window
+  spec (:meth:`SemanticAnalyzer.plan_pipeline <repro.core.
+  semantic_analyzer.SemanticAnalyzer.plan_pipeline>`);
+* the shared-scan optimizer matches *plan prefixes* — the Scan → Map →
+  Shuffle sub-chain whose output (partitioned map output per pane) is
+  a pure function of pane content (:func:`prefix_payload`).
+
+Node equality is *semantic*: two nodes are equal when their canonical
+payloads are equal, even if their callables are distinct instances
+(e.g. two separately constructed ``_AggMapper("object")``). Dataclass
+identity equality would be both too strict (pickle round-trips create
+new objects) and too loose (names are excluded from semantics).
+
+This module deliberately imports nothing from :mod:`repro.core.query`
+(the query imports *us* lazily) — :meth:`LogicalPlan.from_query`
+duck-types the query/job attributes instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
+
+from ..core.panes import WindowSpec
+from .canonical import (
+    FINGERPRINT_SCHEMA,
+    callable_fingerprint,
+    digest,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.query import RecurringQuery
+
+__all__ = [
+    "FinalizeNode",
+    "LogicalPlan",
+    "MapNode",
+    "ReduceNode",
+    "ScanNode",
+    "ShuffleNode",
+    "SourcePipeline",
+    "pane_payload",
+    "plan_payload",
+    "prefix_payload",
+    "pane_fingerprint_ir",
+    "plan_fingerprint_ir",
+    "prefix_fingerprint_ir",
+    "render_plan",
+]
+
+
+@dataclass(frozen=True)
+class ScanNode:
+    """Read one source's pane files under its window constraints."""
+
+    source: str
+    window: WindowSpec
+
+
+@dataclass(frozen=True)
+class MapNode:
+    """Per-record transformation (plus optional map-side combiner)."""
+
+    mapper: Any
+    combiner: Optional[Any] = None
+
+
+@dataclass(frozen=True)
+class ShuffleNode:
+    """Partitioned exchange of map output toward the reducers."""
+
+    partitioner: Any
+    num_reducers: int
+    intermediate_pair_size: int
+
+
+@dataclass(frozen=True)
+class ReduceNode:
+    """Per-partition grouped reduction producing pane partials."""
+
+    reducer: Any
+    output_pair_size: int
+
+
+@dataclass(frozen=True)
+class FinalizeNode:
+    """Window-level merge of pane partials into the final answer."""
+
+    finalize: Any
+
+
+@dataclass(frozen=True)
+class SourcePipeline:
+    """One source's linear operator chain: Scan → Map → Shuffle → Reduce."""
+
+    scan: ScanNode
+    map: MapNode
+    shuffle: ShuffleNode
+    reduce: ReduceNode
+
+    @property
+    def source(self) -> str:
+        return self.scan.source
+
+    def with_window(self, window: WindowSpec) -> "SourcePipeline":
+        """The same pipeline over a re-expressed window spec.
+
+        Used by the runtime to re-plan a pipeline over the shared GCD
+        pane without touching the operator chain.
+        """
+        return replace(self, scan=replace(self.scan, window=window))
+
+
+@dataclass(frozen=True)
+class LogicalPlan:
+    """A recurring query's full logical plan: pipelines + finalize.
+
+    ``pipelines`` is ordered by source name, so two plans over the same
+    sources serialize in the same order regardless of construction.
+    """
+
+    pipelines: Tuple[SourcePipeline, ...]
+    finalize: FinalizeNode
+
+    def __post_init__(self) -> None:
+        ordered = tuple(
+            sorted(self.pipelines, key=lambda p: p.source)
+        )
+        if ordered != self.pipelines:
+            object.__setattr__(self, "pipelines", ordered)
+        if not self.pipelines:
+            raise ValueError("a logical plan needs at least one pipeline")
+
+    @classmethod
+    def from_query(cls, query: "RecurringQuery") -> "LogicalPlan":
+        """Build the IR from a query's callables (duck-typed).
+
+        ``query`` needs ``windows`` (source → :class:`WindowSpec`),
+        ``job`` (mapper/combiner/reducer/partitioner/num_reducers/pair
+        sizes), and ``finalize`` — exactly the
+        :class:`~repro.core.query.RecurringQuery` surface.
+        """
+        job = query.job
+        pipelines = tuple(
+            SourcePipeline(
+                scan=ScanNode(source=src, window=query.windows[src]),
+                map=MapNode(mapper=job.mapper, combiner=job.combiner),
+                shuffle=ShuffleNode(
+                    partitioner=job.partitioner,
+                    num_reducers=job.num_reducers,
+                    intermediate_pair_size=job.intermediate_pair_size,
+                ),
+                reduce=ReduceNode(
+                    reducer=job.reducer,
+                    output_pair_size=job.output_pair_size,
+                ),
+            )
+            for src in sorted(query.windows)
+        )
+        return cls(
+            pipelines=pipelines, finalize=FinalizeNode(finalize=query.finalize)
+        )
+
+    @property
+    def sources(self) -> Tuple[str, ...]:
+        return tuple(p.source for p in self.pipelines)
+
+    def pipeline(self, source: str) -> SourcePipeline:
+        for p in self.pipelines:
+            if p.source == source:
+                return p
+        raise KeyError(f"plan has no pipeline for source {source!r}")
+
+    def window(self, source: str) -> WindowSpec:
+        return self.pipeline(source).scan.window
+
+
+# ----------------------------------------------------------------------
+# canonical payloads — the serialization every digest is taken over
+# ----------------------------------------------------------------------
+
+
+def pane_payload(pipeline: SourcePipeline) -> Dict[str, Any]:
+    """Canonical form of one source's pane-level subcomputation.
+
+    Byte-identical to the pre-IR fingerprint payload: everything that
+    determines a pane's reduce input/output for a time range of the
+    source's data, and nothing that doesn't — names, rates, and the
+    window parameters on the Scan node are all excluded (artifacts are
+    keyed by their *time range*, so a stored pane at a finer
+    granularity can be composed into a coarser one).
+    """
+    return {
+        "schema": FINGERPRINT_SCHEMA,
+        "scope": "pane",
+        "source": pipeline.source,
+        "mapper": callable_fingerprint(pipeline.map.mapper),
+        "combiner": (
+            callable_fingerprint(pipeline.map.combiner)
+            if pipeline.map.combiner is not None
+            else None
+        ),
+        "reducer": callable_fingerprint(pipeline.reduce.reducer),
+        "partitioner": callable_fingerprint(pipeline.shuffle.partitioner),
+        "num_reducers": pipeline.shuffle.num_reducers,
+        "intermediate_pair_size": pipeline.shuffle.intermediate_pair_size,
+        "output_pair_size": pipeline.reduce.output_pair_size,
+    }
+
+
+def plan_payload(plan: LogicalPlan) -> Dict[str, Any]:
+    """Canonical form of the whole window-level operator chain."""
+    return {
+        "schema": FINGERPRINT_SCHEMA,
+        "scope": "window",
+        "panes": {p.source: pane_payload(p) for p in plan.pipelines},
+        "finalize": callable_fingerprint(plan.finalize.finalize),
+    }
+
+
+def prefix_payload(pipeline: SourcePipeline) -> Dict[str, Any]:
+    """Canonical form of the shareable Scan → Map → Shuffle prefix.
+
+    Covers exactly what determines the *partitioned map output* of one
+    pane: the map side (mapper + combiner) and the shuffle layout
+    (partitioner, reducer count, pair size). Two pipelines with equal
+    prefix payloads reading the same source produce byte-identical
+    partitioned map output for the same pane — the precondition the
+    shared-scan optimizer matches on. The reduce side and the window
+    parameters are deliberately excluded: consumers run their own
+    pane-reduce, and pane indices already share a time base because
+    every reader of a source shares one GCD-pane packer.
+    """
+    return {
+        "schema": FINGERPRINT_SCHEMA,
+        "scope": "map-prefix",
+        "source": pipeline.source,
+        "mapper": callable_fingerprint(pipeline.map.mapper),
+        "combiner": (
+            callable_fingerprint(pipeline.map.combiner)
+            if pipeline.map.combiner is not None
+            else None
+        ),
+        "partitioner": callable_fingerprint(pipeline.shuffle.partitioner),
+        "num_reducers": pipeline.shuffle.num_reducers,
+        "intermediate_pair_size": pipeline.shuffle.intermediate_pair_size,
+    }
+
+
+def pane_fingerprint_ir(pipeline: SourcePipeline) -> str:
+    """Digest of one pipeline's pane-level subcomputation."""
+    return digest(pane_payload(pipeline))
+
+
+def plan_fingerprint_ir(plan: LogicalPlan) -> str:
+    """Digest of the full window-level operator chain."""
+    return digest(plan_payload(plan))
+
+
+def prefix_fingerprint_ir(pipeline: SourcePipeline) -> str:
+    """Digest of the shareable Scan → Map → Shuffle prefix."""
+    return digest(prefix_payload(pipeline))
+
+
+# ----------------------------------------------------------------------
+# rendering (the `repro plan` CLI)
+# ----------------------------------------------------------------------
+
+
+def _callable_label(obj: Any) -> str:
+    if obj is None:
+        return "-"
+    name = getattr(obj, "__qualname__", None) or getattr(
+        obj, "__name__", None
+    )
+    if name is not None:
+        return name
+    cls = type(obj)
+
+    def show(value: Any) -> str:
+        # Nested callables render by name, never by repr — a function's
+        # default repr embeds its memory address, which would make the
+        # rendered tree differ between otherwise identical processes.
+        return _callable_label(value) if callable(value) else repr(value)
+
+    config = []
+    for slot in sorted(getattr(cls, "__slots__", ()) or ()):
+        if hasattr(obj, slot):
+            config.append(f"{slot}={show(getattr(obj, slot))}")
+    for key in sorted(getattr(obj, "__dict__", {})):
+        config.append(f"{key}={show(obj.__dict__[key])}")
+    return f"{cls.__qualname__}({', '.join(config)})"
+
+
+def render_plan(
+    plan: LogicalPlan, *, fingerprints: bool = True, short: int = 12
+) -> str:
+    """A human-readable operator tree, one line per node."""
+    lines = []
+    for pipeline in plan.pipelines:
+        scan = pipeline.scan
+        lines.append(
+            f"Scan[{scan.source}] win={scan.window.win:g}s "
+            f"slide={scan.window.slide:g}s"
+        )
+        combiner = pipeline.map.combiner
+        lines.append(
+            f"  └─ Map[{_callable_label(pipeline.map.mapper)}"
+            + (f" + combine {_callable_label(combiner)}" if combiner else "")
+            + "]"
+        )
+        lines.append(
+            f"      └─ Shuffle[{_callable_label(pipeline.shuffle.partitioner)}"
+            f" ×{pipeline.shuffle.num_reducers}]"
+        )
+        lines.append(
+            f"          └─ Reduce[{_callable_label(pipeline.reduce.reducer)}]"
+        )
+        if fingerprints:
+            try:
+                lines.append(
+                    f"             pane {pane_fingerprint_ir(pipeline)[:short]}"
+                    f"  prefix {prefix_fingerprint_ir(pipeline)[:short]}"
+                )
+            except Exception as exc:  # FingerprintError: unshareable plan
+                lines.append(f"             (unfingerprintable: {exc})")
+    lines.append(f"Finalize[{_callable_label(plan.finalize.finalize)}]")
+    if fingerprints:
+        try:
+            lines.append(f"plan {plan_fingerprint_ir(plan)[:short]}")
+        except Exception as exc:
+            lines.append(f"plan (unfingerprintable: {exc})")
+    return "\n".join(lines)

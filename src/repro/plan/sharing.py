@@ -1,0 +1,194 @@
+"""Multi-query shared-scan/shared-map optimization over the plan IR.
+
+Every query reading a source shares ONE pane packer at the GCD of all
+registered window constraints, so a pane index names the same time
+range — and the same records — for every reader. When two tenants'
+plan *prefixes* (Scan → Map → Shuffle, see
+:func:`repro.plan.ir.prefix_payload`) are IR-equal over a source, the
+partitioned map output of any pane is therefore byte-identical between
+them: the map phase only needs to run once per pane, with the output
+fanned out to each consumer's own shuffle/pane-reduce.
+
+:class:`SharedScanRegistry` is that fan-out point. The first query to
+process a pane publishes its partitioned map output keyed by
+``(prefix fingerprint, source, pane index)``; IR-equal consumers absorb
+the entry instead of re-reading and re-mapping the pane. Because map
+output is a pure function of pane content, entries never need rollback
+— a degraded window invalidates caches, not pane files — and chaos
+events (node kills, cache loss) leave the registry's correctness
+untouched: a re-mapped pane would produce the same bytes.
+
+Entries are retired by a per-source watermark (the lowest pane index
+any registered reader's next window can still need), so long-running
+servers do not accumulate map output without bound.
+
+The registry is deliberately runtime-agnostic (plain dicts of pairs,
+picklable for service checkpoints); the runtime decides when to probe,
+publish, and retire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .ir import LogicalPlan, prefix_fingerprint_ir
+
+__all__ = [
+    "SharedMapOutput",
+    "SharedScanRegistry",
+    "SharingGroup",
+    "SharingReport",
+    "sharing_report",
+    "format_sharing_report",
+]
+
+
+@dataclass
+class SharedMapOutput:
+    """One pane's memoized partitioned map output."""
+
+    #: reduce partition -> map output pairs (post-combiner, pre-sort).
+    partitioned: Dict[int, List[Any]]
+    input_records: int
+    input_bytes: int
+    output_bytes: int
+    #: query that ran the map (observability only — never semantics).
+    producer: str
+
+    def copy_partitioned(self) -> Dict[int, List[Any]]:
+        """A consumer-owned copy: absorbers may mutate their shuffle input."""
+        return {p: list(pairs) for p, pairs in self.partitioned.items()}
+
+
+class SharedScanRegistry:
+    """Memoizes per-pane partitioned map output across IR-equal prefixes."""
+
+    def __init__(self) -> None:
+        #: (prefix fingerprint, source, pane index) -> entry.
+        self._entries: Dict[Tuple[str, str, int], SharedMapOutput] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def sources(self) -> Tuple[str, ...]:
+        """Sources with at least one live entry (sorted, deduplicated)."""
+        return tuple(sorted({key[1] for key in self._entries}))
+
+    def lookup(
+        self, prefix_fp: str, source: str, index: int
+    ) -> Optional[SharedMapOutput]:
+        return self._entries.get((prefix_fp, source, index))
+
+    def publish(
+        self,
+        prefix_fp: str,
+        source: str,
+        index: int,
+        partitioned: Mapping[int, Sequence[Any]],
+        *,
+        input_records: int,
+        input_bytes: int,
+        output_bytes: int,
+        producer: str,
+    ) -> SharedMapOutput:
+        """Memoize a pane's map output (idempotent; first producer wins).
+
+        The stored lists are copies — later mutation of the producer's
+        working buffers can never corrupt what consumers absorb.
+        """
+        key = (prefix_fp, source, index)
+        existing = self._entries.get(key)
+        if existing is not None:
+            return existing
+        entry = SharedMapOutput(
+            partitioned={p: list(pairs) for p, pairs in partitioned.items()},
+            input_records=input_records,
+            input_bytes=input_bytes,
+            output_bytes=output_bytes,
+            producer=producer,
+        )
+        self._entries[key] = entry
+        return entry
+
+    def retire(self, source: str, min_live_index: int) -> int:
+        """Drop the source's entries below the watermark; returns count."""
+        doomed = [
+            key
+            for key in self._entries
+            if key[1] == source and key[2] < min_live_index
+        ]
+        for key in doomed:
+            del self._entries[key]
+        return len(doomed)
+
+    def drop_source(self, source: str) -> int:
+        """Drop every entry of a source nobody reads anymore."""
+        return self.retire(source, 2**63)
+
+
+# ----------------------------------------------------------------------
+# static sharing analysis (the `repro plan` CLI's report)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SharingGroup:
+    """Queries whose prefixes over one source would share map work."""
+
+    source: str
+    prefix_fp: str
+    queries: Tuple[str, ...]
+
+    @property
+    def shared(self) -> bool:
+        return len(self.queries) >= 2
+
+
+@dataclass
+class SharingReport:
+    """Which (source, prefix) groups a fleet of plans would share."""
+
+    groups: List[SharingGroup] = field(default_factory=list)
+    #: query names whose plans could not be fingerprinted (opted out).
+    unshareable: List[str] = field(default_factory=list)
+
+    @property
+    def shared_groups(self) -> List[SharingGroup]:
+        return [g for g in self.groups if g.shared]
+
+
+def sharing_report(plans: Mapping[str, LogicalPlan]) -> SharingReport:
+    """Group a fleet's plan prefixes by (source, prefix fingerprint)."""
+    from .canonical import FingerprintError
+
+    report = SharingReport()
+    buckets: Dict[Tuple[str, str], List[str]] = {}
+    for name in sorted(plans):
+        plan = plans[name]
+        try:
+            for pipeline in plan.pipelines:
+                fp = prefix_fingerprint_ir(pipeline)
+                buckets.setdefault((pipeline.source, fp), []).append(name)
+        except FingerprintError:
+            report.unshareable.append(name)
+    for (source, fp), names in sorted(buckets.items()):
+        report.groups.append(
+            SharingGroup(source=source, prefix_fp=fp, queries=tuple(names))
+        )
+    return report
+
+
+def format_sharing_report(report: SharingReport, *, short: int = 12) -> str:
+    lines = []
+    for group in report.groups:
+        mark = "shared" if group.shared else "alone"
+        lines.append(
+            f"{group.source}  prefix {group.prefix_fp[:short]}  "
+            f"[{mark}]  {', '.join(group.queries)}"
+        )
+    for name in report.unshareable:
+        lines.append(f"{name}  (unfingerprintable — never shared)")
+    if not lines:
+        lines.append("(no plans)")
+    return "\n".join(lines)

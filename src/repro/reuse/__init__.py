@@ -13,6 +13,7 @@ from .fingerprint import (
     FINGERPRINT_SCHEMA,
     FingerprintError,
     callable_fingerprint,
+    map_prefix_fingerprint,
     pane_fingerprint,
     plan_fingerprint,
 )
@@ -34,6 +35,7 @@ __all__ = [
     "ReuseStore",
     "callable_fingerprint",
     "content_sha",
+    "map_prefix_fingerprint",
     "pane_fingerprint",
     "plan_fingerprint",
     "records_sha",

@@ -8,156 +8,59 @@ hash to the same digest, while any change to a mapper, reducer,
 combiner, partitioner, window parameter, or operator config must hash
 to a different one.
 
-Canonicalization rules:
+Since the logical-plan IR landed, this module no longer traverses the
+query itself: every digest is taken over the canonical serialization of
+:meth:`RecurringQuery.plan() <repro.core.query.RecurringQuery.plan>`
+(see :mod:`repro.plan.ir`). The canonical payload layout is
+byte-identical to the pre-IR traversal — pinned by the golden-digest
+fixture in ``tests/reuse/fixtures/golden_fingerprints.json`` — so
+:class:`~repro.reuse.ReuseStore` artifacts written before the refactor
+keep matching. The canonicalization rules themselves (named callables,
+callable-class config from ``__slots__``/``__dict__``, lambdas raising
+:class:`FingerprintError`) live in :mod:`repro.plan.canonical`.
 
-* plain functions (and builtins) are identified by
-  ``module:qualname`` — the same durable reference
-  :class:`~repro.service.spec.QuerySpec` factories use;
-* callable-class instances (the repo's picklable mapper/finalizer
-  idiom) are identified by their type's ``module:qualname`` plus a
-  recursively canonicalized config captured from ``__slots__`` and
-  ``__dict__`` — two separately constructed ``_AggMapper("object")``
-  instances fingerprint identically;
-* lambdas, closures, and locally defined classes have no stable
-  cross-process name and raise :class:`FingerprintError`; the runtime
-  treats such queries as non-reusable rather than guessing.
-
-Two digest scopes are exposed. :func:`pane_fingerprint` covers exactly
+Three digest scopes are exposed. :func:`pane_fingerprint` covers exactly
 what determines a pane-level subcomputation's reduce input/output
 (source, map side, reduce side, partitioning) and deliberately excludes
 pane size — artifacts are keyed by their *time range*, so a store pane
 at a finer granularity can be composed into a coarser pane (subsumption
 matching). :func:`plan_fingerprint` additionally covers the window
 finalizer across all sources and identifies a whole window's final
-output. Both exclude query and job *names* (identity, not semantics)
-and ingestion rates (they affect physical packing, never answers).
+output. :func:`map_prefix_fingerprint` covers only the Scan → Map →
+Shuffle prefix — what the shared-scan optimizer matches on. All exclude
+query and job *names* (identity, not semantics) and ingestion rates
+(they affect physical packing, never answers).
 """
 
 from __future__ import annotations
 
-import hashlib
-import inspect
-import json
-from typing import Any, Dict
+from typing import TYPE_CHECKING
 
-from ..core.query import RecurringQuery
+from ..plan.canonical import (
+    FINGERPRINT_SCHEMA,
+    FingerprintError,
+    callable_fingerprint,
+)
+from ..plan.ir import (
+    pane_fingerprint_ir,
+    plan_fingerprint_ir,
+    prefix_fingerprint_ir,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.query import RecurringQuery
 
 __all__ = [
     "FINGERPRINT_SCHEMA",
     "FingerprintError",
     "callable_fingerprint",
+    "map_prefix_fingerprint",
     "pane_fingerprint",
     "plan_fingerprint",
 ]
 
-#: Bump when the canonical form changes; part of every digest, so old
-#: stored artifacts can never be matched by a newer incompatible layout.
-FINGERPRINT_SCHEMA = 1
 
-
-class FingerprintError(ValueError):
-    """The object has no stable cross-process canonical form."""
-
-
-def _require_named(module: Any, qualname: Any, what: str) -> str:
-    if not module or not qualname:
-        raise FingerprintError(f"{what} has no module-qualified name")
-    if "<lambda>" in qualname or "<locals>" in qualname:
-        raise FingerprintError(
-            f"{what} ({module}:{qualname}) is a lambda or local definition; "
-            "only module-level callables have a stable identity across "
-            "processes"
-        )
-    return f"{module}:{qualname}"
-
-
-def callable_fingerprint(obj: Any) -> Dict[str, Any]:
-    """Canonical JSON-able identity of a map/reduce/finalize callable."""
-    if inspect.isfunction(obj) or inspect.isbuiltin(obj) or inspect.isclass(obj):
-        ref = _require_named(
-            getattr(obj, "__module__", None),
-            getattr(obj, "__qualname__", None),
-            "callable",
-        )
-        return {"kind": "function", "ref": ref}
-    if inspect.ismethod(obj):
-        raise FingerprintError(
-            "bound methods carry instance state invisible to fingerprinting"
-        )
-    if callable(obj):
-        cls = type(obj)
-        ref = _require_named(cls.__module__, cls.__qualname__, "callable class")
-        config: Dict[str, Any] = {}
-        slots: set = set()
-        for klass in cls.__mro__:
-            declared = getattr(klass, "__slots__", ())
-            if isinstance(declared, str):
-                declared = (declared,)
-            slots.update(declared)
-        for name in sorted(slots):
-            if hasattr(obj, name):
-                config[name] = _canonical(getattr(obj, name))
-        for name in sorted(getattr(obj, "__dict__", {})):
-            config[name] = _canonical(obj.__dict__[name])
-        return {"kind": "instance", "ref": ref, "config": config}
-    raise FingerprintError(f"{obj!r} is not callable")
-
-
-def _canonical(value: Any) -> Any:
-    """Recursively reduce ``value`` to a JSON-able canonical form."""
-    if value is None or isinstance(value, (bool, int, str)):
-        return value
-    if isinstance(value, float):
-        # repr is the shortest round-trippable form — stable across
-        # platforms and pickle round-trips, unlike formatted output.
-        return {"float": repr(value)}
-    if isinstance(value, (list, tuple)):
-        return [_canonical(v) for v in value]
-    if isinstance(value, (set, frozenset)):
-        return {"set": sorted(repr(v) for v in value)}
-    if isinstance(value, dict):
-        return {
-            "dict": [
-                [_canonical(k), _canonical(v)]
-                for k, v in sorted(value.items(), key=lambda kv: repr(kv[0]))
-            ]
-        }
-    if callable(value):
-        return callable_fingerprint(value)
-    raise FingerprintError(
-        f"config value {value!r} ({type(value).__name__}) has no canonical "
-        "form; use primitives, containers, or named callables"
-    )
-
-
-def _digest(payload: Dict[str, Any]) -> str:
-    canonical = json.dumps(
-        payload, sort_keys=True, separators=(",", ":"), ensure_ascii=True
-    )
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
-
-
-def _pane_payload(query: RecurringQuery, source: str) -> Dict[str, Any]:
-    job = query.job
-    return {
-        "schema": FINGERPRINT_SCHEMA,
-        "scope": "pane",
-        "source": source,
-        "mapper": callable_fingerprint(job.mapper),
-        "combiner": (
-            callable_fingerprint(job.combiner)
-            if job.combiner is not None
-            else None
-        ),
-        "reducer": callable_fingerprint(job.reducer),
-        "partitioner": callable_fingerprint(job.partitioner),
-        "num_reducers": job.num_reducers,
-        "intermediate_pair_size": job.intermediate_pair_size,
-        "output_pair_size": job.output_pair_size,
-    }
-
-
-def pane_fingerprint(query: RecurringQuery, source: str) -> str:
+def pane_fingerprint(query: "RecurringQuery", source: str) -> str:
     """Digest of one source's pane-level subcomputation.
 
     Everything that determines a pane's reduce-input/-output content
@@ -168,10 +71,10 @@ def pane_fingerprint(query: RecurringQuery, source: str) -> str:
     """
     if source not in query.windows:
         raise KeyError(f"query {query.name!r} does not read source {source!r}")
-    return _digest(_pane_payload(query, source))
+    return pane_fingerprint_ir(query.plan().pipeline(source))
 
 
-def plan_fingerprint(query: RecurringQuery) -> str:
+def plan_fingerprint(query: "RecurringQuery") -> str:
     """Digest of the query's full window-level operator chain.
 
     Covers every source's pane semantics plus the finalizer — the
@@ -181,13 +84,16 @@ def plan_fingerprint(query: RecurringQuery) -> str:
     digest: two queries with the same chain whose windows happen to
     cover identical data ranges may share results.
     """
-    return _digest(
-        {
-            "schema": FINGERPRINT_SCHEMA,
-            "scope": "window",
-            "panes": {
-                src: _pane_payload(query, src) for src in query.sources
-            },
-            "finalize": callable_fingerprint(query.finalize),
-        }
-    )
+    return plan_fingerprint_ir(query.plan())
+
+
+def map_prefix_fingerprint(query: "RecurringQuery", source: str) -> str:
+    """Digest of the shareable Scan → Map → Shuffle prefix over a source.
+
+    Two queries with equal prefix digests produce byte-identical
+    partitioned map output for any shared pane of ``source`` — the
+    matching key of the shared-scan optimizer (``docs/plan.md``).
+    """
+    if source not in query.windows:
+        raise KeyError(f"query {query.name!r} does not read source {source!r}")
+    return prefix_fingerprint_ir(query.plan().pipeline(source))

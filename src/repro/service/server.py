@@ -160,7 +160,12 @@ class QueryServer:
             if known.name == query.job.name and known is not query.job:
                 query = replace(query, job=known)
                 break
-        missing = set(query.sources) - set(spec.rates)
+        # Plan against the logical-plan IR: the IR's Scan nodes, not
+        # the raw spec kwargs, decide which sources need rates and
+        # channels — the same structure the runtime registers and the
+        # shared-scan optimizer matches.
+        plan_ir = query.plan()
+        missing = set(plan_ir.sources) - set(spec.rates)
         if missing:
             raise ValueError(
                 f"spec {spec.name!r} lacks arrival rates for sources "
@@ -172,8 +177,8 @@ class QueryServer:
         self.runtime.catch_up_query(spec.name)
         self._specs[spec.name] = spec
         self._status[spec.name] = RUNNING
-        self._sources[spec.name] = tuple(query.sources)
-        for src in query.sources:
+        self._sources[spec.name] = tuple(plan_ir.sources)
+        for src in plan_ir.sources:
             if src not in self.channels:
                 self.channels[src] = IngestChannel(
                     src,
@@ -193,6 +198,19 @@ class QueryServer:
                 self.counters.increment("reuse.rewrites")
                 self._event(
                     "reuse-rewrite", query=spec.name, matches=matches
+                )
+        # Shared-scan rewrite: when the optimizer is on and an existing
+        # tenant's Scan → Map → Shuffle prefix is IR-equal over a common
+        # source, this tenant's map phases will be served by fan-out —
+        # surface the match at submit time.
+        if getattr(self.runtime, "scan_sharing", None) is not None:
+            peers = self.runtime.shared_prefix_peers(spec.name)
+            if peers:
+                self.counters.increment("plan.prefix_matches")
+                self._event(
+                    "plan.shared-prefix",
+                    query=spec.name,
+                    peers={src: list(names) for src, names in peers.items()},
                 )
         return query
 

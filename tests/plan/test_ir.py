@@ -1,0 +1,160 @@
+"""The logical-plan IR: construction, semantic equality, payload layout.
+
+The IR is the single source of structural truth for fingerprinting,
+planning, and sharing, so these tests pin the properties every consumer
+leans on: deterministic construction (sorted pipelines), payload
+layouts that exclude names/windows, prefix payloads that exclude the
+reduce side, and an address-free rendering.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.panes import WindowSpec
+from repro.core.semantic_analyzer import SemanticAnalyzer, SourceStats
+from repro.plan import (
+    FingerprintError,
+    LogicalPlan,
+    pane_fingerprint_ir,
+    pane_payload,
+    plan_fingerprint_ir,
+    prefix_fingerprint_ir,
+    prefix_payload,
+    render_plan,
+)
+from repro.workloads.queries import aggregation_query, join_query
+
+
+def test_from_query_orders_pipelines_by_source():
+    plan = join_query(60, 30, num_reducers=4).plan()
+    assert plan.sources == ("events", "positions")
+    assert [p.source for p in plan.pipelines] == sorted(
+        p.source for p in plan.pipelines
+    )
+
+
+def test_plan_accessors():
+    plan = aggregation_query(60, 30, num_reducers=4).plan()
+    assert plan.sources == ("wcc",)
+    assert plan.pipeline("wcc").source == "wcc"
+    assert plan.window("wcc") == WindowSpec(win=60, slide=30)
+    with pytest.raises(KeyError):
+        plan.pipeline("nope")
+
+
+def test_empty_plan_is_rejected():
+    query = aggregation_query(60, 30)
+    with pytest.raises(ValueError):
+        LogicalPlan(pipelines=(), finalize=query.plan().finalize)
+
+
+def test_semantic_equality_across_constructions():
+    # Two independently constructed queries hold distinct callable
+    # *instances*; the payloads (and therefore digests) must still agree.
+    a = aggregation_query(60, 30, name="a", num_reducers=4).plan()
+    b = aggregation_query(900, 300, name="b", num_reducers=4).plan()
+    pa, pb = a.pipeline("wcc"), b.pipeline("wcc")
+    assert pane_payload(pa) == pane_payload(pb)
+    assert prefix_payload(pa) == prefix_payload(pb)
+    assert pane_fingerprint_ir(pa) == pane_fingerprint_ir(pb)
+    assert plan_fingerprint_ir(a) == plan_fingerprint_ir(b)
+
+
+def test_pane_payload_layout_is_pinned():
+    # The key set IS the compatibility contract with stored artifacts
+    # (tests/reuse/test_golden_fingerprints.py pins the digests).
+    payload = pane_payload(aggregation_query(60, 30).plan().pipeline("wcc"))
+    assert list(payload) == [
+        "schema",
+        "scope",
+        "source",
+        "mapper",
+        "combiner",
+        "reducer",
+        "partitioner",
+        "num_reducers",
+        "intermediate_pair_size",
+        "output_pair_size",
+    ]
+    assert payload["scope"] == "pane"
+
+
+def test_prefix_payload_excludes_the_reduce_side():
+    payload = prefix_payload(aggregation_query(60, 30).plan().pipeline("wcc"))
+    assert payload["scope"] == "map-prefix"
+    assert "reducer" not in payload
+    assert "output_pair_size" not in payload
+
+
+def test_prefix_matches_across_different_reducers():
+    # Same map side, different reduce side: the shareable prefix agrees
+    # while the pane-level digest (which covers the reducer) differs.
+    agg = aggregation_query(60, 30, name="a", num_reducers=4).plan()
+    other = aggregation_query(60, 30, name="b", num_reducers=4).plan()
+    assert prefix_fingerprint_ir(agg.pipeline("wcc")) == prefix_fingerprint_ir(
+        other.pipeline("wcc")
+    )
+    keyed = aggregation_query(
+        60, 30, name="c", key_field="client", num_reducers=4
+    ).plan()
+    assert prefix_fingerprint_ir(agg.pipeline("wcc")) != prefix_fingerprint_ir(
+        keyed.pipeline("wcc")
+    )
+
+
+def test_num_reducers_changes_the_prefix():
+    # Partitioned map output depends on the shuffle fan-out, so it is
+    # part of the prefix — two queries with different reducer counts
+    # must never share map output.
+    four = aggregation_query(60, 30, num_reducers=4).plan()
+    two = aggregation_query(60, 30, num_reducers=2).plan()
+    assert prefix_fingerprint_ir(four.pipeline("wcc")) != prefix_fingerprint_ir(
+        two.pipeline("wcc")
+    )
+
+
+def test_with_window_replaces_only_the_scan_window():
+    pipeline = aggregation_query(60, 30).plan().pipeline("wcc")
+    gcd = pipeline.with_window(WindowSpec(win=60, slide=10))
+    assert gcd.scan.window == WindowSpec(win=60, slide=10)
+    assert gcd.map is pipeline.map
+    assert gcd.shuffle is pipeline.shuffle
+    assert gcd.reduce is pipeline.reduce
+    # The window never participates in any digest.
+    assert pane_fingerprint_ir(gcd) == pane_fingerprint_ir(pipeline)
+    assert prefix_fingerprint_ir(gcd) == prefix_fingerprint_ir(pipeline)
+
+
+def test_unfingerprintable_callable_raises():
+    import dataclasses
+
+    pipeline = aggregation_query(60, 30).plan().pipelines[0]
+    broken = dataclasses.replace(
+        pipeline,
+        map=dataclasses.replace(pipeline.map, mapper=lambda r: []),
+    )
+    with pytest.raises(FingerprintError):
+        prefix_fingerprint_ir(broken)
+
+
+def test_render_plan_is_address_free():
+    text = render_plan(aggregation_query(60, 30, num_reducers=4).plan())
+    assert "Scan[wcc]" in text
+    assert "Finalize[" in text
+    assert "0x" not in text  # no memory addresses → stable across runs
+    again = render_plan(aggregation_query(60, 30, num_reducers=4).plan())
+    assert text == again
+
+
+def test_analyzer_plans_off_the_scan_node():
+    from repro.hadoop.config import DEFAULT_CONFIG
+
+    analyzer = SemanticAnalyzer(DEFAULT_CONFIG)
+    pipeline = aggregation_query(600, 300).plan().pipeline("wcc")
+    stats = SourceStats(source="wcc", rate=1_000_000.0)
+    by_ir = analyzer.plan_pipeline(pipeline, stats)
+    by_spec = analyzer.plan(WindowSpec(win=600, slide=300), stats)
+    assert by_ir == by_spec
+    with pytest.raises(ValueError):
+        analyzer.plan_pipeline(pipeline, SourceStats(source="other", rate=1.0))

@@ -1,0 +1,155 @@
+"""SharedScanRegistry semantics and the static sharing analysis."""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.plan import (
+    SharedScanRegistry,
+    format_sharing_report,
+    sharing_report,
+)
+from repro.workloads.queries import aggregation_query, join_query
+
+FP = "f" * 64
+
+
+def _publish(registry, index, *, fp=FP, source="wcc"):
+    return registry.publish(
+        fp,
+        source,
+        index,
+        {0: [("k", 1)], 1: [("q", 2)]},
+        input_records=10,
+        input_bytes=1000,
+        output_bytes=200,
+        producer="t00",
+    )
+
+
+class TestRegistry:
+    def test_publish_then_lookup(self):
+        registry = SharedScanRegistry()
+        assert registry.lookup(FP, "wcc", 3) is None
+        entry = _publish(registry, 3)
+        assert registry.lookup(FP, "wcc", 3) is entry
+        assert len(registry) == 1
+        assert registry.sources() == ("wcc",)
+
+    def test_first_producer_wins(self):
+        registry = SharedScanRegistry()
+        first = _publish(registry, 3)
+        second = registry.publish(
+            FP, "wcc", 3, {0: [("other", 9)]},
+            input_records=1, input_bytes=1, output_bytes=1, producer="t01",
+        )
+        assert second is first
+        assert first.producer == "t00"
+        assert len(registry) == 1
+
+    def test_published_lists_are_copies(self):
+        registry = SharedScanRegistry()
+        working = {0: [("k", 1)]}
+        entry = registry.publish(
+            FP, "wcc", 0, working,
+            input_records=1, input_bytes=1, output_bytes=1, producer="t00",
+        )
+        working[0].append(("corrupt", 0))  # producer mutates its buffers
+        assert entry.partitioned[0] == [("k", 1)]
+
+    def test_absorbed_copies_are_consumer_owned(self):
+        registry = SharedScanRegistry()
+        entry = _publish(registry, 0)
+        absorbed = entry.copy_partitioned()
+        absorbed[0].append(("consumer-local", 1))
+        assert entry.partitioned[0] == [("k", 1)]
+        # A second consumer sees the pristine entry.
+        assert entry.copy_partitioned()[0] == [("k", 1)]
+
+    def test_retire_below_watermark(self):
+        registry = SharedScanRegistry()
+        for idx in range(5):
+            _publish(registry, idx)
+        _publish(registry, 1, source="other")
+        assert registry.retire("wcc", 3) == 3
+        assert registry.lookup(FP, "wcc", 2) is None
+        assert registry.lookup(FP, "wcc", 3) is not None
+        # Other sources are untouched by a per-source watermark.
+        assert registry.lookup(FP, "other", 1) is not None
+
+    def test_drop_source(self):
+        registry = SharedScanRegistry()
+        _publish(registry, 0)
+        _publish(registry, 7, source="other")
+        assert registry.drop_source("wcc") == 1
+        assert registry.sources() == ("other",)
+
+    def test_registry_is_picklable(self):
+        # Service checkpoints pickle the runtime, registry included.
+        registry = SharedScanRegistry()
+        _publish(registry, 2)
+        revived = pickle.loads(pickle.dumps(registry))
+        assert revived.lookup(FP, "wcc", 2).partitioned == {
+            0: [("k", 1)], 1: [("q", 2)],
+        }
+
+
+class TestSharingReport:
+    def test_ir_equal_prefixes_group(self):
+        plans = {
+            "a": aggregation_query(60, 30, name="a", num_reducers=4).plan(),
+            "b": aggregation_query(120, 60, name="b", num_reducers=4).plan(),
+            "c": aggregation_query(
+                60, 30, name="c", key_field="client", num_reducers=4
+            ).plan(),
+        }
+        report = sharing_report(plans)
+        shared = report.shared_groups
+        assert len(shared) == 1
+        assert shared[0].source == "wcc"
+        assert shared[0].queries == ("a", "b")
+        alone = [g for g in report.groups if not g.shared]
+        assert [g.queries for g in alone] == [("c",)]
+        assert report.unshareable == []
+
+    def test_multi_source_plans_group_per_source(self):
+        plans = {
+            "j1": join_query(60, 30, name="j1", num_reducers=4).plan(),
+            "j2": join_query(90, 45, name="j2", num_reducers=4).plan(),
+        }
+        report = sharing_report(plans)
+        assert {g.source for g in report.shared_groups} == {
+            "events", "positions",
+        }
+
+    def test_unfingerprintable_plans_are_reported(self):
+        import dataclasses
+
+        query = aggregation_query(60, 30, name="lam", num_reducers=4)
+        plan = query.plan()
+        pipeline = plan.pipelines[0]
+        broken = dataclasses.replace(
+            plan,
+            pipelines=(
+                dataclasses.replace(
+                    pipeline,
+                    map=dataclasses.replace(
+                        pipeline.map, mapper=lambda r: []
+                    ),
+                ),
+            ),
+        )
+        report = sharing_report({"lam": broken})
+        assert report.unshareable == ["lam"]
+        assert report.shared_groups == []
+        text = format_sharing_report(report)
+        assert "never shared" in text
+
+    def test_format_mentions_every_group(self):
+        plans = {
+            "a": aggregation_query(60, 30, name="a", num_reducers=4).plan(),
+            "b": aggregation_query(60, 30, name="b", num_reducers=4).plan(),
+        }
+        text = format_sharing_report(sharing_report(plans))
+        assert "[shared]" in text and "a, b" in text
+        assert format_sharing_report(sharing_report({})) == "(no plans)"

@@ -1,0 +1,148 @@
+"""Runtime integration: absorb/publish/retire and digest parity.
+
+The shared-scan registry may only ever change *how much* map work runs,
+never an answer: two IR-equal tenants driven with sharing on must
+produce exactly the outputs of the same drive with sharing off, while
+the absorb path actually fires and the watermark keeps the registry
+bounded.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.runtime import RedoopRuntime
+from repro.hadoop.cluster import Cluster
+from repro.hadoop.config import small_test_config
+from repro.plan import SharedScanRegistry
+from repro.workloads.batches import constant_rate, generate_batches
+from repro.workloads.queries import aggregation_query
+from repro.workloads.wcc import WCCConfig, generate_wcc_records
+
+SOURCE = "wcc"
+RATE = 100_000.0
+HORIZON = 60.0
+CONFIG = WCCConfig(record_size=4000, num_clients=100, num_objects=30)
+
+
+def _queries():
+    # Different windows, identical Scan → Map → Shuffle prefix: the
+    # GCD packer gives both the same 10 s panes.
+    return (
+        aggregation_query(20, 10, name="q1", source=SOURCE, num_reducers=4),
+        aggregation_query(30, 10, name="q2", source=SOURCE, num_reducers=4),
+    )
+
+
+def _drive(share: bool) -> Tuple[RedoopRuntime, Dict[str, List[tuple]], int]:
+    cluster = Cluster(small_test_config(4), seed=0)
+    runtime = RedoopRuntime(
+        cluster, scan_sharing=SharedScanRegistry() if share else None
+    )
+    queries = _queries()
+    for query in queries:
+        runtime.register_query(query, {SOURCE: RATE})
+    batches = list(
+        generate_batches(
+            SOURCE,
+            HORIZON,
+            5.0,
+            constant_rate(RATE),
+            lambda t0, t1, rate, seed: generate_wcc_records(
+                t0, t1, rate, config=CONFIG, seed=seed
+            ),
+            seed=0,
+        )
+    )
+    schedule = []
+    for query in queries:
+        recurrence = 1
+        while query.execution_time(recurrence) <= HORIZON + 1e-9:
+            schedule.append(
+                (query.execution_time(recurrence), query.name, recurrence)
+            )
+            recurrence += 1
+    schedule.sort()
+    outputs: Dict[str, List[tuple]] = {}
+    map_tasks = 0
+    cursor = 0
+    for due, name, recurrence in schedule:
+        while cursor < len(batches) and batches[cursor][0].t_end <= due + 1e-9:
+            runtime.ingest(*batches[cursor])
+            cursor += 1
+        result = runtime.run_recurrence(name, recurrence)
+        map_tasks += int(result.counters.get("map.tasks"))
+        outputs.setdefault(name, []).append(
+            tuple(sorted(map(repr, result.output)))
+        )
+    return runtime, outputs, map_tasks
+
+
+def test_sharing_preserves_every_output():
+    baseline_rt, baseline, _ = _drive(share=False)
+    shared_rt, shared, _ = _drive(share=True)
+    assert baseline == shared
+    counters = shared_rt.counters.as_dict()
+    assert counters["plan.shared_scans"] > 0
+    assert counters["plan.shared_map_bytes_saved"] > 0
+    assert counters["plan.map_outputs_published"] > 0
+    # With sharing off, the plan.* family never fires.
+    assert not any(
+        name.startswith("plan.") for name in baseline_rt.counters.as_dict()
+    )
+
+
+def test_sharing_skips_map_work():
+    _, _, baseline_maps = _drive(share=False)
+    shared_rt, _, shared_maps = _drive(share=True)
+    # Fewer map tasks ran; absorbed panes still count as processed.
+    assert shared_maps < baseline_maps
+    assert shared_rt.counters.as_dict()["plan.shared_scans"] >= 1
+
+
+def test_prefix_peers_are_visible():
+    runtime, _, _ = _drive(share=True)
+    assert runtime.shared_prefix_peers("q1") == {SOURCE: ["q2"]}
+    assert runtime.shared_prefix_peers("q2") == {SOURCE: ["q1"]}
+
+
+def test_watermark_bounds_the_registry():
+    runtime, _, _ = _drive(share=True)
+    registry = runtime.scan_sharing
+    counters = runtime.counters.as_dict()
+    assert counters.get("plan.map_outputs_retired", 0) > 0
+    # Everything below the per-source floor is gone: at most the panes
+    # the widest still-registered window can revisit remain.
+    published = counters["plan.map_outputs_published"]
+    assert len(registry) < published
+
+
+def test_deregistering_the_last_reader_drops_the_source():
+    runtime, _, _ = _drive(share=True)
+    runtime.deregister_query("q1")
+    runtime.deregister_query("q2")
+    assert len(runtime.scan_sharing) == 0
+    assert runtime.scan_sharing.sources() == ()
+
+
+def test_unshareable_query_registers_without_sharing():
+    from repro.core.panes import WindowSpec
+    from repro.core.query import RecurringQuery
+    from repro.hadoop.job import MapReduceJob
+
+    cluster = Cluster(small_test_config(4), seed=0)
+    runtime = RedoopRuntime(cluster, scan_sharing=SharedScanRegistry())
+    job = MapReduceJob(
+        name="lam",
+        mapper=lambda record: [(record.payload["object"], 1)],
+        reducer=lambda key, values: [(key, sum(values))],
+        num_reducers=2,
+    )
+    query = RecurringQuery(
+        name="lam",
+        job=job,
+        windows={SOURCE: WindowSpec(win=20, slide=10)},
+    )
+    runtime.register_query(query, {SOURCE: RATE})
+    assert runtime.counters.as_dict()["plan.unshareable"] == 1
+    assert runtime.shared_prefix_peers("lam") == {}

@@ -152,6 +152,47 @@ def test_exec_family_is_guarded():
     )
 
 
+def test_plan_family_is_guarded():
+    """The shared-scan counters ride the same guard.
+
+    The `plan.*` family spans two emission layers (the runtime's
+    absorb/publish/retire path and the service's submit-time prefix
+    match), so pin both that the AST walk sees every member and that
+    each one resolves against docs/counters.md.
+    """
+    literals, _ = _emitted_counters()
+    plan_literals = {n: w for n, w in literals.items() if n.startswith("plan.")}
+    expected = {
+        "plan.shared_scans",
+        "plan.shared_map_bytes_saved",
+        "plan.map_outputs_published",
+        "plan.map_outputs_retired",
+        "plan.prefix_matches",
+        "plan.unshareable",
+    }
+    assert expected <= set(plan_literals), (
+        "plan counter emissions missing from the AST walk: "
+        + ", ".join(sorted(expected - set(plan_literals)))
+    )
+    assert plan_literals["plan.prefix_matches"] == "src/repro/service/server.py"
+    assert all(
+        w.startswith(("src/repro/core/", "src/repro/service/"))
+        for w in plan_literals.values()
+    )
+
+    documented, _ = _documented_tokens()
+    doc_regexes = [_doc_token_regex(t) for t in documented]
+    undocumented = {
+        name
+        for name in expected
+        if not any(re.match(rx, name) for rx in doc_regexes)
+    }
+    assert not undocumented, (
+        "plan counters not documented in docs/counters.md: "
+        + ", ".join(sorted(undocumented))
+    )
+
+
 def test_documented_tables_match_code():
     literals, patterns = _emitted_counters()
     _, table = _documented_tokens()
